@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks of the cycle-accurate simulator: cycles per
+//! second under the paper's routings and candidate-provider kinds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use tugal_netsim::{Config, RoutingAlgorithm, Simulator};
+use tugal_routing::{PathProvider, RuleProvider, TableProvider, VlbRule};
+use tugal_topology::{Dragonfly, DragonflyParams};
+use tugal_traffic::{Shift, TrafficPattern, Uniform};
+
+fn bench_cfg() -> Config {
+    let mut cfg = Config::quick();
+    cfg.warmup_windows = 0;
+    cfg.window = 1_000;
+    cfg
+}
+
+fn simulator_throughput(c: &mut Criterion) {
+    let topo = Arc::new(Dragonfly::new(DragonflyParams::new(4, 8, 4, 9)).unwrap());
+    let table: Arc<dyn PathProvider> = Arc::new(TableProvider::all_paths(topo.clone()));
+    let rule: Arc<dyn PathProvider> = Arc::new(RuleProvider::new(topo.clone(), VlbRule::All));
+    let uniform: Arc<dyn TrafficPattern> = Arc::new(Uniform::new(&topo));
+    let adv: Arc<dyn TrafficPattern> = Arc::new(Shift::new(&topo, 2, 0));
+
+    let mut group = c.benchmark_group("simulator/1k-cycles dfly(4,8,4,9)");
+    group.sample_size(10);
+    for routing in [
+        RoutingAlgorithm::Min,
+        RoutingAlgorithm::UgalL,
+        RoutingAlgorithm::UgalG,
+        RoutingAlgorithm::Par,
+    ] {
+        group.bench_function(format!("{} uniform table", routing.name()), |b| {
+            b.iter(|| {
+                Simulator::new(
+                    topo.clone(),
+                    table.clone(),
+                    uniform.clone(),
+                    routing,
+                    bench_cfg().for_routing(routing),
+                )
+                .run(0.2)
+            })
+        });
+    }
+    group.bench_function("UGAL-L adversarial table", |b| {
+        b.iter(|| {
+            Simulator::new(
+                topo.clone(),
+                table.clone(),
+                adv.clone(),
+                RoutingAlgorithm::UgalL,
+                bench_cfg().for_routing(RoutingAlgorithm::UgalL),
+            )
+            .run(0.2)
+        })
+    });
+    group.bench_function("UGAL-L adversarial rule-sampler", |b| {
+        b.iter(|| {
+            Simulator::new(
+                topo.clone(),
+                rule.clone(),
+                adv.clone(),
+                RoutingAlgorithm::UgalL,
+                bench_cfg().for_routing(RoutingAlgorithm::UgalL),
+            )
+            .run(0.2)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, simulator_throughput);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks of the substrates: topology construction,
+//! path enumeration, path-table builds, pair statistics and LP solves.
+//!
+//! These guard the performance assumptions the experiment harnesses rely
+//! on (e.g. "a Step-1 LP solves in well under a second").
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use tugal_lp::{LinearProgram, Relation};
+use tugal_model::{modeled_throughput, ModelVariant, PairStats};
+use tugal_routing::{all_vlb_paths, min_paths, PathTable, VlbRule};
+use tugal_topology::{Dragonfly, DragonflyParams, SwitchId};
+use tugal_traffic::{Shift, TrafficPattern};
+
+fn topology_construction(c: &mut Criterion) {
+    c.bench_function("topology/build dfly(4,8,4,9)", |b| {
+        b.iter(|| Dragonfly::new(black_box(DragonflyParams::new(4, 8, 4, 9))).unwrap())
+    });
+    c.bench_function("topology/build dfly(13,26,13,27)", |b| {
+        b.iter(|| Dragonfly::new(black_box(DragonflyParams::new(13, 26, 13, 27))).unwrap())
+    });
+}
+
+fn path_enumeration(c: &mut Criterion) {
+    let t9 = Dragonfly::new(DragonflyParams::new(4, 8, 4, 9)).unwrap();
+    let t33 = Dragonfly::new(DragonflyParams::new(4, 8, 4, 33)).unwrap();
+    c.bench_function("paths/min dfly(4,8,4,9)", |b| {
+        b.iter(|| min_paths(&t9, black_box(SwitchId(0)), black_box(SwitchId(9))))
+    });
+    c.bench_function("paths/all_vlb dfly(4,8,4,9)", |b| {
+        b.iter(|| all_vlb_paths(&t9, black_box(SwitchId(0)), black_box(SwitchId(9))))
+    });
+    c.bench_function("paths/all_vlb dfly(4,8,4,33)", |b| {
+        b.iter(|| all_vlb_paths(&t33, black_box(SwitchId(0)), black_box(SwitchId(9))))
+    });
+}
+
+fn table_builds(c: &mut Criterion) {
+    let t = Dragonfly::new(DragonflyParams::new(2, 4, 2, 9)).unwrap();
+    c.bench_function("table/build_all dfly(2,4,2,9)", |b| {
+        b.iter(|| PathTable::build_all(black_box(&t)))
+    });
+    let full = PathTable::build_all(&t);
+    c.bench_function("table/apply_rule 50% 5-hop", |b| {
+        b.iter_batched(
+            || full.clone(),
+            |mut table| {
+                table.apply_rule(
+                    &t,
+                    VlbRule::ClassLimit {
+                        max_hops: 4,
+                        frac_next: 0.5,
+                    },
+                    7,
+                );
+                table
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn pair_stats(c: &mut Criterion) {
+    let t9 = Dragonfly::new(DragonflyParams::new(4, 8, 4, 9)).unwrap();
+    let t27 = Dragonfly::new(DragonflyParams::new(13, 26, 13, 27)).unwrap();
+    c.bench_function("model/pair_stats dfly(4,8,4,9)", |b| {
+        b.iter(|| PairStats::compute(&t9, black_box(SwitchId(0)), black_box(SwitchId(9))))
+    });
+    c.bench_function("model/pair_stats dfly(13,26,13,27)", |b| {
+        b.iter(|| PairStats::compute(&t27, black_box(SwitchId(0)), black_box(SwitchId(40))))
+    });
+}
+
+fn lp_solves(c: &mut Criterion) {
+    c.bench_function("lp/simplex 30x60 dense", |b| {
+        b.iter(|| {
+            let mut lp = LinearProgram::new();
+            let mut state = 0x9E3779B97F4A7C15u64;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) as f64) / (u32::MAX as f64)
+            };
+            let vars: Vec<_> = (0..30).map(|_| lp.add_var(next())).collect();
+            for _ in 0..60 {
+                let terms: Vec<_> = vars.iter().map(|&v| (v, next())).collect();
+                lp.add_constraint(&terms, Relation::Le, 1.0 + next());
+            }
+            lp.solve().unwrap()
+        })
+    });
+    let t = Dragonfly::new(DragonflyParams::new(4, 8, 4, 9)).unwrap();
+    let demands = Shift::new(&t, 2, 0).demands().unwrap();
+    c.bench_function("model/throughput shift(2,0) dfly(4,8,4,9) all-VLB", |b| {
+        b.iter(|| {
+            modeled_throughput(
+                &t,
+                black_box(&demands),
+                VlbRule::All,
+                ModelVariant::DrawProportional,
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = topology_construction, path_enumeration, table_builds, pair_stats, lp_solves
+}
+criterion_main!(benches);

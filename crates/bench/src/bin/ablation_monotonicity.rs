@@ -1,0 +1,41 @@
+//! Ablation: the model variant (the paper's Model-3 modification).
+//!
+//! Compares [`ModelVariant::DrawProportional`] (default: VLB spreads
+//! uniformly over the candidate set) against
+//! [`ModelVariant::MonotoneClasses`] (the literal monotone relaxation of
+//! the paper's added constraints) across the Table-1 sweep on
+//! dfly(4,8,4,9).  The relaxation is provably monotone in the candidate
+//! set — it cannot penalize oversized sets — which is why the default
+//! variant is the one Algorithm 1 uses (DESIGN.md §4).
+
+use tugal_model::{modeled_throughput_multi, ModelVariant};
+use tugal_bench::dfly;
+use tugal_traffic::{Shift, TrafficPattern};
+
+fn main() {
+    let topo = dfly(4, 8, 4, 9);
+    let rules = tugal::table1_points();
+    let demands = Shift::new(&topo, 2, 0).demands().unwrap();
+    let draw =
+        modeled_throughput_multi(&topo, &demands, &rules, ModelVariant::DrawProportional)
+            .unwrap();
+    let mono =
+        modeled_throughput_multi(&topo, &demands, &rules, ModelVariant::MonotoneClasses)
+            .unwrap();
+    println!("# ablation_monotonicity: model variants on shift(2,0), dfly(4,8,4,9)");
+    println!(
+        "{:>16} {:>18} {:>18} {:>8}",
+        "config", "draw-proportional", "monotone-classes", "gap"
+    );
+    for ((rule, d), m) in rules.iter().zip(&draw).zip(&mono) {
+        println!(
+            "{:>16} {:>18.4} {:>18.4} {:>8.4}",
+            rule.to_string(),
+            d,
+            m,
+            m - d
+        );
+    }
+    println!("# monotone-classes is a relaxation: it must dominate draw-proportional");
+    println!("# and be non-decreasing toward 'all VLB paths'.");
+}

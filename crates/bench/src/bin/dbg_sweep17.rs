@@ -1,0 +1,14 @@
+use tugal::{coarse_grain_sweep, SweepConfig};
+use tugal_topology::{Dragonfly, DragonflyParams};
+
+fn main() {
+    let topo = Dragonfly::new(DragonflyParams::new(4, 8, 4, 17)).unwrap();
+    let cfg = SweepConfig {
+        type1_sample: Some(8),
+        type2_count: 4,
+        ..SweepConfig::default()
+    };
+    for o in coarse_grain_sweep(&topo, &cfg) {
+        println!("{:>16} {:.4} (sem {:.4})", o.rule.to_string(), o.mean, o.sem);
+    }
+}

@@ -1,0 +1,32 @@
+//! Figure 4: average modeled throughput of the Step-1 sweep on
+//! dfly(4,8,4,9) (mean ± standard error over TYPE_1 ∪ TYPE_2).
+//!
+//! Paper shape: steep rise from "3-hop" (~0.4), best region around
+//! 40–70% 5-hop (~0.58), all-VLB ~0.56.  Our reconstruction rises to a
+//! plateau (see DESIGN.md §4): the 5-hop region and all-VLB are within
+//! ~1%, and the very small sets fall far below.
+
+use tugal::{coarse_grain_sweep, SweepConfig};
+use tugal_bench::{dfly, full_fidelity};
+
+fn main() {
+    let topo = dfly(4, 8, 4, 9);
+    let cfg = if full_fidelity() {
+        SweepConfig::default()
+    } else {
+        SweepConfig {
+            type1_sample: Some(16),
+            type2_count: 5,
+            ..SweepConfig::default()
+        }
+    };
+    println!("# fig4: average modeled throughput, Step-1 sweep, dfly(4,8,4,9)");
+    println!(
+        "# mode: {}",
+        if full_fidelity() { "full" } else { "quick (sampled patterns)" }
+    );
+    println!("{:>16} {:>12} {:>10}", "config", "throughput", "stderr");
+    for o in coarse_grain_sweep(&topo, &cfg) {
+        println!("{:>16} {:>12.4} {:>10.4}", o.rule.to_string(), o.mean, o.sem);
+    }
+}

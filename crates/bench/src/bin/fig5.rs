@@ -1,0 +1,48 @@
+//! Figure 5: average modeled throughput of the Step-1 sweep on the
+//! maximal dfly(4,8,4,33): all VLB paths are needed — every restriction
+//! loses throughput, so T-UGAL converges with UGAL there.
+
+use tugal::{coarse_grain_sweep_rules, table1_points, SweepConfig};
+use tugal_bench::{dfly, full_fidelity};
+use tugal_routing::VlbRule;
+
+fn main() {
+    let topo = dfly(4, 8, 4, 33);
+    let (cfg, rules) = if full_fidelity() {
+        (SweepConfig::default(), table1_points())
+    } else {
+        // Quick mode: a representative sub-grid — each LP on the maximal
+        // 264-switch topology takes seconds on one core.
+        let rules = vec![
+            VlbRule::ClassLimit { max_hops: 3, frac_next: 0.0 },
+            VlbRule::ClassLimit { max_hops: 4, frac_next: 0.0 },
+            VlbRule::ClassLimit { max_hops: 4, frac_next: 0.5 },
+            VlbRule::ClassLimit { max_hops: 5, frac_next: 0.0 },
+            VlbRule::ClassLimit { max_hops: 5, frac_next: 0.5 },
+            VlbRule::All,
+        ];
+        (
+            SweepConfig {
+                type1_sample: Some(4),
+                type2_count: 2,
+                ..SweepConfig::default()
+            },
+            rules,
+        )
+    };
+    println!("# fig5: average modeled throughput, Step-1 sweep, dfly(4,8,4,33)");
+    println!(
+        "# mode: {}",
+        if full_fidelity() { "full" } else { "quick (sampled patterns, sub-grid)" }
+    );
+    println!("{:>16} {:>12} {:>10}", "config", "throughput", "stderr");
+    let outcomes = coarse_grain_sweep_rules(&topo, &cfg, &rules);
+    for o in &outcomes {
+        println!("{:>16} {:>12.4} {:>10.4}", o.rule.to_string(), o.mean, o.sem);
+    }
+    let best = outcomes
+        .iter()
+        .max_by(|a, b| a.mean.total_cmp(&b.mean))
+        .unwrap();
+    println!("# best: {} — expected: all VLB paths", best.rule);
+}

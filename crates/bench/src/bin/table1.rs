@@ -1,0 +1,27 @@
+//! Table 1: the data points probed in the coarse-grain Step 1.
+
+use tugal::table1_points;
+
+fn main() {
+    println!("# table1: configurations probed in coarse-grain Step 1");
+    println!("{:>6}  data point", "idx");
+    for (i, rule) in table1_points().iter().enumerate() {
+        let explanation = match rule {
+            tugal_routing::VlbRule::All => "all VLB paths".to_string(),
+            tugal_routing::VlbRule::ClassLimit {
+                max_hops,
+                frac_next,
+            } if *frac_next == 0.0 => format!("all paths {max_hops}-hop or less"),
+            tugal_routing::VlbRule::ClassLimit {
+                max_hops,
+                frac_next,
+            } => format!(
+                "all paths {max_hops}-hop or less plus {:.0}% {}-hop paths",
+                frac_next * 100.0,
+                max_hops + 1
+            ),
+            tugal_routing::VlbRule::Strategic { .. } => unreachable!("not a Table-1 point"),
+        };
+        println!("{:>6}  {:<14} {}", i, rule.to_string(), explanation);
+    }
+}

@@ -1,0 +1,23 @@
+//! Table 2: the topologies used in the experiments.
+
+use tugal_topology::{Dragonfly, DragonflyParams};
+
+fn main() {
+    println!("# table2: topologies used in the experiments");
+    println!(
+        "{:>22} {:>8} {:>10} {:>8} {:>16}",
+        "topology", "PEs", "switches", "groups", "links/group-pair"
+    );
+    for params in DragonflyParams::paper_topologies() {
+        let t = Dragonfly::new(params).unwrap();
+        println!(
+            "{:>22} {:>8} {:>10} {:>8} {:>16}",
+            params.to_string(),
+            t.num_nodes(),
+            t.num_switches(),
+            t.num_groups(),
+            t.links_per_group_pair()
+        );
+    }
+    println!("# note: the paper lists 135 switches for dfly(4,8,4,17); 17*8 = 136 (typo there).");
+}

@@ -1,0 +1,27 @@
+//! Table 3: default network parameters in the simulations.
+
+use tugal_netsim::{Config, RoutingAlgorithm};
+
+fn main() {
+    let base = Config::paper_default();
+    println!("# table3: default network parameters");
+    println!(
+        "{:<24} {}",
+        "# of virtual channels",
+        format_args!(
+            "{} for UGAL-L and UGAL-G / {} for PAR",
+            base.clone().for_routing(RoutingAlgorithm::UgalL).num_vcs,
+            base.clone().for_routing(RoutingAlgorithm::Par).num_vcs
+        )
+    );
+    println!("{:<24} {}", "buffer size", base.buf_size);
+    println!(
+        "{:<24} {} cycles (local) / {} cycles (global)",
+        "link latency", base.local_latency, base.global_latency
+    );
+    println!("{:<24} {}", "switch speed-up", base.speedup);
+    println!(
+        "{:<24} {} cycles x {} windows warmup, {}-cycle window, saturation at {} cycles",
+        "measurement", base.window, base.warmup_windows, base.window, base.sat_latency
+    );
+}

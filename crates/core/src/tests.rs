@@ -1,0 +1,131 @@
+//! Algorithm-1 integration tests on small topologies.
+
+use crate::*;
+use std::sync::Arc;
+use tugal_routing::VlbRule;
+use tugal_topology::{Dragonfly, DragonflyParams};
+
+fn topo(p: u32, a: u32, h: u32, g: u32) -> Arc<Dragonfly> {
+    Arc::new(Dragonfly::new(DragonflyParams::new(p, a, h, g)).unwrap())
+}
+
+#[test]
+fn tvlb_on_dense_topology_restricts_and_shortens() {
+    // dfly(2,4,2,3): 4 links per group pair — plenty of short VLB paths.
+    let t = topo(2, 4, 2, 3);
+    let result = compute_tvlb(t.clone(), &TUgalConfig::quick());
+    assert_ne!(result.chosen, VlbRule::All, "dense topology should restrict");
+    assert!(
+        result.report.mean_hops_tvlb < result.report.mean_hops_all - 0.2,
+        "T-VLB should be shorter on average: {} vs {}",
+        result.report.mean_hops_tvlb,
+        result.report.mean_hops_all
+    );
+    assert_eq!(result.report.sweep.len(), 31);
+    assert!(!result.report.scores.is_empty());
+}
+
+#[test]
+fn tvlb_on_maximal_topology_never_loses_throughput() {
+    // dfly(2,4,2,9) is maximal (1 link per pair).  The paper's Figure-5
+    // claim — T-UGAL converges with conventional UGAL when every VLB path
+    // is needed — is established by Step-2 *simulation*; on this small
+    // maximal instance we assert the measurable form of it: whatever
+    // Step 2 picks scores at least as much simulated saturation
+    // throughput as the full candidate set (All is always a candidate).
+    let t = topo(2, 4, 2, 9);
+    let result = compute_tvlb(t.clone(), &TUgalConfig::quick());
+    let all_score = result
+        .report
+        .scores
+        .iter()
+        .find(|s| s.rule == VlbRule::All)
+        .expect("the full set is always a Step-2 candidate");
+    let chosen_score = result
+        .report
+        .scores
+        .iter()
+        .find(|s| s.rule == result.chosen)
+        .unwrap();
+    assert!(
+        chosen_score.throughput >= all_score.throughput - 0.05,
+        "chosen {:?} at {} must not lose to All at {}",
+        result.chosen,
+        chosen_score.throughput,
+        all_score.throughput
+    );
+}
+
+#[test]
+fn sweep_report_orders_match_table1() {
+    let t = topo(2, 4, 2, 3);
+    // (uses the same quick config as the other tests)
+    let result = compute_tvlb(t.clone(), &TUgalConfig::quick());
+    let labels: Vec<String> = result
+        .report
+        .sweep
+        .iter()
+        .map(|o| o.rule.to_string())
+        .collect();
+    assert_eq!(labels[0], "3-hop paths");
+    assert_eq!(labels[30], "all VLB paths");
+    for o in &result.report.sweep {
+        assert!(o.mean > 0.0 && o.mean <= 1.0, "{o:?}");
+        assert!(o.sem >= 0.0);
+    }
+}
+
+#[test]
+fn strategic_candidates_appear_for_fractional_five_hop() {
+    let t = topo(2, 4, 2, 3);
+    let result = compute_tvlb(t.clone(), &TUgalConfig::quick());
+    let has_frac5 = result.report.candidates.iter().any(|r| {
+        matches!(r, VlbRule::ClassLimit { max_hops: 4, frac_next } if *frac_next > 0.0 && *frac_next < 1.0)
+    });
+    let has_strategic = result
+        .report
+        .candidates
+        .iter()
+        .any(|r| matches!(r, VlbRule::Strategic { .. }));
+    assert_eq!(has_frac5, has_strategic, "{:?}", result.report.candidates);
+}
+
+#[test]
+fn provider_is_usable_in_simulation() {
+    use tugal_netsim::{Config, RoutingAlgorithm, Simulator};
+    use tugal_traffic::{Shift, TrafficPattern};
+
+    let t = topo(2, 4, 2, 3);
+    let result = compute_tvlb(t.clone(), &TUgalConfig::quick());
+    let pattern: Arc<dyn TrafficPattern> = Arc::new(Shift::new(&t, 1, 0));
+    let r = Simulator::new(
+        t.clone(),
+        result.provider,
+        pattern,
+        RoutingAlgorithm::UgalL,
+        Config::quick(),
+    )
+    .run(0.2);
+    assert!(r.delivered > 0);
+    assert!(!r.saturated, "{r:?}");
+}
+
+#[test]
+fn conventional_provider_picks_representation_by_size() {
+    let small = topo(2, 4, 2, 3);
+    let p = conventional_provider(small, 300);
+    assert!(p.mean_vlb_hops() > 2.0);
+    // Force the rule-provider path with a tiny table budget.
+    let also_small = topo(2, 4, 2, 3);
+    let p = conventional_provider(also_small, 1);
+    assert!(p.mean_vlb_hops() > 2.0);
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let t = topo(2, 4, 2, 3);
+    let a = compute_tvlb(t.clone(), &TUgalConfig::quick());
+    let b = compute_tvlb(t.clone(), &TUgalConfig::quick());
+    assert_eq!(a.chosen, b.chosen);
+    assert_eq!(a.report.mean_hops_tvlb, b.report.mean_hops_tvlb);
+}

@@ -1,0 +1,27 @@
+//! # From-scratch linear programming
+//!
+//! The paper's Step-1 coarse-grain estimation solves linear programs with
+//! the proprietary IBM CPLEX optimizer.  This crate is the open substitute:
+//!
+//! * [`LinearProgram`] / [`simplex`] — a dense two-phase primal simplex
+//!   solver supporting `≤`, `=`, `≥` constraints and non-negative
+//!   variables.  The throughput models this repository builds are
+//!   origin-feasible (`≤` rows with non-negative right-hand sides), for
+//!   which the solver skips phase 1 entirely.
+//! * [`mcf`] — a Garg–Könemann multiplicative-weights approximation for
+//!   maximum concurrent flow, used to cross-validate the simplex on the
+//!   flow LPs this repository generates and as a fast fallback for very
+//!   large instances.
+//!
+//! The solver is deliberately dense: the UGAL throughput model keeps its
+//! instances small (hundreds to a few thousands of rows, see
+//! `tugal-model`), and a dense tableau with Dantzig pricing plus Bland
+//! anti-cycling is simple to make robust.
+
+#![warn(missing_docs)]
+
+mod mcf;
+mod simplex;
+
+pub use mcf::{ConcurrentFlow, FlowPath, McfSolution};
+pub use simplex::{LinearProgram, Relation, Solution, SolveError, VarId};

@@ -1,0 +1,344 @@
+//! Garg–Könemann maximum concurrent flow approximation.
+//!
+//! Fleischer's phase variant of the Garg–Könemann multiplicative-weights
+//! algorithm, specialized to commodities with explicit candidate path lists
+//! (which is exactly the shape of the UGAL throughput model: per
+//! source–destination pair, a small set of MIN/VLB path classes).  The
+//! returned flow is rescaled to be *exactly* capacity-feasible, so the
+//! reported throughput is always a valid lower bound; with parameter `ε`
+//! it is a `(1 − O(ε))` approximation of the optimum.
+//!
+//! The dense simplex in this crate is exact but `O(rows × cols)` per pivot;
+//! this approximation runs in `O(paths · log)` per phase and scales to
+//! instances the tableau cannot.
+
+/// A candidate path of a commodity, as a list of edge indices.
+#[derive(Debug, Clone)]
+pub struct FlowPath {
+    /// Edge indices into the capacity vector.
+    pub edges: Vec<usize>,
+}
+
+impl FlowPath {
+    /// Builds a path from edge indices.
+    pub fn new(edges: Vec<usize>) -> Self {
+        Self { edges }
+    }
+}
+
+struct Commodity {
+    demand: f64,
+    paths: Vec<FlowPath>,
+}
+
+/// Approximate solution of a concurrent-flow instance.
+#[derive(Debug, Clone)]
+pub struct McfSolution {
+    /// Largest `θ` such that `θ · demand` of every commodity is routed
+    /// within capacities (after defensive rescaling — always feasible).
+    pub throughput: f64,
+    /// `path_flows[commodity][path]` — absolute flow per candidate path.
+    pub path_flows: Vec<Vec<f64>>,
+    /// Shortest-path selections performed.
+    pub iterations: usize,
+}
+
+/// Maximum concurrent flow over explicit path sets.
+pub struct ConcurrentFlow {
+    capacities: Vec<f64>,
+    commodities: Vec<Commodity>,
+}
+
+impl ConcurrentFlow {
+    /// Creates an instance over edges with the given capacities (all must be
+    /// positive).
+    pub fn new(capacities: Vec<f64>) -> Self {
+        assert!(capacities.iter().all(|&c| c > 0.0), "capacities must be positive");
+        Self {
+            capacities,
+            commodities: Vec::new(),
+        }
+    }
+
+    /// Adds a commodity with a demand and its candidate paths.  Returns the
+    /// commodity index.
+    ///
+    /// # Panics
+    /// If `demand <= 0`, no path is given, or a path mentions an unknown
+    /// edge.
+    pub fn add_commodity(&mut self, demand: f64, paths: Vec<FlowPath>) -> usize {
+        assert!(demand > 0.0, "demand must be positive");
+        assert!(!paths.is_empty(), "commodity needs at least one path");
+        for p in &paths {
+            for &e in &p.edges {
+                assert!(e < self.capacities.len(), "edge {e} out of range");
+            }
+        }
+        self.commodities.push(Commodity { demand, paths });
+        self.commodities.len() - 1
+    }
+
+    /// Runs the approximation with accuracy parameter `epsilon`
+    /// (`0 < ε < 1`; smaller is more accurate and slower — 0.05 gives
+    /// results within a few percent of the simplex on the instances this
+    /// repository generates).
+    pub fn solve(&self, epsilon: f64) -> McfSolution {
+        assert!(epsilon > 0.0 && epsilon < 1.0);
+        let m = self.capacities.len() as f64;
+        let delta = (1.0 + epsilon) * ((1.0 + epsilon) * m).powf(-1.0 / epsilon);
+        let mut lengths: Vec<f64> = self.capacities.iter().map(|&c| delta / c).collect();
+        let mut path_flows: Vec<Vec<f64>> = self
+            .commodities
+            .iter()
+            .map(|c| vec![0.0; c.paths.len()])
+            .collect();
+        let mut iterations = 0usize;
+
+        let d_of = |lengths: &[f64], caps: &[f64]| -> f64 {
+            lengths.iter().zip(caps).map(|(l, c)| l * c).sum()
+        };
+        let mut d = d_of(&lengths, &self.capacities);
+        while d < 1.0 {
+            for (ci, com) in self.commodities.iter().enumerate() {
+                let mut remaining = com.demand;
+                while remaining > 0.0 && d < 1.0 {
+                    iterations += 1;
+                    // Cheapest candidate path under current lengths.
+                    let (pi, _) = com
+                        .paths
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| {
+                            (i, p.edges.iter().map(|&e| lengths[e]).sum::<f64>())
+                        })
+                        .min_by(|a, b| a.1.total_cmp(&b.1))
+                        .expect("non-empty path set");
+                    let path = &com.paths[pi];
+                    let bottleneck = path
+                        .edges
+                        .iter()
+                        .map(|&e| self.capacities[e])
+                        .fold(f64::INFINITY, f64::min);
+                    let f = remaining.min(bottleneck);
+                    path_flows[ci][pi] += f;
+                    for &e in &path.edges {
+                        let old = lengths[e];
+                        lengths[e] = old * (1.0 + epsilon * f / self.capacities[e]);
+                        d += (lengths[e] - old) * self.capacities[e];
+                    }
+                    remaining -= f;
+                }
+            }
+        }
+
+        // Theoretical scaling, then a defensive exact-feasibility rescale.
+        let scale = ((1.0 + epsilon) / delta).ln() / (1.0 + epsilon).ln();
+        for flows in &mut path_flows {
+            for f in flows.iter_mut() {
+                *f /= scale;
+            }
+        }
+        let mut loads = vec![0.0; self.capacities.len()];
+        for (ci, com) in self.commodities.iter().enumerate() {
+            for (pi, p) in com.paths.iter().enumerate() {
+                for &e in &p.edges {
+                    loads[e] += path_flows[ci][pi];
+                }
+            }
+        }
+        let overload = loads
+            .iter()
+            .zip(&self.capacities)
+            .map(|(l, c)| l / c)
+            .fold(0.0f64, f64::max)
+            .max(1.0);
+        let mut throughput = f64::INFINITY;
+        for (ci, com) in self.commodities.iter().enumerate() {
+            let routed: f64 = path_flows[ci].iter().sum();
+            throughput = throughput.min(routed / overload / com.demand);
+        }
+        for flows in &mut path_flows {
+            for f in flows.iter_mut() {
+                *f /= overload;
+            }
+        }
+        McfSolution {
+            throughput: if throughput.is_finite() { throughput } else { 0.0 },
+            path_flows,
+            iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinearProgram, Relation};
+
+    /// Exact concurrent-flow throughput by LP, for cross-validation.
+    fn exact(caps: &[f64], commodities: &[(f64, Vec<Vec<usize>>)]) -> f64 {
+        let mut lp = LinearProgram::new();
+        let theta = lp.add_var(1.0);
+        let mut path_vars = Vec::new();
+        for (_, paths) in commodities {
+            let vars: Vec<_> = paths.iter().map(|_| lp.add_var(0.0)).collect();
+            path_vars.push(vars);
+        }
+        // Demand: sum of path flows >= theta * demand  ->  theta*d - sum <= 0.
+        for (ci, (d, _)) in commodities.iter().enumerate() {
+            let mut terms = vec![(theta, *d)];
+            for &v in &path_vars[ci] {
+                terms.push((v, -1.0));
+            }
+            lp.add_constraint(&terms, Relation::Le, 0.0);
+        }
+        // Capacities.
+        for (e, &c) in caps.iter().enumerate() {
+            let mut terms = Vec::new();
+            for (ci, (_, paths)) in commodities.iter().enumerate() {
+                for (pi, p) in paths.iter().enumerate() {
+                    let uses = p.iter().filter(|&&x| x == e).count();
+                    if uses > 0 {
+                        terms.push((path_vars[ci][pi], uses as f64));
+                    }
+                }
+            }
+            if !terms.is_empty() {
+                lp.add_constraint(&terms, Relation::Le, c);
+            }
+        }
+        lp.solve().unwrap().objective
+    }
+
+    fn approx(caps: &[f64], commodities: &[(f64, Vec<Vec<usize>>)], eps: f64) -> McfSolution {
+        let mut cf = ConcurrentFlow::new(caps.to_vec());
+        for (d, paths) in commodities {
+            cf.add_commodity(
+                *d,
+                paths.iter().map(|p| FlowPath::new(p.clone())).collect(),
+            );
+        }
+        cf.solve(eps)
+    }
+
+    #[test]
+    fn single_commodity_single_path() {
+        let caps = vec![2.0];
+        let com = vec![(1.0, vec![vec![0]])];
+        let sol = approx(&caps, &com, 0.02);
+        assert!((sol.throughput - 2.0).abs() < 0.1, "{}", sol.throughput);
+    }
+
+    #[test]
+    fn parallel_paths_add_capacity() {
+        // Two disjoint unit edges -> throughput 2 for demand 1.
+        let caps = vec![1.0, 1.0];
+        let com = vec![(1.0, vec![vec![0], vec![1]])];
+        let sol = approx(&caps, &com, 0.02);
+        let ex = exact(&caps, &com);
+        assert!((ex - 2.0).abs() < 1e-6);
+        assert!(sol.throughput > 0.9 * ex, "{} vs {ex}", sol.throughput);
+    }
+
+    #[test]
+    fn two_commodities_share_an_edge() {
+        // Edge 0 shared; each commodity also has a private edge.
+        let caps = vec![1.0, 1.0, 1.0];
+        let com = vec![
+            (1.0, vec![vec![0], vec![1]]),
+            (1.0, vec![vec![0], vec![2]]),
+        ];
+        let ex = exact(&caps, &com); // 1.5 each: private 1 + half of shared
+        let sol = approx(&caps, &com, 0.02);
+        assert!((ex - 1.5).abs() < 1e-6, "{ex}");
+        assert!(sol.throughput > 0.9 * ex, "{} vs {ex}", sol.throughput);
+    }
+
+    #[test]
+    fn longer_paths_consume_more() {
+        // One commodity, two paths: short (1 edge) and long (3 edges),
+        // all edges capacity 1, long path edges shared with nothing.
+        let caps = vec![1.0, 1.0, 1.0, 1.0];
+        let com = vec![(1.0, vec![vec![0], vec![1, 2, 3]])];
+        let ex = exact(&caps, &com); // 2.0: both paths saturate
+        let sol = approx(&caps, &com, 0.02);
+        assert!(sol.throughput > 0.9 * ex, "{} vs {ex}", sol.throughput);
+    }
+
+    #[test]
+    fn solution_is_always_feasible() {
+        let caps = vec![1.0, 2.0, 0.5, 1.5];
+        let com = vec![
+            (1.0, vec![vec![0, 1], vec![2]]),
+            (2.0, vec![vec![1, 3], vec![0]]),
+        ];
+        let sol = approx(&caps, &com, 0.1);
+        let mut loads = vec![0.0; caps.len()];
+        for (ci, (_, paths)) in com.iter().enumerate() {
+            for (pi, p) in paths.iter().enumerate() {
+                for &e in p {
+                    loads[e] += sol.path_flows[ci][pi];
+                }
+            }
+        }
+        for (l, c) in loads.iter().zip(&caps) {
+            assert!(*l <= c + 1e-9, "load {l} exceeds cap {c}");
+        }
+    }
+
+    #[test]
+    fn approximation_tracks_exact_on_random_instances() {
+        let mut state = 0xDEADBEEFu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
+        };
+        for _ in 0..10 {
+            let n_edges = 6 + (next() * 6.0) as usize;
+            let caps: Vec<f64> = (0..n_edges).map(|_| 0.5 + next()).collect();
+            let n_com = 2 + (next() * 3.0) as usize;
+            let mut com = Vec::new();
+            for _ in 0..n_com {
+                let n_paths = 2 + (next() * 3.0) as usize;
+                let paths: Vec<Vec<usize>> = (0..n_paths)
+                    .map(|_| {
+                        let len = 1 + (next() * 3.0) as usize;
+                        let mut p: Vec<usize> =
+                            (0..len).map(|_| (next() * n_edges as f64) as usize % n_edges).collect();
+                        p.dedup();
+                        p
+                    })
+                    .collect();
+                com.push((0.5 + next(), paths));
+            }
+            let ex = exact(&caps, &com);
+            let sol = approx(&caps, &com, 0.05);
+            assert!(
+                sol.throughput <= ex + 1e-6,
+                "approx {} beats exact {ex}",
+                sol.throughput
+            );
+            assert!(
+                sol.throughput >= 0.8 * ex,
+                "approx {} too far below exact {ex}",
+                sol.throughput
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "demand must be positive")]
+    fn rejects_nonpositive_demand() {
+        let mut cf = ConcurrentFlow::new(vec![1.0]);
+        cf.add_commodity(0.0, vec![FlowPath::new(vec![0])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge 3 out of range")]
+    fn rejects_unknown_edge() {
+        let mut cf = ConcurrentFlow::new(vec![1.0, 1.0]);
+        cf.add_commodity(1.0, vec![FlowPath::new(vec![3])]);
+    }
+}

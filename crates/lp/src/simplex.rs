@@ -1,0 +1,740 @@
+//! Dense two-phase primal simplex.
+
+use std::fmt;
+
+/// Handle to a decision variable of a [`LinearProgram`].  The wrapped index
+/// is the variable's position in [`Solution::values`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub usize);
+
+/// Constraint relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+}
+
+/// Why the solver gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// No point satisfies all constraints.
+    Infeasible,
+    /// The objective can grow without bound.
+    Unbounded,
+    /// Iteration budget exhausted (numerical trouble; should not happen on
+    /// well-scaled inputs).
+    IterationLimit,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "infeasible"),
+            SolveError::Unbounded => write!(f, "unbounded"),
+            SolveError::IterationLimit => write!(f, "iteration limit reached"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// An optimal solution.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Optimal objective value (of the maximization).
+    pub objective: f64,
+    /// Simplex pivots performed.
+    pub iterations: usize,
+    values: Vec<f64>,
+    duals: Vec<f64>,
+}
+
+impl Solution {
+    /// Value of a variable at the optimum.
+    pub fn value(&self, v: VarId) -> f64 {
+        self.values[v.0]
+    }
+
+    /// Values of all variables, indexed by [`VarId`] order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Dual value (shadow price) of each constraint, in the order the
+    /// constraints were added.  For a maximization, the dual of a binding
+    /// `≤` capacity row is the marginal objective gain per unit of extra
+    /// right-hand side; non-binding rows have dual 0 (complementary
+    /// slackness).  Constraints whose right-hand side was negative at
+    /// construction were normalized by negation, and their duals are
+    /// reported for the *normalized* row.
+    pub fn duals(&self) -> &[f64] {
+        &self.duals
+    }
+}
+
+struct Constraint {
+    terms: Vec<(usize, f64)>,
+    rel: Relation,
+    rhs: f64,
+}
+
+/// A linear program `maximize cᵀx  s.t.  Ax {≤,=,≥} b,  x ≥ 0`.
+///
+/// ```
+/// use tugal_lp::{LinearProgram, Relation};
+///
+/// // maximize 3x + 2y  s.t.  x + y ≤ 4,  x ≤ 2
+/// let mut lp = LinearProgram::new();
+/// let x = lp.add_var(3.0);
+/// let y = lp.add_var(2.0);
+/// lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+/// lp.add_constraint(&[(x, 1.0)], Relation::Le, 2.0);
+/// let sol = lp.solve().unwrap();
+/// assert!((sol.objective - 10.0).abs() < 1e-9);
+/// assert!((sol.value(x) - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Default)]
+pub struct LinearProgram {
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+    max_iterations: Option<usize>,
+}
+
+const EPS: f64 = 1e-9;
+const PIVOT_EPS: f64 = 1e-7;
+
+impl LinearProgram {
+    /// Empty program (maximization).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a non-negative variable with the given objective coefficient.
+    pub fn add_var(&mut self, objective: f64) -> VarId {
+        self.objective.push(objective);
+        VarId(self.objective.len() - 1)
+    }
+
+    /// Adds a constraint `Σ terms {≤,=,≥} rhs`.  Repeated variables in
+    /// `terms` are summed.
+    pub fn add_constraint(&mut self, terms: &[(VarId, f64)], rel: Relation, rhs: f64) {
+        self.constraints.push(Constraint {
+            terms: terms.iter().map(|&(v, c)| (v.0, c)).collect(),
+            rel,
+            rhs,
+        });
+    }
+
+    /// Number of variables added so far.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Overrides the default pivot budget of `50·(m + n) + 1000`.
+    pub fn set_max_iterations(&mut self, limit: usize) {
+        self.max_iterations = Some(limit);
+    }
+
+    /// Solves the program.
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        Tableau::build(self).solve()
+    }
+}
+
+/// Dense simplex tableau.
+///
+/// Column layout: `n` structural variables, then one slack/surplus per
+/// inequality, then artificials, then the right-hand side.  The last row is
+/// the reduced-cost row of the current (phase-dependent) objective.
+struct Tableau<'a> {
+    lp: &'a LinearProgram,
+    m: usize,
+    n: usize,
+    n_art: usize,
+    width: usize, // total columns including rhs
+    rows: Vec<f64>,
+    obj: Vec<f64>,
+    basis: Vec<usize>,
+    /// Per constraint, the column whose reduced cost yields its dual (the
+    /// row's original slack or artificial unit column).
+    dual_col: Vec<usize>,
+    art_start: usize,
+    iterations: usize,
+    budget: usize,
+}
+
+impl<'a> Tableau<'a> {
+    fn build(lp: &'a LinearProgram) -> Self {
+        let m = lp.constraints.len();
+        let n = lp.num_vars();
+        let mut n_slack = 0;
+        let mut n_art = 0;
+        for c in &lp.constraints {
+            // Normalization below may flip relations, so count after
+            // normalization: b < 0 flips Le <-> Ge.
+            let rel = if c.rhs < 0.0 {
+                match c.rel {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                }
+            } else {
+                c.rel
+            };
+            match rel {
+                Relation::Le => n_slack += 1,
+                Relation::Ge => {
+                    n_slack += 1;
+                    n_art += 1;
+                }
+                Relation::Eq => n_art += 1,
+            }
+        }
+        let art_start = n + n_slack;
+        let width = n + n_slack + n_art + 1;
+        let mut rows = vec![0.0; m * width];
+        let mut basis = vec![usize::MAX; m];
+        let mut dual_col = vec![usize::MAX; m];
+        let mut slack_idx = n;
+        let mut art_idx = art_start;
+        for (i, c) in lp.constraints.iter().enumerate() {
+            let row = &mut rows[i * width..(i + 1) * width];
+            let flip = c.rhs < 0.0;
+            let sign = if flip { -1.0 } else { 1.0 };
+            for &(v, coef) in &c.terms {
+                row[v] += sign * coef;
+            }
+            row[width - 1] = sign * c.rhs;
+            let rel = if flip {
+                match c.rel {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                }
+            } else {
+                c.rel
+            };
+            match rel {
+                Relation::Le => {
+                    row[slack_idx] = 1.0;
+                    basis[i] = slack_idx;
+                    dual_col[i] = slack_idx;
+                    slack_idx += 1;
+                }
+                Relation::Ge => {
+                    row[slack_idx] = -1.0;
+                    slack_idx += 1;
+                    row[art_idx] = 1.0;
+                    basis[i] = art_idx;
+                    // The artificial carries the unit column of the row.
+                    dual_col[i] = art_idx;
+                    art_idx += 1;
+                }
+                Relation::Eq => {
+                    row[art_idx] = 1.0;
+                    basis[i] = art_idx;
+                    dual_col[i] = art_idx;
+                    art_idx += 1;
+                }
+            }
+        }
+        let budget = lp.max_iterations.unwrap_or(50 * (m + n) + 1000);
+        Tableau {
+            lp,
+            m,
+            n,
+            n_art,
+            width,
+            rows,
+            obj: vec![0.0; width],
+            basis,
+            dual_col,
+            art_start,
+            iterations: 0,
+            budget,
+        }
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> &[f64] {
+        &self.rows[i * self.width..(i + 1) * self.width]
+    }
+
+    fn solve(mut self) -> Result<Solution, SolveError> {
+        if self.n_art > 0 {
+            self.phase1()?;
+        }
+        self.phase2()?;
+        // Extract structural values.
+        let mut values = vec![0.0; self.n];
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b < self.n {
+                values[b] = self.row(i)[self.width - 1];
+            }
+        }
+        let objective = values
+            .iter()
+            .zip(&self.lp.objective)
+            .map(|(x, c)| x * c)
+            .sum();
+        // Duals: for a unit column e_i with zero cost, the priced-out
+        // reduced cost is -y_i.
+        let duals = self
+            .dual_col
+            .iter()
+            .map(|&j| if j == usize::MAX { 0.0 } else { -self.obj[j] })
+            .collect();
+        Ok(Solution {
+            objective,
+            iterations: self.iterations,
+            values,
+            duals,
+        })
+    }
+
+    /// Phase 1: minimize the sum of artificials.
+    fn phase1(&mut self) -> Result<(), SolveError> {
+        // Objective: maximize -(sum of artificials).  Price out the basic
+        // artificials: obj row = sum of their constraint rows (negated cost).
+        self.obj.iter_mut().for_each(|v| *v = 0.0);
+        for j in self.art_start..self.art_start + self.n_art {
+            self.obj[j] = -1.0;
+        }
+        for i in 0..self.m {
+            if self.basis[i] >= self.art_start {
+                // obj += row (cancels the -1 on the basic artificial).
+                let row_start = i * self.width;
+                for j in 0..self.width {
+                    self.obj[j] += self.rows[row_start + j];
+                }
+            }
+        }
+        self.iterate(true)?;
+        // The priced-out rhs equals the current sum of artificials.
+        if self.obj[self.width - 1] > 1e-7 {
+            return Err(SolveError::Infeasible);
+        }
+        // Drive remaining basic artificials out of the basis.
+        for i in 0..self.m {
+            if self.basis[i] >= self.art_start {
+                let row_start = i * self.width;
+                let pivot_col = (0..self.art_start)
+                    .find(|&j| self.rows[row_start + j].abs() > PIVOT_EPS);
+                if let Some(j) = pivot_col {
+                    self.pivot(i, j);
+                } else {
+                    // Redundant row: zero it so it can never constrain.
+                    for j in 0..self.width {
+                        self.rows[row_start + j] = 0.0;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Phase 2: maximize the real objective from the current basis.
+    fn phase2(&mut self) -> Result<(), SolveError> {
+        self.obj.iter_mut().for_each(|v| *v = 0.0);
+        self.obj[..self.n].copy_from_slice(&self.lp.objective);
+        // Price out the basic variables.
+        for i in 0..self.m {
+            let b = self.basis[i];
+            if b < self.n && self.obj[b].abs() > 0.0 {
+                let c = self.obj[b];
+                let row_start = i * self.width;
+                for j in 0..self.width {
+                    self.obj[j] -= c * self.rows[row_start + j];
+                }
+            }
+        }
+        self.iterate(false)
+    }
+
+    /// Runs simplex pivots until optimality.  `phase1` forbids nothing;
+    /// phase 2 forbids artificial columns from entering.
+    fn iterate(&mut self, phase1: bool) -> Result<(), SolveError> {
+        let col_limit = if phase1 { self.width - 1 } else { self.art_start };
+        let mut stall = 0usize;
+        let mut bland = false;
+        let mut last_obj = self.obj[self.width - 1];
+        loop {
+            if self.iterations >= self.budget {
+                return Err(SolveError::IterationLimit);
+            }
+            // Anti-cycling: switch to Bland's rule when the objective has
+            // not improved meaningfully for a while, and stay there —
+            // un-latching can re-enter the cycle through micro-improvement
+            // zigzags.
+            if !bland && stall > 2 * (self.m + self.n) {
+                bland = true;
+            }
+            let entering = if bland {
+                (0..col_limit).find(|&j| self.obj[j] > EPS)
+            } else {
+                let mut best = None;
+                let mut best_v = EPS;
+                for (j, &v) in self.obj[..col_limit].iter().enumerate() {
+                    if v > best_v {
+                        best_v = v;
+                        best = Some(j);
+                    }
+                }
+                best
+            };
+            let Some(e) = entering else {
+                return Ok(()); // optimal
+            };
+            // Ratio test.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..self.m {
+                let a = self.rows[i * self.width + e];
+                if a > PIVOT_EPS {
+                    let ratio = self.rows[i * self.width + self.width - 1] / a;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave.is_none_or(|l| {
+                                if bland {
+                                    self.basis[i] < self.basis[l]
+                                } else {
+                                    a > self.rows[l * self.width + e]
+                                }
+                            }));
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(l) = leave else {
+                return Err(SolveError::Unbounded);
+            };
+            self.pivot(l, e);
+            self.iterations += 1;
+            let cur = self.obj[self.width - 1];
+            // "Meaningful" improvement is measured on a relative scale so
+            // micro-zigzags (degenerate chains under rhs perturbation) do
+            // not mask a cycle.
+            if (cur - last_obj).abs() <= 1e-7 * (1.0 + last_obj.abs()) {
+                stall += 1;
+            } else {
+                if !bland {
+                    stall = 0;
+                }
+                last_obj = cur;
+            }
+        }
+    }
+
+    /// Gauss-Jordan pivot on (row `l`, column `e`).
+    fn pivot(&mut self, l: usize, e: usize) {
+        let w = self.width;
+        let pivot = self.rows[l * w + e];
+        debug_assert!(pivot.abs() > PIVOT_EPS * 0.1);
+        let inv = 1.0 / pivot;
+        for j in 0..w {
+            self.rows[l * w + j] *= inv;
+        }
+        // Other rows.
+        for i in 0..self.m {
+            if i == l {
+                continue;
+            }
+            let f = self.rows[i * w + e];
+            if f.abs() > 0.0 {
+                let (head, tail) = self.rows.split_at_mut(l.max(i) * w);
+                let (src, dst) = if l < i {
+                    (&head[l * w..l * w + w], &mut tail[..w])
+                } else {
+                    (&tail[..w], &mut head[i * w..i * w + w])
+                };
+                for j in 0..w {
+                    dst[j] -= f * src[j];
+                }
+            }
+        }
+        let f = self.obj[e];
+        if f.abs() > 0.0 {
+            for j in 0..w {
+                self.obj[j] -= f * self.rows[l * w + j];
+            }
+        }
+        self.basis[l] = e;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // maximize 3x + 5y; x <= 4; 2y <= 12; 3x + 2y <= 18 -> (2, 6), 36.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(3.0);
+        let y = lp.add_var(5.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(&[(y, 2.0)], Relation::Le, 12.0);
+        lp.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 36.0);
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 6.0);
+    }
+
+    #[test]
+    fn equality_constraints_need_phase1() {
+        // maximize x + y; x + y = 3; x - y <= 1 -> objective 3.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(1.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 3.0);
+        lp.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Le, 1.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 3.0);
+        assert_close(s.value(x) + s.value(y), 3.0);
+    }
+
+    #[test]
+    fn ge_constraints() {
+        // minimize 2x + 3y (maximize -2x -3y); x + y >= 4; x >= 1
+        // -> x = 4, y = 0? cost 8; or x=1,y=3 cost 11. Optimum x=4.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(-2.0);
+        let y = lp.add_var(-3.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 4.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Ge, 1.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, -8.0);
+        assert_close(s.value(x), 4.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Le, 1.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Ge, 2.0);
+        assert_eq!(lp.solve().unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(0.0);
+        lp.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Le, 1.0);
+        assert_eq!(lp.solve().unwrap_err(), SolveError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // x - y <= -1 with b < 0 flips to y - x >= 1.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(-1.0);
+        lp.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Le, -1.0);
+        lp.add_constraint(&[(y, 1.0)], Relation::Le, 5.0);
+        let s = lp.solve().unwrap();
+        // y >= x + 1, y <= 5 -> max x - y at x = 4, y = 5 -> -1.
+        assert_close(s.objective, -1.0);
+    }
+
+    #[test]
+    fn beale_cycling_example_terminates() {
+        // Beale's classic example that cycles under naive Dantzig pricing;
+        // optimum 0.05 at x1 = 1/25, x3 = 1.
+        let mut lp = LinearProgram::new();
+        let x1 = lp.add_var(0.75);
+        let x2 = lp.add_var(-150.0);
+        let x3 = lp.add_var(0.02);
+        let x4 = lp.add_var(-6.0);
+        lp.add_constraint(
+            &[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Relation::Le,
+            0.0,
+        );
+        lp.add_constraint(
+            &[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Relation::Le,
+            0.0,
+        );
+        lp.add_constraint(&[(x3, 1.0)], Relation::Le, 1.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 0.05);
+    }
+
+    #[test]
+    fn duplicate_terms_are_summed() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        lp.add_constraint(&[(x, 0.5), (x, 0.5)], Relation::Le, 3.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 3.0);
+    }
+
+    #[test]
+    fn zero_constraint_program() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(-1.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 0.0);
+        assert_close(s.value(x), 0.0);
+    }
+
+    #[test]
+    fn redundant_equalities() {
+        // x + y = 2 twice; maximize x.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(0.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 2.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 2.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 2.0);
+    }
+
+    #[test]
+    fn iteration_limit_reported() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Le, 1.0);
+        lp.set_max_iterations(0);
+        assert_eq!(lp.solve().unwrap_err(), SolveError::IterationLimit);
+    }
+
+    #[test]
+    fn moderate_random_feasibility_and_optimality() {
+        // Pseudo-random origin-feasible programs: check feasibility of the
+        // reported optimum and local optimality versus random feasible
+        // points.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
+        };
+        for _case in 0..20 {
+            let n = 5 + (next() * 5.0) as usize;
+            let m = 5 + (next() * 10.0) as usize;
+            let mut lp = LinearProgram::new();
+            let vars: Vec<VarId> = (0..n).map(|_| lp.add_var(next())).collect();
+            let mut rows = Vec::new();
+            for _ in 0..m {
+                let terms: Vec<(VarId, f64)> =
+                    vars.iter().map(|&v| (v, next())).collect();
+                let rhs = 1.0 + next();
+                lp.add_constraint(&terms, Relation::Le, rhs);
+                rows.push((terms, rhs));
+            }
+            let s = lp.solve().unwrap();
+            // Feasibility.
+            for (terms, rhs) in &rows {
+                let lhs: f64 = terms.iter().map(|&(v, c)| c * s.value(v)).sum();
+                assert!(lhs <= rhs + 1e-6, "constraint violated: {lhs} > {rhs}");
+            }
+            for v in &vars {
+                assert!(s.value(*v) >= -1e-9);
+            }
+            // No random feasible point beats the optimum.
+            for _ in 0..200 {
+                let candidate: Vec<f64> = (0..n).map(|_| next() * 0.3).collect();
+                let feasible = rows.iter().all(|(terms, rhs)| {
+                    terms
+                        .iter()
+                        .map(|&(v, c)| c * candidate[v.0])
+                        .sum::<f64>()
+                        <= *rhs
+                });
+                if feasible {
+                    let obj: f64 = candidate
+                        .iter()
+                        .enumerate()
+                        .map(|(i, x)| x * lp.objective[i])
+                        .sum();
+                    assert!(obj <= s.objective + 1e-6);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod dual_tests {
+    use super::*;
+
+    #[test]
+    fn duals_satisfy_strong_duality() {
+        // maximize 3x + 5y; x <= 4; 2y <= 12; 3x + 2y <= 18.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(3.0);
+        let y = lp.add_var(5.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(&[(y, 2.0)], Relation::Le, 12.0);
+        lp.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        let s = lp.solve().unwrap();
+        let duals = s.duals();
+        assert_eq!(duals.len(), 3);
+        // Strong duality: b^T y == c^T x.
+        let dual_obj = 4.0 * duals[0] + 12.0 * duals[1] + 18.0 * duals[2];
+        assert!((dual_obj - s.objective).abs() < 1e-6, "{dual_obj} vs {}", s.objective);
+        // Complementary slackness: x < 4 is slack at the optimum (2, 6),
+        // so its dual is zero; the other two rows bind.
+        assert!(duals[0].abs() < 1e-9, "{duals:?}");
+        assert!(duals[1] > 0.0 && duals[2] > 0.0, "{duals:?}");
+        // Dual feasibility: A^T y >= c.
+        assert!(duals[0] + 3.0 * duals[2] >= 3.0 - 1e-9);
+        assert!(2.0 * duals[1] + 2.0 * duals[2] >= 5.0 - 1e-9);
+    }
+
+    #[test]
+    fn duals_of_equality_rows() {
+        // maximize x + y; x + y = 3; x <= 2.  Optimum 3 along the segment;
+        // the equality's dual prices the objective 1:1.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(1.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 3.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Le, 2.0);
+        let s = lp.solve().unwrap();
+        let duals = s.duals();
+        assert!((duals[0] - 1.0).abs() < 1e-6, "{duals:?}");
+        assert!((3.0 * duals[0] + 2.0 * duals[1] - s.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shadow_price_predicts_rhs_sensitivity() {
+        // Increasing a binding capacity by delta should move the optimum
+        // by dual * delta (for small delta).
+        let build = |cap: f64| {
+            let mut lp = LinearProgram::new();
+            let x = lp.add_var(2.0);
+            let y = lp.add_var(1.0);
+            lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, cap);
+            lp.add_constraint(&[(x, 1.0)], Relation::Le, 3.0);
+            lp
+        };
+        let base = build(5.0).solve().unwrap();
+        let bumped = build(5.5).solve().unwrap();
+        let predicted = base.objective + 0.5 * base.duals()[0];
+        assert!(
+            (bumped.objective - predicted).abs() < 1e-6,
+            "{} vs {}",
+            bumped.objective,
+            predicted
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! # LP-based UGAL throughput model
+//!
+//! Reconstruction of the performance model the paper uses for Step-1
+//! coarse-grain estimation: "a minor modification of Model No. 3 in
+//! [Mollah et al., PMBS'17]", solved with CPLEX by the authors and with the
+//! from-scratch [`tugal_lp`] simplex here.
+//!
+//! ## The model
+//!
+//! For a deterministic traffic pattern (a set of switch-level demands
+//! `(src, dst, flows)` with `flows` node pairs each injecting `θ`
+//! flits/cycle), the model maximizes the saturation injection rate `θ`
+//! subject to unit channel capacities.  Per pair, traffic splits between
+//! the MIN candidates and the configured VLB candidate set.
+//!
+//! UGAL draws **one uniformly random VLB candidate per packet** and routes
+//! the packet over it whenever the MIN path is congested.  At adversarial
+//! saturation MIN is always congested, so the VLB traffic of a pair spreads
+//! *draw-proportionally* — uniformly across the candidate set.  This is the
+//! crucial modeling decision: a free (max-flow) allocation could always
+//! zero out the long paths, so adding 6-hop candidates could never hurt,
+//! contradicting the measured behaviour (Figure 4 of the paper, where "all
+//! VLB paths" scores *below* "60% 5-hop").  The paper's modification —
+//! "the data rate allocated for a longer VLB path is no more than the data
+//! rate allocated for a shorter VLB path" — pulls the model in the same
+//! direction; our default [`ModelVariant::DrawProportional`] enforces the
+//! limit of that reasoning (equal per-path rates within the candidate set),
+//! and [`ModelVariant::MonotoneClasses`] implements the literal monotone
+//! relaxation for ablation.
+//!
+//! ## Scalability
+//!
+//! Path sets are never enumerated.  Because a VLB path is a MIN segment to
+//! an intermediate followed by a MIN segment from it, per-pair path-class
+//! counts and per-channel usage decompose over (intermediate, gateway)
+//! choices; [`PairStats`] accumulates them in
+//! `O((g−2)·a·L)` per pair.  The LP then has one rate variable per pair
+//! plus `θ` ([`ModelVariant::DrawProportional`]), and identical capacity
+//! rows (parallel links, symmetric positions) are deduplicated before
+//! solving.
+
+#![warn(missing_docs)]
+
+// `c1`/`c2`/`h` loop indices are semantic hop counts over fixed small
+// arrays; the index style is clearer than iterator chains there.
+#![allow(clippy::needless_range_loop)]
+
+mod stats;
+mod throughput;
+
+pub use stats::PairStats;
+pub use throughput::{
+    modeled_bottlenecks, modeled_throughput, modeled_throughput_multi, ModelError, ModelVariant,
+};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,322 @@
+//! Per-pair path-class statistics, computed without enumerating paths.
+
+use std::collections::HashMap;
+use tugal_topology::{ChannelId, Dragonfly, GroupId, SwitchId};
+
+/// Statistics of one MIN segment length class: how many (intermediate,
+/// gateway) realizations produce it and how often each channel appears.
+#[derive(Debug, Clone, Default)]
+struct SegClass {
+    count: f64,
+    usage: HashMap<u32, f64>,
+}
+
+/// Path-class statistics of one ordered switch pair.
+///
+/// `combo_count[c1][c2]` is the number of VLB realizations whose first MIN
+/// segment has `c1` hops and second has `c2` (`c1, c2 ∈ 1..=3`); the
+/// corresponding `combo_usage` maps each channel to the number of such
+/// realizations crossing it.  A *realization* is a concrete (intermediate
+/// switch, first gateway, second gateway) choice — the unit the UGAL
+/// candidate sampler draws uniformly, so multiplicities are exactly the
+/// draw probabilities (identical switch sequences reachable through two
+/// intermediates count twice, as they are drawn twice as often).
+#[derive(Debug, Clone)]
+pub struct PairStats {
+    /// Number of MIN candidates.
+    pub min_count: f64,
+    /// Channel usage summed over MIN candidates.
+    pub min_usage: Vec<(ChannelId, f64)>,
+    /// VLB realization counts per (first, second) segment length.
+    pub combo_count: [[f64; 4]; 4],
+    /// Channel usage per segment-length combination.
+    pub combo_usage: [[Vec<(ChannelId, f64)>; 4]; 4],
+}
+
+impl PairStats {
+    /// Computes the statistics for the ordered pair `(s, d)`, `s != d`.
+    pub fn compute(topo: &Dragonfly, s: SwitchId, d: SwitchId) -> Self {
+        assert_ne!(s, d);
+        // MIN candidates.
+        let mut min_usage: HashMap<u32, f64> = HashMap::new();
+        let (gs, gd) = (topo.group_of(s), topo.group_of(d));
+        let min_count;
+        if gs == gd {
+            min_count = 1.0;
+            *min_usage.entry(topo.local_channel(s, d).0).or_default() += 1.0;
+        } else {
+            let gws = topo.gateways(gs, gd);
+            min_count = gws.len() as f64;
+            for &(u, v, c) in gws {
+                if u != s {
+                    *min_usage.entry(topo.local_channel(s, u).0).or_default() += 1.0;
+                }
+                *min_usage.entry(c.0).or_default() += 1.0;
+                if v != d {
+                    *min_usage.entry(topo.local_channel(v, d).0).or_default() += 1.0;
+                }
+            }
+        }
+
+        // VLB realizations, separably over intermediates.
+        let mut combo_count = [[0.0; 4]; 4];
+        let mut combo_usage: [[HashMap<u32, f64>; 4]; 4] = Default::default();
+        for gi in 0..topo.num_groups() as u32 {
+            let gi = GroupId(gi);
+            if gi == gs || gi == gd {
+                continue;
+            }
+            for i in topo.switches_in_group(gi) {
+                let seg1 = seg_classes(topo, s, i, gs, gi);
+                let seg2 = seg_classes(topo, i, d, gi, gd);
+                for (c1, s1) in seg1.iter().enumerate() {
+                    if s1.count == 0.0 {
+                        continue;
+                    }
+                    for (c2, s2) in seg2.iter().enumerate() {
+                        if s2.count == 0.0 {
+                            continue;
+                        }
+                        combo_count[c1][c2] += s1.count * s2.count;
+                        let acc = &mut combo_usage[c1][c2];
+                        for (&ch, &u) in &s1.usage {
+                            *acc.entry(ch).or_default() += u * s2.count;
+                        }
+                        for (&ch, &u) in &s2.usage {
+                            *acc.entry(ch).or_default() += u * s1.count;
+                        }
+                    }
+                }
+            }
+        }
+
+        let flatten = |m: HashMap<u32, f64>| {
+            let mut v: Vec<(ChannelId, f64)> =
+                m.into_iter().map(|(c, u)| (ChannelId(c), u)).collect();
+            v.sort_unstable_by_key(|&(c, _)| c);
+            v
+        };
+        let mut usage_out: [[Vec<(ChannelId, f64)>; 4]; 4] = Default::default();
+        for (c1, row) in combo_usage.into_iter().enumerate() {
+            for (c2, m) in row.into_iter().enumerate() {
+                usage_out[c1][c2] = flatten(m);
+            }
+        }
+        PairStats {
+            min_count,
+            min_usage: flatten(min_usage),
+            combo_count,
+            combo_usage: usage_out,
+        }
+    }
+
+    /// Total VLB realizations with `c1 + c2 == hops`.
+    pub fn class_count(&self, hops: usize) -> f64 {
+        let mut total = 0.0;
+        for c1 in 1..=3usize {
+            for c2 in 1..=3usize {
+                if c1 + c2 == hops {
+                    total += self.combo_count[c1][c2];
+                }
+            }
+        }
+        total
+    }
+
+    /// Total VLB realizations.
+    pub fn total_count(&self) -> f64 {
+        (2..=6).map(|h| self.class_count(h)).sum()
+    }
+
+    /// Mean hops over all VLB realizations.
+    pub fn mean_vlb_hops(&self) -> f64 {
+        let total = self.total_count();
+        if total == 0.0 {
+            return 0.0;
+        }
+        (2..=6).map(|h| h as f64 * self.class_count(h)).sum::<f64>() / total
+    }
+}
+
+/// Length-class statistics of the MIN segments from `a` to `b`
+/// (`ga = group(a)`, `gb = group(b)`), indexed by hop count 1..=3.
+fn seg_classes(
+    topo: &Dragonfly,
+    a: SwitchId,
+    b: SwitchId,
+    ga: GroupId,
+    gb: GroupId,
+) -> [SegClass; 4] {
+    let mut out: [SegClass; 4] = Default::default();
+    debug_assert_ne!(ga, gb);
+    for &(u, v, c) in topo.gateways(ga, gb) {
+        let mut hops = 1usize;
+        let mut chans = [c.0, 0, 0];
+        let mut n = 1usize;
+        if u != a {
+            chans[n] = topo.local_channel(a, u).0;
+            n += 1;
+            hops += 1;
+        }
+        if v != b {
+            chans[n] = topo.local_channel(v, b).0;
+            n += 1;
+            hops += 1;
+        }
+        let cls = &mut out[hops];
+        cls.count += 1.0;
+        for &ch in &chans[..n] {
+            *cls.usage.entry(ch).or_default() += 1.0;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tugal_routing::all_vlb_paths;
+    use tugal_topology::DragonflyParams;
+
+    fn topo(p: u32, a: u32, h: u32, g: u32) -> Dragonfly {
+        Dragonfly::new(DragonflyParams::new(p, a, h, g)).unwrap()
+    }
+
+    #[test]
+    fn min_stats_match_enumeration() {
+        let t = topo(4, 8, 4, 9);
+        let stats = PairStats::compute(&t, SwitchId(0), SwitchId(9));
+        let min = tugal_routing::min_paths(&t, SwitchId(0), SwitchId(9));
+        assert_eq!(stats.min_count, min.len() as f64);
+        let total_usage: f64 = stats.min_usage.iter().map(|&(_, u)| u).sum();
+        let total_hops: usize = min.iter().map(|p| p.hops()).sum();
+        assert_eq!(total_usage, total_hops as f64);
+    }
+
+    #[test]
+    fn vlb_realization_count_matches_structure() {
+        // dfly(2,4,2,3): 2 intermediate-group candidates? no: g=3, endpoints
+        // in 2 groups -> 1 intermediate group with 4 switches; 4 links per
+        // group pair -> per intermediate 4x4 = 16 realizations -> 64 total.
+        let t = topo(2, 4, 2, 3);
+        let stats = PairStats::compute(&t, SwitchId(0), SwitchId(4));
+        assert_eq!(stats.total_count(), 64.0);
+    }
+
+    #[test]
+    fn class_totals_match_enumerated_multiplicities() {
+        // Enumerating realizations directly (not deduped): compare against
+        // vlb_paths_via which returns one path per (gateway, gateway) combo.
+        let t = topo(4, 8, 4, 9);
+        let (s, d) = (SwitchId(0), SwitchId(9));
+        let stats = PairStats::compute(&t, s, d);
+        let mut counts = [0f64; 8];
+        for gi in 0..9u32 {
+            let gi = GroupId(gi);
+            if gi == t.group_of(s) || gi == t.group_of(d) {
+                continue;
+            }
+            for i in t.switches_in_group(gi) {
+                for p in tugal_routing::vlb_paths_via(&t, s, d, i) {
+                    counts[p.hops()] += 1.0;
+                }
+            }
+        }
+        for h in 2..=6 {
+            assert_eq!(stats.class_count(h), counts[h], "class {h}");
+        }
+    }
+
+    #[test]
+    fn usage_sums_equal_hops_times_counts() {
+        let t = topo(4, 8, 4, 9);
+        let stats = PairStats::compute(&t, SwitchId(3), SwitchId(20));
+        for c1 in 1..=3usize {
+            for c2 in 1..=3usize {
+                let count = stats.combo_count[c1][c2];
+                let usage: f64 = stats.combo_usage[c1][c2].iter().map(|&(_, u)| u).sum();
+                assert!(
+                    (usage - count * (c1 + c2) as f64).abs() < 1e-9,
+                    "combo ({c1},{c2}): usage {usage} count {count}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mean_hops_close_to_six_on_maximal_topology() {
+        let t = topo(4, 8, 4, 33);
+        let stats = PairStats::compute(&t, SwitchId(0), SwitchId(8));
+        assert!(stats.mean_vlb_hops() > 5.3, "{}", stats.mean_vlb_hops());
+    }
+
+    #[test]
+    fn mean_hops_lower_on_dense_topology() {
+        let t = topo(4, 8, 4, 9);
+        let stats = PairStats::compute(&t, SwitchId(0), SwitchId(8));
+        let dense = stats.mean_vlb_hops();
+        let t33 = topo(4, 8, 4, 33);
+        let sparse = PairStats::compute(&t33, SwitchId(0), SwitchId(8)).mean_vlb_hops();
+        assert!(dense < sparse, "{dense} !< {sparse}");
+    }
+
+    #[test]
+    fn usage_channels_are_network_channels() {
+        let t = topo(2, 4, 2, 9);
+        let stats = PairStats::compute(&t, SwitchId(0), SwitchId(5));
+        for (c, _) in &stats.min_usage {
+            assert!(c.index() < t.num_network_channels());
+        }
+        for row in &stats.combo_usage {
+            for usage in row {
+                for (c, _) in usage {
+                    assert!(c.index() < t.num_network_channels());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_cross_check_channel_usage() {
+        // Channel usage from separable stats must equal brute-force
+        // enumeration over realizations.
+        let t = topo(2, 4, 2, 5);
+        let (s, d) = (SwitchId(0), SwitchId(6));
+        let stats = PairStats::compute(&t, s, d);
+        let mut brute: HashMap<u32, f64> = HashMap::new();
+        for gi in 0..5u32 {
+            let gi = GroupId(gi);
+            if gi == t.group_of(s) || gi == t.group_of(d) {
+                continue;
+            }
+            for i in t.switches_in_group(gi) {
+                for p in tugal_routing::vlb_paths_via(&t, s, d, i) {
+                    for ch in p.channels(&t) {
+                        *brute.entry(ch.0).or_default() += 1.0;
+                    }
+                }
+            }
+        }
+        let mut from_stats: HashMap<u32, f64> = HashMap::new();
+        for row in &stats.combo_usage {
+            for usage in row {
+                for &(c, u) in usage {
+                    *from_stats.entry(c.0).or_default() += u;
+                }
+            }
+        }
+        assert_eq!(brute.len(), from_stats.len());
+        for (c, u) in brute {
+            let v = from_stats[&c];
+            assert!((u - v).abs() < 1e-9, "channel {c}: {u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn all_vlb_is_superset_of_deduped_enumeration() {
+        let t = topo(2, 4, 2, 9);
+        let stats = PairStats::compute(&t, SwitchId(0), SwitchId(4));
+        let deduped = all_vlb_paths(&t, SwitchId(0), SwitchId(4));
+        assert!(stats.total_count() >= deduped.len() as f64);
+    }
+}

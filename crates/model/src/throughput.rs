@@ -1,0 +1,478 @@
+//! The throughput LP assembled from [`PairStats`].
+
+use crate::stats::PairStats;
+use rayon::prelude::*;
+use std::collections::HashMap;
+use tugal_lp::{LinearProgram, Relation, SolveError};
+use tugal_routing::VlbRule;
+use tugal_topology::{ChannelId, Dragonfly, SwitchId};
+
+/// Which reconstruction of the UGAL allocation behaviour to solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelVariant {
+    /// VLB traffic of a pair spreads uniformly over its candidate set —
+    /// UGAL's single uniform candidate draw at saturation.  Default.
+    ///
+    /// Because the allocation is *forced* (not free), this variant is not
+    /// superset-monotone, and on dense topologies it reproduces Figure 4's
+    /// arc: a steep rise, a local peak in the 40–60% 5-hop region, a dip
+    /// around "5-hop paths", and ~0.56 at "all VLB paths" — all within a
+    /// ~1% band at the top, so Algorithm 1 still defers the final pick
+    /// among near-tied candidates to the Step-2 simulation (see
+    /// DESIGN.md §4).
+    DrawProportional,
+    /// Per-class VLB rates are free subject to the paper's monotonicity
+    /// modification (per-path rate of a longer class never exceeds that of
+    /// a shorter class).  Ablation variant: being a relaxation it can only
+    /// score higher, and it cannot penalize oversized candidate sets.
+    MonotoneClasses,
+}
+
+/// Model failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The pattern has no demands (nothing to route).
+    EmptyPattern,
+    /// The underlying LP failed (numerical trouble).
+    Lp(SolveError),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::EmptyPattern => write!(f, "pattern has no demands"),
+            ModelError::Lp(e) => write!(f, "LP solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Weight of each (seg1, seg2) combination under a rule: the fraction of
+/// that combination's realizations that are candidates.
+fn combo_weights(rule: VlbRule, stats: &PairStats) -> [[f64; 4]; 4] {
+    let mut w = [[0.0; 4]; 4];
+    for c1 in 1..=3usize {
+        for c2 in 1..=3usize {
+            let hops = c1 + c2;
+            w[c1][c2] = match rule {
+                VlbRule::All => 1.0,
+                VlbRule::ClassLimit {
+                    max_hops,
+                    frac_next,
+                } => {
+                    if hops <= max_hops as usize {
+                        1.0
+                    } else if hops == max_hops as usize + 1 {
+                        frac_next
+                    } else {
+                        0.0
+                    }
+                }
+                VlbRule::Strategic { first_seg } => {
+                    let keep = hops <= 4 || (hops == 5 && c1 == first_seg as usize);
+                    if keep {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+            };
+        }
+    }
+    // Mirror the path-table fallback: if the rule empties the pair, keep
+    // the shortest non-empty class.
+    let total: f64 = (1..=3)
+        .flat_map(|c1| (1..=3).map(move |c2| (c1, c2)))
+        .map(|(c1, c2)| w[c1][c2] * stats.combo_count[c1][c2])
+        .sum();
+    if total <= 0.0 {
+        'outer: for hops in 2..=6 {
+            for c1 in 1..=3usize {
+                let c2 = hops as isize - c1 as isize;
+                if (1..=3).contains(&c2) && stats.combo_count[c1][c2 as usize] > 0.0 {
+                    w[c1][c2 as usize] = 1.0;
+                }
+            }
+            if (1..=3)
+                .flat_map(|c1| (1..=3).map(move |c2| (c1, c2)))
+                .any(|(c1, c2)| w[c1][c2] > 0.0 && stats.combo_count[c1][c2] > 0.0)
+            {
+                break 'outer;
+            }
+        }
+    }
+    w
+}
+
+/// Modeled saturation throughput (flits/cycle/node) of `pattern_demands`
+/// under the given candidate rule.
+///
+/// `pattern_demands` are switch-level `(src, dst, node_flows)` triples as
+/// produced by `tugal_traffic::TrafficPattern::demands`.
+pub fn modeled_throughput(
+    topo: &Dragonfly,
+    pattern_demands: &[(u32, u32, u32)],
+    rule: VlbRule,
+    variant: ModelVariant,
+) -> Result<f64, ModelError> {
+    modeled_throughput_multi(topo, pattern_demands, &[rule], variant).map(|v| v[0])
+}
+
+/// [`modeled_throughput`] for several rules at once, computing the per-pair
+/// statistics (the expensive part) only once.
+pub fn modeled_throughput_multi(
+    topo: &Dragonfly,
+    pattern_demands: &[(u32, u32, u32)],
+    rules: &[VlbRule],
+    variant: ModelVariant,
+) -> Result<Vec<f64>, ModelError> {
+    if pattern_demands.is_empty() {
+        return Err(ModelError::EmptyPattern);
+    }
+    let stats: Vec<PairStats> = pattern_demands
+        .par_iter()
+        .map(|&(s, d, _)| PairStats::compute(topo, SwitchId(s), SwitchId(d)))
+        .collect();
+    rules
+        .par_iter()
+        .map(|&rule| solve_one(topo, pattern_demands, &stats, rule, variant))
+        .collect()
+}
+
+fn solve_one(
+    topo: &Dragonfly,
+    demands: &[(u32, u32, u32)],
+    stats: &[PairStats],
+    rule: VlbRule,
+    variant: ModelVariant,
+) -> Result<f64, ModelError> {
+    match variant {
+        ModelVariant::DrawProportional => {
+            solve_draw_proportional(topo, demands, stats, rule, None)
+        }
+        ModelVariant::MonotoneClasses => solve_monotone(topo, demands, stats, rule),
+    }
+}
+
+/// Modeled throughput plus the *bottleneck channels*: the capacity rows
+/// with positive shadow price at the optimum, sorted by how much an extra
+/// unit of their capacity would raise `θ`.  Draw-proportional variant
+/// only.  For an adversarial shift these are the saturated global links.
+pub fn modeled_bottlenecks(
+    topo: &Dragonfly,
+    pattern_demands: &[(u32, u32, u32)],
+    rule: VlbRule,
+) -> Result<(f64, Vec<(ChannelId, f64)>), ModelError> {
+    if pattern_demands.is_empty() {
+        return Err(ModelError::EmptyPattern);
+    }
+    let stats: Vec<PairStats> = pattern_demands
+        .par_iter()
+        .map(|&(s, d, _)| PairStats::compute(topo, SwitchId(s), SwitchId(d)))
+        .collect();
+    let mut hot = Vec::new();
+    let theta =
+        solve_draw_proportional(topo, pattern_demands, &stats, rule, Some(&mut hot))?;
+    Ok((theta, hot))
+}
+
+/// Accumulates `coef` into a channel-indexed row map.
+fn add_usage(
+    rows: &mut HashMap<u32, Vec<(tugal_lp::VarId, f64)>>,
+    theta_load: &mut HashMap<u32, f64>,
+    chan: ChannelId,
+    var: Option<(tugal_lp::VarId, f64)>,
+    theta_coef: f64,
+) {
+    if let Some((v, c)) = var {
+        if c != 0.0 {
+            rows.entry(chan.0).or_default().push((v, c));
+        }
+    }
+    if theta_coef != 0.0 {
+        *theta_load.entry(chan.0).or_default() += theta_coef;
+    }
+}
+
+/// Builds and solves the draw-proportional LP:
+///
+/// * variables: `θ` and per pair the MIN rate `m` (VLB rate is
+///   `θ·d − m`),
+/// * per pair: `m ≤ θ·d`,
+/// * per channel: `Σ m·(pmin − pvlb) + θ·Σ d·pvlb ≤ 1`,
+/// * `θ ≤ 1`; maximize `θ`.
+fn solve_draw_proportional(
+    _topo: &Dragonfly,
+    demands: &[(u32, u32, u32)],
+    stats: &[PairStats],
+    rule: VlbRule,
+    bottlenecks_out: Option<&mut Vec<(ChannelId, f64)>>,
+) -> Result<f64, ModelError> {
+    let mut lp = LinearProgram::new();
+    let theta = lp.add_var(1.0);
+    lp.add_constraint(&[(theta, 1.0)], Relation::Le, 1.0);
+
+    let mut chan_rows: HashMap<u32, Vec<(tugal_lp::VarId, f64)>> = HashMap::new();
+    let mut theta_load: HashMap<u32, f64> = HashMap::new();
+
+    for (pair_idx, (&(_, _, flows), st)) in demands.iter().zip(stats).enumerate() {
+        let d = flows as f64;
+        let m = lp.add_var(0.0);
+        // Tiny positive rhs perturbation keeps the origin vertex
+        // non-degenerate (see `add_capacity_rows`).
+        let h = (pair_idx as u64)
+            .wrapping_mul(0xD6E8_FEB8_6659_FD93)
+            .rotate_left(23)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        lp.add_constraint(
+            &[(m, 1.0), (theta, -d)],
+            Relation::Le,
+            1e-5 * (0.5 + (h % 1024) as f64 / 2048.0),
+        );
+
+        let w = combo_weights(rule, st);
+        let n_vlb: f64 = (1..=3)
+            .flat_map(|c1| (1..=3).map(move |c2| (c1, c2)))
+            .map(|(c1, c2)| w[c1][c2] * st.combo_count[c1][c2])
+            .sum();
+
+        // MIN usage: rate m spread over the MIN candidates.
+        for &(ch, u) in &st.min_usage {
+            let pmin = u / st.min_count;
+            add_usage(&mut chan_rows, &mut theta_load, ch, Some((m, pmin)), 0.0);
+        }
+        // VLB usage: rate (θ·d − m) spread draw-proportionally.
+        if n_vlb > 0.0 {
+            for c1 in 1..=3usize {
+                for c2 in 1..=3usize {
+                    let weight = w[c1][c2];
+                    if weight == 0.0 {
+                        continue;
+                    }
+                    for &(ch, u) in &st.combo_usage[c1][c2] {
+                        let pv = weight * u / n_vlb;
+                        add_usage(
+                            &mut chan_rows,
+                            &mut theta_load,
+                            ch,
+                            Some((m, -pv)),
+                            d * pv,
+                        );
+                    }
+                }
+            }
+        } else {
+            // No VLB candidates at all: everything rides MIN.
+            for &(ch, u) in &st.min_usage {
+                let pmin = u / st.min_count;
+                add_usage(
+                    &mut chan_rows,
+                    &mut theta_load,
+                    ch,
+                    Some((m, -pmin)),
+                    d * pmin,
+                );
+            }
+        }
+    }
+
+    let demand_bound = demands.iter().map(|&(_, _, f)| f as f64).fold(0.0, f64::max);
+    let row_channels = add_capacity_rows(&mut lp, theta, chan_rows, theta_load, demand_bound);
+    lp.set_max_iterations(400_000);
+    let sol = lp.solve().map_err(ModelError::Lp)?;
+    if let Some(out) = bottlenecks_out {
+        let mut hot: Vec<(ChannelId, f64)> = row_channels
+            .iter()
+            .filter_map(|&(row, ch)| {
+                let y = sol.duals()[row];
+                (y > 1e-9).then_some((ChannelId(ch), y))
+            })
+            .collect();
+        hot.sort_by(|a, b| b.1.total_cmp(&a.1));
+        *out = hot;
+    }
+    Ok(sol.value(theta))
+}
+
+/// The monotone-classes ablation variant: per pair, per hop class `c`, a
+/// free rate `v_c ≥ 0` with `Σ v_c ≤ θ·d` (MIN takes the rest) and
+/// per-path monotonicity between consecutive classes.
+fn solve_monotone(
+    _topo: &Dragonfly,
+    demands: &[(u32, u32, u32)],
+    stats: &[PairStats],
+    rule: VlbRule,
+) -> Result<f64, ModelError> {
+    let mut lp = LinearProgram::new();
+    let theta = lp.add_var(1.0);
+    lp.add_constraint(&[(theta, 1.0)], Relation::Le, 1.0);
+
+    let mut chan_rows: HashMap<u32, Vec<(tugal_lp::VarId, f64)>> = HashMap::new();
+    let mut theta_load: HashMap<u32, f64> = HashMap::new();
+
+    for (&(_, _, flows), st) in demands.iter().zip(stats) {
+        let d = flows as f64;
+        let w = combo_weights(rule, st);
+
+        // Effective class counts and usages under the rule.
+        let mut class_n = [0.0f64; 7];
+        let mut class_usage: [HashMap<u32, f64>; 7] = Default::default();
+        for c1 in 1..=3usize {
+            for c2 in 1..=3usize {
+                let weight = w[c1][c2];
+                if weight == 0.0 {
+                    continue;
+                }
+                let h = c1 + c2;
+                class_n[h] += weight * st.combo_count[c1][c2];
+                for &(ch, u) in &st.combo_usage[c1][c2] {
+                    *class_usage[h].entry(ch.0).or_default() += weight * u;
+                }
+            }
+        }
+
+        let classes: Vec<usize> = (2..=6).filter(|&h| class_n[h] > 0.0).collect();
+        let vs: Vec<tugal_lp::VarId> = classes.iter().map(|_| lp.add_var(0.0)).collect();
+
+        // Σ v_c ≤ θ·d.
+        let mut terms: Vec<(tugal_lp::VarId, f64)> = vs.iter().map(|&v| (v, 1.0)).collect();
+        terms.push((theta, -d));
+        lp.add_constraint(&terms, Relation::Le, 0.0);
+
+        // Monotonicity between consecutive present classes.
+        for k in 1..classes.len() {
+            let (short, long) = (classes[k - 1], classes[k]);
+            lp.add_constraint(
+                &[
+                    (vs[k], 1.0 / class_n[long]),
+                    (vs[k - 1], -1.0 / class_n[short]),
+                ],
+                Relation::Le,
+                0.0,
+            );
+        }
+
+        // MIN usage for rate (θ·d − Σ v_c).
+        for &(ch, u) in &st.min_usage {
+            let pmin = u / st.min_count;
+            add_usage(&mut chan_rows, &mut theta_load, ch, None, d * pmin);
+            for &v in &vs {
+                add_usage(&mut chan_rows, &mut theta_load, ch, Some((v, -pmin)), 0.0);
+            }
+        }
+        // Per-class VLB usage.
+        for (k, &h) in classes.iter().enumerate() {
+            for (&ch, &u) in &class_usage[h] {
+                let p = u / class_n[h];
+                add_usage(
+                    &mut chan_rows,
+                    &mut theta_load,
+                    ChannelId(ch),
+                    Some((vs[k], p)),
+                    0.0,
+                );
+            }
+        }
+    }
+
+    let demand_bound = demands.iter().map(|&(_, _, f)| f as f64).fold(0.0, f64::max);
+    let _ = add_capacity_rows(&mut lp, theta, chan_rows, theta_load, demand_bound);
+    lp.set_max_iterations(400_000);
+    let sol = lp.solve().map_err(ModelError::Lp)?;
+    Ok(sol.value(theta))
+}
+
+/// Adds one capacity row per channel, deduplicating identical rows (the
+/// symmetric topology produces many) and dropping rows that cannot bind
+/// given that every rate variable is at most `demand_bound` and `θ ≤ 1`.
+fn add_capacity_rows(
+    lp: &mut LinearProgram,
+    theta: tugal_lp::VarId,
+    chan_rows: HashMap<u32, Vec<(tugal_lp::VarId, f64)>>,
+    theta_load: HashMap<u32, f64>,
+    demand_bound: f64,
+) -> Vec<(usize, u32)> {
+    let mut row_channels = Vec::new();
+    let mut channels: Vec<u32> = chan_rows
+        .keys()
+        .chain(theta_load.keys())
+        .copied()
+        .collect();
+    channels.sort_unstable();
+    channels.dedup();
+
+    let mut seen: HashMap<Vec<(usize, u64)>, ()> = HashMap::new();
+    let mut row_index = 0u64;
+    for ch in channels {
+        let mut merged: Vec<(tugal_lp::VarId, f64)> = Vec::new();
+        if let Some(terms) = chan_rows.get(&ch) {
+            let mut terms = terms.clone();
+            terms.sort_unstable_by_key(|&(v, _)| v.0);
+            for (v, c) in terms {
+                match merged.last_mut() {
+                    Some((lv, lc)) if *lv == v => *lc += c,
+                    _ => merged.push((v, c)),
+                }
+            }
+        }
+        if let Some(&tl) = theta_load.get(&ch) {
+            if tl != 0.0 {
+                merged.push((theta, tl));
+            }
+        }
+        merged.retain(|&(_, c)| c.abs() > 1e-12);
+        if merged.is_empty() {
+            continue;
+        }
+        // Prefilter rows that can never bind: every variable (θ and the
+        // per-pair rates, all bounded by the demand) is at most its demand,
+        // and θ ≤ 1, so an upper bound on the row's lhs below the capacity
+        // of 1 makes the row redundant.  `m ≤ θ·d ≤ d` and the per-class
+        // rates are likewise ≤ d; using |coef|·d as the bound is safe.
+        // The θ coefficient is bounded by θ ≤ 1.  Demands enter the row
+        // coefficients already scaled, so a conservative per-var bound of
+        // `demand_max` is applied by the caller through the coefficients
+        // themselves; here variables are bounded by the largest demand any
+        // pattern uses, which the builders encode by keeping coefficients
+        // multiplied by d only on the θ term.  A simple sound bound:
+        // Σ max(coef, 0) · d_max + max(θcoef, 0).
+        //
+        // (Rows dropped here are exactly the lightly-used local channels
+        // far from any hot spot; dropping them cuts the tableau several-
+        // fold on large topologies.)
+        let theta_coef = merged
+            .iter()
+            .find(|&&(v, _)| v == theta)
+            .map(|&(_, c)| c)
+            .unwrap_or(0.0);
+        let var_bound: f64 = merged
+            .iter()
+            .filter(|&&(v, _)| v != theta)
+            .map(|&(_, c)| c.max(0.0) * demand_bound)
+            .sum();
+        if var_bound + theta_coef.max(0.0) < 0.999 {
+            continue;
+        }
+        let key: Vec<(usize, u64)> = merged
+            .iter()
+            .map(|&(v, c)| (v.0, (c * 1e12).round() as i64 as u64))
+            .collect();
+        if seen.insert(key, ()).is_none() {
+            // Deterministic micro-perturbation of the rhs breaks the heavy
+            // degeneracy of the symmetric topology (many channel rows would
+            // otherwise tie in every ratio test, stalling the simplex).
+            // The induced throughput error is below 1e-6 — far inside the
+            // model's own accuracy.
+            row_index += 1;
+            let h = row_index
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(17)
+                .wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+            let rhs = 1.0 + 1e-4 * (0.5 + (h % 1024) as f64 / 2048.0);
+            row_channels.push((lp.num_constraints(), ch));
+            lp.add_constraint(&merged, Relation::Le, rhs);
+        }
+    }
+    row_channels
+}

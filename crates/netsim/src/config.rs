@@ -1,0 +1,167 @@
+//! Simulator configuration (Table 3 of the paper).
+
+use tugal_routing::VcScheme;
+
+/// Routing algorithm run by every router (§2.2 / §4.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoutingAlgorithm {
+    /// Minimal routing only.
+    Min,
+    /// Valiant load balancing only (always the VLB candidate).
+    Vlb,
+    /// UGAL with local information: compares the source router's output
+    /// queue for the two candidates, each weighted by path length.
+    UgalL,
+    /// UGAL with global information: compares total queue occupancy along
+    /// the two candidate paths (an idealized scheme — the "genie" of the
+    /// paper).
+    UgalG,
+    /// Progressive adaptive routing: UGAL-L whose MIN decision may be
+    /// revised once at the second router within the source group.
+    Par,
+}
+
+impl RoutingAlgorithm {
+    /// True for PAR, which needs one extra VC (Table 3).
+    pub fn progressive(self) -> bool {
+        matches!(self, RoutingAlgorithm::Par)
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutingAlgorithm::Min => "MIN",
+            RoutingAlgorithm::Vlb => "VLB",
+            RoutingAlgorithm::UgalL => "UGAL-L",
+            RoutingAlgorithm::UgalG => "UGAL-G",
+            RoutingAlgorithm::Par => "PAR",
+        }
+    }
+}
+
+/// Network and measurement parameters.
+///
+/// [`Config::paper_default`] reproduces Table 3; [`Config::quick`] shrinks
+/// the measurement windows for CI-speed runs (same network parameters).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Virtual channels per channel.  Use
+    /// [`tugal_routing::required_vcs`] for the scheme/routing at hand; more
+    /// VCs than required is allowed (Figure 18 studies this).
+    pub num_vcs: u8,
+    /// Flit buffer depth per (channel, VC) — credits per VC.
+    pub buf_size: u16,
+    /// Local (intra-group) channel latency in cycles.
+    pub local_latency: u32,
+    /// Global (inter-group) channel latency in cycles.
+    pub global_latency: u32,
+    /// Injection/ejection channel latency in cycles.
+    pub terminal_latency: u32,
+    /// Router-internal speedup: switch-allocation rounds per cycle.
+    pub speedup: u32,
+    /// VC allocation scheme (deadlock freedom).
+    pub vc_scheme: VcScheme,
+    /// Warmup sample windows before measurement starts.
+    pub warmup_windows: u32,
+    /// Sample window length in cycles.
+    pub window: u32,
+    /// A run whose measured average latency exceeds this is saturated.
+    pub sat_latency: f64,
+    /// UGAL threshold `T` biasing the decision toward MIN (§2.2; the paper
+    /// evaluates with `T = 0`).
+    pub ugal_threshold: i64,
+    /// VLB candidates drawn per routing decision (the paper and the
+    /// original UGAL use 1; Singh's thesis studies more).  The candidate
+    /// with the smallest queue metric competes against the MIN candidate.
+    pub vlb_candidates: u8,
+    /// RNG seed (traffic, candidate draws, arbitration tie-breaks).
+    pub seed: u64,
+}
+
+impl Config {
+    /// Table 3 defaults: 4 VCs (callers bump to 5 for PAR via
+    /// [`Config::for_routing`]), 32-flit buffers, 10/15-cycle link
+    /// latencies, speedup 2, 10 000-cycle windows with 3 warmup windows.
+    pub fn paper_default() -> Self {
+        Config {
+            num_vcs: 4,
+            buf_size: 32,
+            local_latency: 10,
+            global_latency: 15,
+            terminal_latency: 1,
+            speedup: 2,
+            vc_scheme: VcScheme::Compact,
+            warmup_windows: 3,
+            window: 10_000,
+            sat_latency: 500.0,
+            ugal_threshold: 0,
+            vlb_candidates: 1,
+            seed: 0xDF17,
+        }
+    }
+
+    /// CI-speed settings: identical network parameters, shorter windows
+    /// (1 warmup window of 2 000 cycles, 2 000-cycle measurement).
+    pub fn quick() -> Self {
+        Config {
+            warmup_windows: 1,
+            window: 2_000,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Adjusts the VC count to the minimum required by `routing` under the
+    /// configured VC scheme (5 for PAR, 4 otherwise with the compact
+    /// scheme — exactly Table 3).
+    pub fn for_routing(mut self, routing: RoutingAlgorithm) -> Self {
+        self.num_vcs = self
+            .num_vcs
+            .max(tugal_routing::required_vcs(self.vc_scheme, routing.progressive()));
+        self
+    }
+
+    /// Total simulated cycles.
+    pub fn total_cycles(&self) -> u64 {
+        (self.warmup_windows as u64 + 1) * self.window as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table3() {
+        let c = Config::paper_default();
+        assert_eq!(c.num_vcs, 4);
+        assert_eq!(c.buf_size, 32);
+        assert_eq!(c.local_latency, 10);
+        assert_eq!(c.global_latency, 15);
+        assert_eq!(c.speedup, 2);
+        assert_eq!(c.window, 10_000);
+        assert_eq!(c.warmup_windows, 3);
+        assert_eq!(c.sat_latency, 500.0);
+        assert_eq!(c.ugal_threshold, 0);
+        assert_eq!(c.vlb_candidates, 1);
+        assert_eq!(c.total_cycles(), 40_000);
+    }
+
+    #[test]
+    fn for_routing_bumps_vcs_for_par() {
+        let c = Config::paper_default().for_routing(RoutingAlgorithm::Par);
+        assert_eq!(c.num_vcs, 5);
+        let c = Config::paper_default().for_routing(RoutingAlgorithm::UgalG);
+        assert_eq!(c.num_vcs, 4);
+        // Explicitly oversized VC counts are preserved (Figure 18).
+        let mut big = Config::paper_default();
+        big.num_vcs = 6;
+        assert_eq!(big.for_routing(RoutingAlgorithm::UgalL).num_vcs, 6);
+    }
+
+    #[test]
+    fn routing_names() {
+        assert_eq!(RoutingAlgorithm::UgalL.name(), "UGAL-L");
+        assert!(RoutingAlgorithm::Par.progressive());
+        assert!(!RoutingAlgorithm::UgalG.progressive());
+    }
+}

@@ -1,0 +1,57 @@
+//! # Cycle-accurate flit-level interconnection network simulator
+//!
+//! The BookSim-2.0-equivalent substrate of this reproduction (§4.1.2 of the
+//! paper): a cycle-driven, flit-level simulator of input-queued
+//! virtual-channel routers with
+//!
+//! * credit-based flow control (per-VC credits, credit return latency equal
+//!   to the channel latency),
+//! * configurable VC count, buffer depth, local/global link latencies and
+//!   router-internal speedup (Table 3 defaults: 4 VCs for UGAL-L/G, 5 for
+//!   PAR, 32-flit buffers, 10/15-cycle local/global latency, speedup 2),
+//! * single-flit packets (as the paper uses, to keep flow control out of
+//!   the picture),
+//! * the UGAL routing family: MIN, VLB, UGAL-L, UGAL-G and PAR, each
+//!   parameterized by a [`tugal_routing::PathProvider`] so conventional
+//!   UGAL and T-UGAL are the *same* code with different candidate sets,
+//! * warmup + measurement windows with the paper's 500-cycle saturation
+//!   rule, and load sweeps that report latency curves and saturation
+//!   throughput.
+//!
+//! The router pipeline is abstracted to route-computation → switch
+//! allocation (×speedup) → link traversal; absolute latencies therefore
+//! differ from BookSim's four-stage pipeline by small constants, while the
+//! comparative behaviour (which routing saturates first, how T-UGAL shifts
+//! the curves) is preserved — that comparative behaviour is what the
+//! paper's evaluation reads off the simulator.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use tugal_topology::{Dragonfly, DragonflyParams};
+//! use tugal_routing::{TableProvider, VcScheme};
+//! use tugal_traffic::Shift;
+//! use tugal_netsim::{Config, RoutingAlgorithm, Simulator};
+//!
+//! let topo = Arc::new(Dragonfly::new(DragonflyParams::new(4, 8, 4, 9)).unwrap());
+//! let provider = Arc::new(TableProvider::all_paths(topo.clone()));
+//! let pattern = Arc::new(Shift::new(&topo, 2, 0));
+//! let cfg = Config::paper_default();
+//! let result = Simulator::new(topo, provider, pattern, RoutingAlgorithm::UgalL, cfg)
+//!     .run(0.1);
+//! println!("latency {:.1} cycles", result.avg_latency);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod sim;
+mod stats;
+mod sweep;
+
+pub use config::{Config, RoutingAlgorithm};
+pub use sim::Simulator;
+pub use stats::SimResult;
+pub use sweep::{latency_curve, saturation_throughput, CurvePoint, SweepOptions};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,783 @@
+//! The cycle-driven simulation engine.
+//!
+//! ## Structure
+//!
+//! All per-channel state lives in flat vectors indexed by
+//! [`tugal_topology::ChannelId`]:
+//!
+//! * `staging` — flits that won switch allocation and wait for their 1
+//!   flit/cycle slot on the wire (they already hold a downstream credit,
+//!   so backpressure is preserved),
+//! * `in_buf` — the downstream router's input buffer, one FIFO per VC,
+//! * `credits` — sender-side credit counters per VC; credit return takes
+//!   the channel latency, modelled with a calendar ring.
+//!
+//! In-flight flits sit in an arrival calendar ring rather than per-channel
+//! pipelines, so per-cycle cost is proportional to the number of flits in
+//! flight, not to topology size.  Each router keeps a *ready list* of
+//! non-empty input-buffer FIFOs; switch allocation visits only those, with
+//! a rotating round-robin origin and `speedup` allocation rounds per cycle
+//! (one winner per output channel per round).
+//!
+//! ## Routing
+//!
+//! Packets are source-routed: the UGAL decision (one MIN candidate versus
+//! one VLB candidate, drawn from the configured
+//! [`tugal_routing::PathProvider`]) runs when the packet reaches the head
+//! of its injection queue at the source switch.  PAR may revise a MIN
+//! decision once, at the second router inside the source group, switching
+//! to a fresh VLB path from that router (with the extra VC class the
+//! +1-VC configuration provides).
+
+use crate::config::{Config, RoutingAlgorithm};
+use crate::stats::SimResult;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use tugal_routing::{vc_class, Path, PathProvider};
+use tugal_topology::{ChannelKind, Dragonfly, Endpoint, NodeId};
+use tugal_traffic::TrafficPattern;
+
+/// Per-node cap on the source queue.  BookSim models infinite source
+/// queues; bounding them only matters beyond saturation (where the latency
+/// threshold has long fired) and keeps memory finite during deep-saturation
+/// sweep points.  Overflowing packets are dropped and counted as injected.
+const SOURCE_QUEUE_CAP: usize = 256;
+
+/// Early-exit guard: if more packets than this per node are in flight the
+/// run is declared saturated without finishing the window.
+const INFLIGHT_CAP_PER_NODE: usize = 64;
+
+const F_ROUTED: u8 = 1;
+const F_REVISABLE: u8 = 2;
+const F_VLB: u8 = 4;
+
+#[derive(Clone)]
+struct Packet {
+    dst_node: u32,
+    birth: u64,
+    path: Path,
+    /// Index of the next hop to take on `path`.
+    hop: u8,
+    /// VC the packet occupies on its current channel.
+    cur_vc: u8,
+    /// Channel currently carrying/buffering the packet.
+    cur_chan: u32,
+    /// Local/global hops taken before `path` started (PAR reroute).
+    pre_local: u8,
+    /// Network hops taken so far (for statistics).
+    hops_taken: u8,
+    flags: u8,
+}
+
+/// A configured simulation; [`Simulator::run`] executes it at one offered
+/// load.
+pub struct Simulator {
+    topo: Arc<Dragonfly>,
+    provider: Arc<dyn PathProvider>,
+    pattern: Arc<dyn TrafficPattern>,
+    routing: RoutingAlgorithm,
+    cfg: Config,
+}
+
+impl Simulator {
+    /// Builds a simulator.  `cfg.num_vcs` must cover the VC classes the
+    /// routing needs (use [`Config::for_routing`]).
+    pub fn new(
+        topo: Arc<Dragonfly>,
+        provider: Arc<dyn PathProvider>,
+        pattern: Arc<dyn TrafficPattern>,
+        routing: RoutingAlgorithm,
+        cfg: Config,
+    ) -> Self {
+        let required =
+            tugal_routing::required_vcs(cfg.vc_scheme, routing.progressive());
+        assert!(
+            cfg.num_vcs >= required,
+            "{} under the {:?} scheme needs {} VCs, got {}",
+            routing.name(),
+            cfg.vc_scheme,
+            required,
+            cfg.num_vcs
+        );
+        Self {
+            topo,
+            provider,
+            pattern,
+            routing,
+            cfg,
+        }
+    }
+
+    /// Runs the configured warmup + measurement windows at `rate`
+    /// packets/cycle/node (`0 < rate ≤ 1`).
+    pub fn run(&self, rate: f64) -> SimResult {
+        assert!(rate > 0.0 && rate <= 1.0, "injection rate {rate} out of (0,1]");
+        Engine::new(self, rate).run()
+    }
+}
+
+struct Engine<'a> {
+    sim: &'a Simulator,
+    rate: f64,
+    now: u64,
+    rng: SmallRng,
+    v: usize, // num VCs
+
+    packets: Vec<Packet>,
+    free: Vec<u32>,
+    in_flight: usize,
+
+    // Per channel.
+    latency: Vec<u32>,
+    staging: Vec<VecDeque<u32>>,
+    next_free: Vec<u64>,
+    in_busy: Vec<bool>,
+    busy_list: Vec<u32>,
+    /// Credits available, per (channel * V + vc).
+    credits: Vec<u16>,
+    /// Downstream input buffers, per (channel * V + vc).
+    in_buf: Vec<VecDeque<u32>>,
+    /// Sum of in_buf occupancy over VCs, per channel (UGAL-G metric).
+    buf_occ: Vec<u32>,
+    /// Credits consumed, per channel (UGAL-L metric).
+    cred_used: Vec<u32>,
+    /// Destination switch of each network/injection channel (u32::MAX for
+    /// ejection).
+    dst_switch: Vec<u32>,
+    /// Channels below this index are switch-to-switch (credit-managed on
+    /// both sides); injection channels return no upstream credit (their
+    /// upstream is the source queue).
+    n_network: usize,
+
+    // Per switch.
+    ready: Vec<Vec<u32>>, // buffer indices (chan * V + vc)
+    in_ready: Vec<bool>,  // per buffer index
+    rr: Vec<usize>,
+    out_stamp: Vec<u64>, // per channel: SA round stamp
+
+    // Calendars.
+    arrivals: Vec<Vec<u32>>,      // ring by cycle: packet indices
+    credit_ring: Vec<Vec<u32>>,   // ring by cycle: buffer indices
+    ring_size: usize,
+
+    // Stats (window = measurement window; total = whole run, used when a
+    // run saturates before the measurement window starts).
+    measuring: bool,
+    injected: u64,
+    delivered: u64,
+    latency_sum: f64,
+    hops_sum: u64,
+    total_injected: u64,
+    total_delivered: u64,
+    total_latency_sum: f64,
+    total_hops_sum: u64,
+    vlb_chosen: u64,
+    routed: u64,
+    saturated_early: bool,
+    last_delivery: u64,
+    deadlock_suspected: bool,
+    /// Power-of-two latency histogram (measurement window).
+    lat_hist: [u64; 24],
+    /// Flits sent per channel during the measurement window.
+    chan_flits: Vec<u32>,
+    /// True for global channels (for utilization aggregation).
+    is_global: Vec<bool>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(sim: &'a Simulator, rate: f64) -> Self {
+        let topo = &sim.topo;
+        let cfg = &sim.cfg;
+        let v = cfg.num_vcs as usize;
+        let n_chan = topo.num_channels();
+        let max_lat = cfg
+            .local_latency
+            .max(cfg.global_latency)
+            .max(cfg.terminal_latency) as usize;
+        let ring_size = max_lat + 2;
+
+        let mut latency = Vec::with_capacity(n_chan);
+        let mut dst_switch = Vec::with_capacity(n_chan);
+        let mut is_global = Vec::with_capacity(n_chan);
+        for ch in topo.channels() {
+            latency.push(match ch.kind {
+                ChannelKind::Local => cfg.local_latency,
+                ChannelKind::Global => cfg.global_latency,
+                _ => cfg.terminal_latency,
+            });
+            dst_switch.push(match ch.dst {
+                Endpoint::Switch(s) => s.0,
+                Endpoint::Node(_) => u32::MAX,
+            });
+            is_global.push(ch.kind == ChannelKind::Global);
+        }
+
+        Engine {
+            sim,
+            rate,
+            now: 0,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            v,
+            packets: Vec::new(),
+            free: Vec::new(),
+            in_flight: 0,
+            latency,
+            staging: vec![VecDeque::new(); n_chan],
+            next_free: vec![0; n_chan],
+            in_busy: vec![false; n_chan],
+            busy_list: Vec::new(),
+            credits: vec![cfg.buf_size; n_chan * v],
+            in_buf: (0..n_chan * v).map(|_| VecDeque::new()).collect(),
+            buf_occ: vec![0; n_chan],
+            cred_used: vec![0; n_chan],
+            dst_switch,
+            n_network: topo.num_network_channels(),
+            ready: vec![Vec::new(); topo.num_switches()],
+            in_ready: vec![false; n_chan * v],
+            rr: vec![0; topo.num_switches()],
+            out_stamp: vec![0; n_chan],
+            arrivals: vec![Vec::new(); ring_size],
+            credit_ring: vec![Vec::new(); ring_size],
+            ring_size,
+            measuring: false,
+            injected: 0,
+            delivered: 0,
+            latency_sum: 0.0,
+            hops_sum: 0,
+            total_injected: 0,
+            total_delivered: 0,
+            total_latency_sum: 0.0,
+            total_hops_sum: 0,
+            vlb_chosen: 0,
+            routed: 0,
+            saturated_early: false,
+            last_delivery: 0,
+            deadlock_suspected: false,
+            lat_hist: [0; 24],
+            chan_flits: vec![0; n_chan],
+            is_global,
+        }
+    }
+
+    fn alloc_packet(&mut self, p: Packet) -> u32 {
+        self.in_flight += 1;
+        if let Some(i) = self.free.pop() {
+            self.packets[i as usize] = p;
+            i
+        } else {
+            self.packets.push(p);
+            (self.packets.len() - 1) as u32
+        }
+    }
+
+    fn free_packet(&mut self, i: u32) {
+        self.in_flight -= 1;
+        self.free.push(i);
+    }
+
+    /// UGAL-L queue metric of an output channel at its source router:
+    /// consumed downstream credits plus flits staged on the wire slot.
+    #[inline]
+    fn q_local(&self, chan: u32) -> u64 {
+        self.cred_used[chan as usize] as u64 + self.staging[chan as usize].len() as u64
+    }
+
+    /// UGAL-G metric of a channel: downstream buffer occupancy plus staged
+    /// flits (a global snapshot an implementation could not cheaply have).
+    #[inline]
+    fn q_global(&self, chan: u32) -> u64 {
+        self.buf_occ[chan as usize] as u64 + self.staging[chan as usize].len() as u64
+    }
+
+    fn q_local_path(&self, path: &Path) -> u64 {
+        if path.hops() == 0 {
+            return 0;
+        }
+        let c = path.channel_at(&self.sim.topo, 0).0;
+        self.q_local(c) * path.hops() as u64
+    }
+
+    fn q_global_path(&self, path: &Path) -> u64 {
+        let topo = &self.sim.topo;
+        (0..path.hops())
+            .map(|i| self.q_global(path.channel_at(topo, i).0))
+            .sum()
+    }
+
+    /// Draws `cfg.vlb_candidates` VLB candidates and keeps the one with
+    /// the smallest queue metric (`global` selects the UGAL-G metric).
+    /// With the default of one candidate this is a single provider draw —
+    /// exactly the paper's UGAL.
+    fn best_vlb_candidate(
+        &mut self,
+        provider: &dyn PathProvider,
+        s: tugal_topology::SwitchId,
+        d: tugal_topology::SwitchId,
+        global: bool,
+    ) -> Path {
+        let k = self.sim.cfg.vlb_candidates.max(1);
+        let mut best = provider.sample_vlb(s, d, &mut self.rng);
+        if k == 1 {
+            return best;
+        }
+        let metric = |e: &Self, p: &Path| {
+            if global {
+                e.q_global_path(p)
+            } else {
+                e.q_local_path(p)
+            }
+        };
+        let mut best_q = metric(self, &best);
+        for _ in 1..k {
+            let cand = provider.sample_vlb(s, d, &mut self.rng);
+            let q = metric(self, &cand);
+            if q < best_q {
+                best = cand;
+                best_q = q;
+            }
+        }
+        best
+    }
+
+    /// The initial routing decision at the source switch.
+    fn route(&mut self, pi: u32) {
+        let topo = self.sim.topo.clone();
+        // Before routing, the placeholder path holds the source switch.
+        let (s, d) = {
+            let p = &self.packets[pi as usize];
+            (p.path.src(), topo.switch_of_node(NodeId(p.dst_node)))
+        };
+        let provider = self.sim.provider.clone();
+        let (path, used_vlb, revisable) = match self.sim.routing {
+            RoutingAlgorithm::Min => (provider.sample_min(s, d, &mut self.rng), false, false),
+            RoutingAlgorithm::Vlb => {
+                let p = provider.sample_vlb(s, d, &mut self.rng);
+                let vlb = p.hops() > 0;
+                (p, vlb, false)
+            }
+            RoutingAlgorithm::UgalL | RoutingAlgorithm::Par => {
+                let min = provider.sample_min(s, d, &mut self.rng);
+                let vlb = self.best_vlb_candidate(&*provider, s, d, false);
+                if min == vlb || min.hops() == 0 {
+                    (min, false, false)
+                } else {
+                    let qm = self.q_local_path(&min) as i64;
+                    let qv = self.q_local_path(&vlb) as i64;
+                    if qm <= qv + self.sim.cfg.ugal_threshold {
+                        (min, false, self.sim.routing == RoutingAlgorithm::Par)
+                    } else {
+                        (vlb, true, false)
+                    }
+                }
+            }
+            RoutingAlgorithm::UgalG => {
+                let min = provider.sample_min(s, d, &mut self.rng);
+                let vlb = self.best_vlb_candidate(&*provider, s, d, true);
+                if min == vlb || min.hops() == 0 {
+                    (min, false, false)
+                } else {
+                    let qm = self.q_global_path(&min) as i64;
+                    let qv = self.q_global_path(&vlb) as i64;
+                    if qm <= qv + self.sim.cfg.ugal_threshold {
+                        (min, false, false)
+                    } else {
+                        (vlb, true, false)
+                    }
+                }
+            }
+        };
+        self.routed += 1;
+        if used_vlb {
+            self.vlb_chosen += 1;
+        }
+        let p = &mut self.packets[pi as usize];
+        p.path = path;
+        p.hop = 0;
+        p.flags |= F_ROUTED;
+        if used_vlb {
+            p.flags |= F_VLB;
+        }
+        if revisable {
+            p.flags |= F_REVISABLE;
+        }
+    }
+
+    /// PAR: possibly revise a MIN decision at the second router of the
+    /// source group.
+    fn par_revise(&mut self, pi: u32) {
+        let topo = self.sim.topo.clone();
+        let (cur, src_sw, dst_node, remaining) = {
+            let p = &self.packets[pi as usize];
+            if p.flags & F_REVISABLE == 0 || p.hop != 1 {
+                return;
+            }
+            (p.path.switch(1), p.path.src(), p.dst_node, p.path.suffix(1))
+        };
+        // Only when the first hop stayed inside the source group.
+        if topo.group_of(cur) != topo.group_of(src_sw) {
+            self.packets[pi as usize].flags &= !F_REVISABLE;
+            return;
+        }
+        let d = topo.switch_of_node(NodeId(dst_node));
+        let provider = self.sim.provider.clone();
+        let vlb = provider.sample_vlb(cur, d, &mut self.rng);
+        let q_min = self.q_local_path(&remaining) as i64;
+        let q_vlb = self.q_local_path(&vlb) as i64;
+        let p = &mut self.packets[pi as usize];
+        p.flags &= !F_REVISABLE;
+        if q_min > q_vlb + self.sim.cfg.ugal_threshold && vlb.hops() > 0 {
+            // Reroute: the packet has taken one local hop already.
+            p.path = vlb;
+            p.hop = 0;
+            p.pre_local = 1;
+            p.flags |= F_VLB;
+            self.vlb_chosen += 1;
+        }
+    }
+
+    /// Output channel and VC for the packet's next hop; `None` VC means no
+    /// credit tracking (ejection).
+    fn next_hop(&self, pi: u32) -> (u32, Option<u8>) {
+        let topo = &self.sim.topo;
+        let p = &self.packets[pi as usize];
+        if p.hop as usize == p.path.hops() {
+            (topo.ejection_channel(NodeId(p.dst_node)).0, None)
+        } else {
+            let c = p.path.channel_at(topo, p.hop as usize);
+            let vc = vc_class(
+                self.sim.cfg.vc_scheme,
+                topo,
+                &p.path,
+                p.hop as usize,
+                p.pre_local,
+                0,
+            );
+            (c.0, Some(vc))
+        }
+    }
+
+    fn run(mut self) -> SimResult {
+        let cfg = self.sim.cfg.clone();
+        let warmup = cfg.warmup_windows as u64 * cfg.window as u64;
+        let total = cfg.total_cycles();
+        let nodes = self.sim.topo.num_nodes();
+        let inflight_cap = nodes * INFLIGHT_CAP_PER_NODE;
+        let watchdog = (cfg.window as u64)
+            .max(64 * (cfg.global_latency as u64 + cfg.local_latency as u64));
+
+        while self.now < total {
+            if self.now == warmup {
+                self.measuring = true;
+                self.injected = 0;
+                self.delivered = 0;
+                self.latency_sum = 0.0;
+                self.hops_sum = 0;
+                self.lat_hist = [0; 24];
+            }
+            self.step();
+            if self.in_flight > inflight_cap {
+                self.saturated_early = true;
+                break;
+            }
+            // Deadlock watchdog: with packets in flight, *something* must
+            // eject within a generous horizon; a correctly configured VC
+            // scheme guarantees it.  A trip marks the run instead of
+            // spinning to the end of the window.
+            if self.in_flight > 0 && self.now.saturating_sub(self.last_delivery) > watchdog {
+                self.deadlock_suspected = true;
+                self.saturated_early = true;
+                break;
+            }
+            self.now += 1;
+        }
+
+        // If the run saturated before the measurement window opened, fall
+        // back to whole-run statistics so callers still see meaningful
+        // (deeply saturated) numbers instead of zeros.
+        let (delivered, injected, latency_sum, hops_sum, measured_cycles) =
+            if self.measuring && !(self.saturated_early && self.delivered == 0) {
+                let cycles = if self.saturated_early {
+                    (self.now + 1).saturating_sub(warmup).max(1)
+                } else {
+                    cfg.window as u64
+                };
+                (self.delivered, self.injected, self.latency_sum, self.hops_sum, cycles)
+            } else {
+                (
+                    self.total_delivered,
+                    self.total_injected,
+                    self.total_latency_sum,
+                    self.total_hops_sum,
+                    (self.now + 1).max(1),
+                )
+            };
+        let avg_latency = if delivered > 0 {
+            latency_sum / delivered as f64
+        } else {
+            f64::INFINITY
+        };
+        let throughput = delivered as f64 / (nodes as f64 * measured_cycles as f64);
+        let saturated = self.saturated_early
+            || avg_latency > cfg.sat_latency
+            || (injected > 0 && delivered == 0);
+        // Percentiles from the power-of-two histogram (geometric bucket
+        // midpoints).
+        let percentile = |p: f64| -> f64 {
+            let total: u64 = self.lat_hist.iter().sum();
+            if total == 0 {
+                return f64::NAN;
+            }
+            let target = (p * total as f64).ceil() as u64;
+            let mut seen = 0u64;
+            for (i, &count) in self.lat_hist.iter().enumerate() {
+                seen += count;
+                if seen >= target {
+                    let lo = (1u64 << i) as f64;
+                    return lo * std::f64::consts::SQRT_2;
+                }
+            }
+            f64::NAN
+        };
+        // Channel utilization over switch-to-switch channels, counted over
+        // the whole run (warmup included): at steady state the ratio
+        // matches the window view, and it stays meaningful for runs that
+        // saturate before the window opens.
+        let elapsed = (self.now + 1) as f64;
+        let mut max_util = 0.0f64;
+        let (mut gsum, mut gcount, mut lsum, mut lcount) = (0.0f64, 0u64, 0.0f64, 0u64);
+        for ch in 0..self.n_network {
+            let util = self.chan_flits[ch] as f64 / elapsed;
+            max_util = max_util.max(util);
+            if self.is_global[ch] {
+                gsum += util;
+                gcount += 1;
+            } else {
+                lsum += util;
+                lcount += 1;
+            }
+        }
+        SimResult {
+            injection_rate: self.rate,
+            avg_latency,
+            throughput,
+            avg_hops: if delivered > 0 {
+                hops_sum as f64 / delivered as f64
+            } else {
+                0.0
+            },
+            delivered,
+            injected,
+            saturated,
+            deadlock_suspected: self.deadlock_suspected,
+            vlb_fraction: if self.routed > 0 {
+                self.vlb_chosen as f64 / self.routed as f64
+            } else {
+                0.0
+            },
+            latency_p50: percentile(0.50),
+            latency_p99: percentile(0.99),
+            max_channel_util: max_util,
+            mean_global_util: if gcount > 0 { gsum / gcount as f64 } else { 0.0 },
+            mean_local_util: if lcount > 0 { lsum / lcount as f64 } else { 0.0 },
+        }
+    }
+
+    fn step(&mut self) {
+        let slot = (self.now % self.ring_size as u64) as usize;
+
+        // 1. Credit returns.
+        let credits_due = std::mem::take(&mut self.credit_ring[slot]);
+        for idx in credits_due {
+            self.credits[idx as usize] += 1;
+            self.cred_used[idx as usize / self.v] -= 1;
+        }
+
+        // 2. Arrivals.
+        let arrived = std::mem::take(&mut self.arrivals[slot]);
+        for pi in arrived {
+            let p = &self.packets[pi as usize];
+            let ch = p.cur_chan as usize;
+            let dst = self.dst_switch[ch];
+            if dst == u32::MAX {
+                // Ejection: delivered.
+                let latency = (self.now - p.birth) as f64;
+                let hops = p.hops_taken as u64;
+                self.total_delivered += 1;
+                self.total_latency_sum += latency;
+                self.total_hops_sum += hops;
+                self.last_delivery = self.now;
+                // The histogram records the whole run and is reset when
+                // the measurement window opens, so it stays aligned with
+                // whichever stats (window or whole-run fallback) the final
+                // report uses.
+                let bucket =
+                    (64 - ((latency as u64) | 1).leading_zeros() - 1).min(23) as usize;
+                self.lat_hist[bucket] += 1;
+                if self.measuring {
+                    self.delivered += 1;
+                    self.latency_sum += latency;
+                    self.hops_sum += hops;
+                }
+                self.free_packet(pi);
+            } else {
+                let idx = ch * self.v + p.cur_vc as usize;
+                self.in_buf[idx].push_back(pi);
+                self.buf_occ[ch] += 1;
+                if !self.in_ready[idx] {
+                    self.in_ready[idx] = true;
+                    self.ready[dst as usize].push(idx as u32);
+                }
+            }
+        }
+
+        // 3. Injection.
+        self.inject();
+
+        // 4. Switch allocation.
+        self.allocate();
+
+        // 5. Wire transmission (1 flit/cycle/channel).
+        let mut i = 0;
+        while i < self.busy_list.len() {
+            let ch = self.busy_list[i] as usize;
+            if self.now >= self.next_free[ch] {
+                if let Some(pi) = self.staging[ch].pop_front() {
+                    let arrive =
+                        ((self.now + self.latency[ch] as u64) % self.ring_size as u64) as usize;
+                    self.arrivals[arrive].push(pi);
+                    self.next_free[ch] = self.now + 1;
+                    self.chan_flits[ch] += 1;
+                }
+            }
+            if self.staging[ch].is_empty() {
+                self.in_busy[ch] = false;
+                self.busy_list.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn inject(&mut self) {
+        let topo = self.sim.topo.clone();
+        let nodes = topo.num_nodes() as u32;
+        for n in 0..nodes {
+            if !self.rng.gen_bool(self.rate) {
+                continue;
+            }
+            let Some(dst) = self.sim.pattern.dest(NodeId(n), &mut self.rng) else {
+                continue;
+            };
+            self.total_injected += 1;
+            if self.measuring {
+                self.injected += 1;
+            }
+            let inj = topo.injection_channel(NodeId(n)).0 as usize;
+            // The injection channel's downstream buffer plays the role of
+            // BookSim's infinite source queue; cap it so deep-saturation
+            // points keep finite memory (the latency threshold fires long
+            // before the cap matters).
+            if self.staging[inj].len() + self.buf_occ[inj] as usize >= SOURCE_QUEUE_CAP {
+                continue; // dropped at an overflowing source queue
+            }
+            let pi = self.alloc_packet(Packet {
+                dst_node: dst.0,
+                birth: self.now,
+                path: Path::single(topo.switch_of_node(NodeId(n))),
+                hop: 0,
+                cur_vc: 0,
+                cur_chan: inj as u32,
+                pre_local: 0,
+                hops_taken: 0,
+                flags: 0,
+            });
+            self.staging[inj].push_back(pi);
+            if !self.in_busy[inj] {
+                self.in_busy[inj] = true;
+                self.busy_list.push(inj as u32);
+            }
+        }
+    }
+
+    fn allocate(&mut self) {
+        let speedup = self.sim.cfg.speedup;
+        let n_switches = self.sim.topo.num_switches();
+        for sw in 0..n_switches {
+            if self.ready[sw].is_empty() {
+                continue;
+            }
+            for round in 0..speedup {
+                let stamp = self.now * speedup as u64 + round as u64 + 1;
+                let len = self.ready[sw].len();
+                if len == 0 {
+                    break;
+                }
+                let start = self.rr[sw] % len;
+                for k in 0..len {
+                    let pos = (start + k) % len;
+                    let idx = self.ready[sw][pos] as usize;
+                    let Some(&pi) = self.in_buf[idx].front() else {
+                        continue;
+                    };
+                    // Route / revise at the head of the buffer.
+                    if self.packets[pi as usize].flags & F_ROUTED == 0 {
+                        self.route(pi);
+                    } else if self.packets[pi as usize].flags & F_REVISABLE != 0 {
+                        self.par_revise(pi);
+                    }
+                    let (out, vc) = self.next_hop(pi);
+                    if self.out_stamp[out as usize] == stamp {
+                        continue; // output taken this round
+                    }
+                    if let Some(vc) = vc {
+                        let cidx = out as usize * self.v + vc as usize;
+                        if self.credits[cidx] == 0 {
+                            continue; // no downstream buffer space
+                        }
+                        self.credits[cidx] -= 1;
+                        self.cred_used[out as usize] += 1;
+                        let p = &mut self.packets[pi as usize];
+                        p.cur_vc = vc;
+                        p.hop += 1;
+                        p.hops_taken += 1;
+                    }
+                    self.out_stamp[out as usize] = stamp;
+                    // Dequeue from the input buffer and return its credit
+                    // upstream (network channels only — the injection
+                    // channel's upstream is the uncredit-managed source
+                    // queue).
+                    self.in_buf[idx].pop_front();
+                    let in_ch = idx / self.v;
+                    self.buf_occ[in_ch] -= 1;
+                    if in_ch < self.n_network {
+                        let due = ((self.now + self.latency[in_ch] as u64)
+                            % self.ring_size as u64) as usize;
+                        self.credit_ring[due].push(idx as u32);
+                    }
+                    // Forward.
+                    let p = &mut self.packets[pi as usize];
+                    p.cur_chan = out;
+                    self.staging[out as usize].push_back(pi);
+                    if !self.in_busy[out as usize] {
+                        self.in_busy[out as usize] = true;
+                        self.busy_list.push(out);
+                    }
+                }
+            }
+            self.rr[sw] = self.rr[sw].wrapping_add(1);
+            // Compact the ready list.
+            let mut list = std::mem::take(&mut self.ready[sw]);
+            list.retain(|&idx| {
+                if self.in_buf[idx as usize].is_empty() {
+                    self.in_ready[idx as usize] = false;
+                    false
+                } else {
+                    true
+                }
+            });
+            self.ready[sw] = list;
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Measurement results.
+
+/// Result of one simulation run at a fixed injection rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Offered load (packets/cycle/node).
+    pub injection_rate: f64,
+    /// Average packet latency over the measurement window, in cycles,
+    /// from packet creation to delivery at the destination node.
+    pub avg_latency: f64,
+    /// Accepted throughput over the measurement window
+    /// (packets/cycle/node).
+    pub throughput: f64,
+    /// Average switch-to-switch hops of packets delivered in the window.
+    pub avg_hops: f64,
+    /// Packets delivered during the measurement window.
+    pub delivered: u64,
+    /// Packets injected (created) during the measurement window.
+    pub injected: u64,
+    /// True when `avg_latency` exceeded the configured saturation
+    /// threshold (or nothing was delivered while traffic was offered).
+    pub saturated: bool,
+    /// True when packets were in flight but nothing ejected for a full
+    /// watchdog horizon — the signature of a routing-deadlock (e.g. a VC
+    /// scheme with too few classes).  Always false for the deadlock-free
+    /// configurations this crate provides.
+    pub deadlock_suspected: bool,
+    /// Fraction of routed packets that took the VLB candidate (measured
+    /// over the whole run; MIN/VLB-only routings report 0 or 1).
+    pub vlb_fraction: f64,
+    /// Median packet latency (cycles), estimated from a power-of-two
+    /// histogram (geometric bucket midpoints).
+    pub latency_p50: f64,
+    /// 99th-percentile packet latency (cycles), same estimator.
+    pub latency_p99: f64,
+    /// Highest per-channel utilization among switch-to-switch channels
+    /// (flits per cycle over the measurement window).
+    pub max_channel_util: f64,
+    /// Mean utilization of global (inter-group) channels.
+    pub mean_global_util: f64,
+    /// Mean utilization of local (intra-group) channels.
+    pub mean_local_util: f64,
+}

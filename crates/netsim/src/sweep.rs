@@ -1,0 +1,145 @@
+//! Load sweeps: latency curves and saturation throughput.
+
+use crate::config::{Config, RoutingAlgorithm};
+use crate::sim::Simulator;
+use crate::stats::SimResult;
+use rayon::prelude::*;
+use std::sync::Arc;
+use tugal_routing::PathProvider;
+use tugal_topology::Dragonfly;
+use tugal_traffic::TrafficPattern;
+
+/// One point of a latency-vs-load curve.
+#[derive(Debug, Clone)]
+pub struct CurvePoint {
+    /// Offered load (packets/cycle/node).
+    pub rate: f64,
+    /// Full measurement at this load.
+    pub result: SimResult,
+}
+
+/// Sweep controls.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Seeds to average over (the paper averages 8–20 replications).
+    pub seeds: Vec<u64>,
+    /// Bisection resolution for [`saturation_throughput`].
+    pub resolution: f64,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            seeds: vec![1, 2, 3],
+            resolution: 0.01,
+        }
+    }
+}
+
+fn run_averaged(
+    topo: &Arc<Dragonfly>,
+    provider: &Arc<dyn PathProvider>,
+    pattern: &Arc<dyn TrafficPattern>,
+    routing: RoutingAlgorithm,
+    cfg: &Config,
+    rate: f64,
+    seeds: &[u64],
+) -> SimResult {
+    let runs: Vec<SimResult> = seeds
+        .par_iter()
+        .map(|&seed| {
+            let mut c = cfg.clone();
+            c.seed = seed;
+            Simulator::new(
+                topo.clone(),
+                provider.clone(),
+                pattern.clone(),
+                routing,
+                c,
+            )
+            .run(rate)
+        })
+        .collect();
+    let n = runs.len() as f64;
+    let delivered: u64 = runs.iter().map(|r| r.delivered).sum();
+    let finite: Vec<&SimResult> = runs.iter().filter(|r| r.avg_latency.is_finite()).collect();
+    let avg_latency = if finite.is_empty() {
+        f64::INFINITY
+    } else {
+        finite.iter().map(|r| r.avg_latency).sum::<f64>() / finite.len() as f64
+    };
+    SimResult {
+        injection_rate: rate,
+        avg_latency,
+        throughput: runs.iter().map(|r| r.throughput).sum::<f64>() / n,
+        avg_hops: runs.iter().map(|r| r.avg_hops).sum::<f64>() / n,
+        delivered,
+        injected: runs.iter().map(|r| r.injected).sum(),
+        saturated: runs.iter().filter(|r| r.saturated).count() * 2 > runs.len(),
+        deadlock_suspected: runs.iter().any(|r| r.deadlock_suspected),
+        vlb_fraction: runs.iter().map(|r| r.vlb_fraction).sum::<f64>() / n,
+        latency_p50: runs.iter().map(|r| r.latency_p50).sum::<f64>() / n,
+        latency_p99: runs.iter().map(|r| r.latency_p99).sum::<f64>() / n,
+        max_channel_util: runs
+            .iter()
+            .map(|r| r.max_channel_util)
+            .fold(0.0, f64::max),
+        mean_global_util: runs.iter().map(|r| r.mean_global_util).sum::<f64>() / n,
+        mean_local_util: runs.iter().map(|r| r.mean_local_util).sum::<f64>() / n,
+    }
+}
+
+/// Latency as the offered load increases — the x/y data of the paper's
+/// Figures 6–18.  Rates are simulated in parallel (and each rate over
+/// `opts.seeds` replications); saturated points report their (already
+/// meaningless) latencies so callers can draw the characteristic vertical
+/// asymptote.
+pub fn latency_curve(
+    topo: &Arc<Dragonfly>,
+    provider: &Arc<dyn PathProvider>,
+    pattern: &Arc<dyn TrafficPattern>,
+    routing: RoutingAlgorithm,
+    cfg: &Config,
+    rates: &[f64],
+    opts: &SweepOptions,
+) -> Vec<CurvePoint> {
+    rates
+        .par_iter()
+        .map(|&rate| CurvePoint {
+            rate,
+            result: run_averaged(topo, provider, pattern, routing, cfg, rate, &opts.seeds),
+        })
+        .collect()
+}
+
+/// Saturation throughput: "the last injection rate before saturation
+/// happens" (§4.1.2), located by bisection to `opts.resolution`.
+pub fn saturation_throughput(
+    topo: &Arc<Dragonfly>,
+    provider: &Arc<dyn PathProvider>,
+    pattern: &Arc<dyn TrafficPattern>,
+    routing: RoutingAlgorithm,
+    cfg: &Config,
+    opts: &SweepOptions,
+) -> f64 {
+    let sat = |rate: f64| {
+        run_averaged(topo, provider, pattern, routing, cfg, rate, &opts.seeds).saturated
+    };
+    let mut lo = opts.resolution;
+    let mut hi = 1.0;
+    if sat(lo) {
+        return 0.0;
+    }
+    if !sat(hi) {
+        return 1.0;
+    }
+    while hi - lo > opts.resolution {
+        let mid = 0.5 * (lo + hi);
+        if sat(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    lo
+}

@@ -1,0 +1,301 @@
+//! Enumeration of MIN and VLB paths.
+
+use crate::path::Path;
+use std::collections::HashSet;
+use tugal_topology::{Dragonfly, GroupId, SwitchId};
+
+/// Problems detected by [`validate_path`](crate::enumerate::validate_path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A hop connects switches with no channel between them.
+    MissingChannel(usize),
+    /// More global hops than the VLB maximum of two.
+    TooManyGlobalHops(usize),
+}
+
+/// All MIN paths from switch `s` to switch `d`.
+///
+/// * `s == d`: the zero-hop path.
+/// * Same group: the single direct local hop (the intra-group topology is
+///   fully connected).
+/// * Different groups: one path per global link between the two groups —
+///   local hop to the gateway (if needed), the global hop, local hop from
+///   the remote gateway (if needed).  Lengths range from 1 to 3 hops.
+pub fn min_paths(topo: &Dragonfly, s: SwitchId, d: SwitchId) -> Vec<Path> {
+    if s == d {
+        return vec![Path::single(s)];
+    }
+    let (gs, gd) = (topo.group_of(s), topo.group_of(d));
+    if gs == gd {
+        return vec![Path::from_switches(&[s, d])];
+    }
+    let gws = topo.gateways(gs, gd);
+    let mut out = Vec::with_capacity(gws.len());
+    for &(u, v, _) in gws {
+        let mut p = Path::single(s);
+        if u != s {
+            p.push(u);
+        }
+        p.push(v);
+        if v != d {
+            p.push(d);
+        }
+        out.push(p);
+    }
+    out
+}
+
+/// All VLB paths from `s` to `d` through intermediate switch `i`.
+///
+/// Every combination of a MIN path `s → i` and a MIN path `i → d`.  The
+/// intermediate must lie outside the source and destination groups (§2.2),
+/// so both segments carry exactly one global hop and the composite has two.
+pub fn vlb_paths_via(topo: &Dragonfly, s: SwitchId, d: SwitchId, i: SwitchId) -> Vec<Path> {
+    debug_assert_ne!(topo.group_of(i), topo.group_of(s));
+    debug_assert_ne!(topo.group_of(i), topo.group_of(d));
+    let first = min_paths(topo, s, i);
+    let second = min_paths(topo, i, d);
+    let mut out = Vec::with_capacity(first.len() * second.len());
+    for a in &first {
+        for b in &second {
+            out.push(a.concat(b));
+        }
+    }
+    out
+}
+
+/// All distinct VLB paths from `s` to `d` (the conventional UGAL candidate
+/// set), deduplicated by switch sequence.
+///
+/// Two different intermediate switches can induce the same switch sequence
+/// (the split point is ambiguous when the sequence has several switches
+/// outside the endpoint groups); such duplicates are removed so path-set
+/// statistics (class counts, link-usage probabilities) are well defined.
+///
+/// Non-simple *walks* are kept: composing MIN segments around an
+/// intermediate can revisit a switch, and on maximal topologies (one global
+/// link per group pair) every same-group VLB path necessarily bounces out
+/// and back over the same cable's endpoints.  These walks are exactly what
+/// VLB produces in practice and what the paper's 2–6 hop accounting counts.
+pub fn all_vlb_paths(topo: &Dragonfly, s: SwitchId, d: SwitchId) -> Vec<Path> {
+    let (gs, gd) = (topo.group_of(s), topo.group_of(d));
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for gi in 0..topo.num_groups() as u32 {
+        let gi = GroupId(gi);
+        if gi == gs || gi == gd {
+            continue;
+        }
+        for i in topo.switches_in_group(gi) {
+            for p in vlb_paths_via(topo, s, d, i) {
+                if seen.insert(p) {
+                    out.push(p);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// All positions `k` at which a VLB path can be split into
+/// `MIN(src, switch(k)) ++ MIN(switch(k), dst)` with `switch(k)` a valid
+/// intermediate (outside both endpoint groups).
+///
+/// The split point of a VLB path is not always unique; the *strategic*
+/// choices of §3.3.3 ("all 2-hop MIN paths followed by 3-hop MIN paths")
+/// therefore classify a path by whether *some* valid decomposition has the
+/// requested first-segment length.
+pub fn split_lengths(topo: &Dragonfly, p: &Path) -> Vec<usize> {
+    // A MIN segment's hop-kind shape is one of: g, lg, gl, lgl.
+    fn is_min_shape(kinds: &[bool]) -> bool {
+        // `true` = global hop.
+        matches!(
+            kinds,
+            [true] | [false, true] | [true, false] | [false, true, false]
+        )
+    }
+    let (gs, gd) = (topo.group_of(p.src()), topo.group_of(p.dst()));
+    let kinds: Vec<bool> = (0..p.hops())
+        .map(|i| p.hop_kind(topo, i) == tugal_topology::ChannelKind::Global)
+        .collect();
+    (1..p.hops())
+        .filter(|&k| {
+            let i = p.switch(k);
+            let gi = topo.group_of(i);
+            gi != gs && gi != gd && is_min_shape(&kinds[..k]) && is_min_shape(&kinds[k..])
+        })
+        .collect()
+}
+
+/// Checks the structural invariants of a MIN or VLB path: every hop is an
+/// existing channel and at most two global links are used.  Repeated
+/// switches are allowed — VLB walks legitimately revisit switches (see
+/// [`all_vlb_paths`]).
+pub fn validate_path(topo: &Dragonfly, p: &Path) -> Result<(), ValidationError> {
+    for i in 0..p.hops() {
+        let (u, v) = p.hop(i);
+        if topo.channel_between(u, v).is_none() {
+            return Err(ValidationError::MissingChannel(i));
+        }
+    }
+    let g = p.global_hops(topo);
+    if g > 2 {
+        return Err(ValidationError::TooManyGlobalHops(g));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tugal_topology::DragonflyParams;
+
+    fn topo(p: u32, a: u32, h: u32, g: u32) -> Dragonfly {
+        Dragonfly::new(DragonflyParams::new(p, a, h, g)).unwrap()
+    }
+
+    #[test]
+    fn min_same_switch_and_same_group() {
+        let t = topo(2, 4, 2, 9);
+        let p = min_paths(&t, SwitchId(0), SwitchId(0));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].hops(), 0);
+        let p = min_paths(&t, SwitchId(0), SwitchId(3));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].hops(), 1);
+    }
+
+    #[test]
+    fn min_inter_group_one_per_link() {
+        // dfly(2,4,2,9) is maximal: one link per group pair -> one MIN path.
+        let t = topo(2, 4, 2, 9);
+        let p = min_paths(&t, SwitchId(0), SwitchId(4));
+        assert_eq!(p.len(), 1);
+        assert!(p[0].hops() <= 3 && p[0].hops() >= 1);
+        assert_eq!(p[0].global_hops(&t), 1);
+
+        // dfly(2,4,2,3): 4 links per pair -> 4 MIN paths.
+        let t = topo(2, 4, 2, 3);
+        let p = min_paths(&t, SwitchId(0), SwitchId(4));
+        assert_eq!(p.len(), 4);
+        for path in &p {
+            assert_eq!(path.global_hops(&t), 1);
+            validate_path(&t, path).unwrap();
+        }
+    }
+
+    #[test]
+    fn min_hop_count_range_paper() {
+        // "A typical minimal path ... 3 hops; may have fewer depending on
+        // the positions of the source and the destination."
+        let t = topo(4, 8, 4, 9);
+        let mut lens = HashSet::new();
+        for d in 8..16 {
+            for s in 0..8 {
+                for p in min_paths(&t, SwitchId(s), SwitchId(d)) {
+                    lens.insert(p.hops());
+                }
+            }
+        }
+        assert!(lens.contains(&3));
+        assert!(lens.iter().all(|&l| (1..=3).contains(&l)));
+    }
+
+    #[test]
+    fn vlb_paths_have_two_global_hops_and_2_to_6_length() {
+        let t = topo(4, 8, 4, 9);
+        let vlb = all_vlb_paths(&t, SwitchId(0), SwitchId(9));
+        assert!(!vlb.is_empty());
+        for p in &vlb {
+            assert_eq!(p.global_hops(&t), 2, "{p:?}");
+            assert!((2..=6).contains(&p.hops()), "{p:?}");
+            validate_path(&t, p).unwrap();
+            assert_eq!(p.src(), SwitchId(0));
+            assert_eq!(p.dst(), SwitchId(9));
+        }
+    }
+
+    #[test]
+    fn vlb_avoids_endpoint_groups_as_intermediate() {
+        let t = topo(2, 4, 2, 9);
+        let s = SwitchId(0);
+        let d = SwitchId(4);
+        for p in all_vlb_paths(&t, s, d) {
+            // Some switch strictly outside both endpoint groups is visited.
+            assert!(p
+                .switches()
+                .any(|x| t.group_of(x) != t.group_of(s) && t.group_of(x) != t.group_of(d)));
+        }
+    }
+
+    #[test]
+    fn vlb_deduplication() {
+        let t = topo(2, 4, 2, 3);
+        let s = SwitchId(0);
+        let d = SwitchId(4);
+        let paths = all_vlb_paths(&t, s, d);
+        let set: HashSet<_> = paths.iter().copied().collect();
+        assert_eq!(set.len(), paths.len(), "duplicates survived dedup");
+    }
+
+    #[test]
+    fn vlb_count_matches_structure_for_maximal_topology() {
+        // Maximal topology: 1 link per group pair, so exactly one MIN path
+        // per (ordered) switch pair across groups.  VLB paths via switch i:
+        // 1 x 1.  Intermediates: (g-2)*a = 28 switches; dedup can only
+        // remove paths when distinct intermediates yield identical sequences
+        // (split-point ambiguity), so 20 < count <= 28.
+        let t = topo(2, 4, 2, 9);
+        let vlb = all_vlb_paths(&t, SwitchId(0), SwitchId(4));
+        assert!(vlb.len() <= 7 * 4, "got {}", vlb.len());
+        assert!(vlb.len() > 20, "got {}", vlb.len());
+    }
+
+    #[test]
+    fn same_group_vlb_walks_exist_on_maximal_topology() {
+        // With one cable per group pair, a same-group VLB path must bounce
+        // out and back over the same cable: a non-simple walk.  These must
+        // be kept or same-group pairs would have no VLB candidates at all.
+        let t = topo(2, 4, 2, 9);
+        let vlb = all_vlb_paths(&t, SwitchId(0), SwitchId(1));
+        assert!(!vlb.is_empty());
+        assert!(vlb.iter().any(|p| !p.is_simple()));
+        for p in &vlb {
+            validate_path(&t, p).unwrap();
+            assert_eq!(p.global_hops(&t), 2);
+        }
+    }
+
+    #[test]
+    fn typical_vlb_is_six_hops() {
+        let t = topo(4, 8, 4, 33);
+        let vlb = all_vlb_paths(&t, SwitchId(0), SwitchId(8));
+        let six = vlb.iter().filter(|p| p.hops() == 6).count();
+        // In a maximal topology most VLB paths are the full l-g-l-l-g-l.
+        assert!(six * 2 > vlb.len());
+    }
+
+    #[test]
+    fn validate_rejects_bad_paths() {
+        let t = topo(2, 4, 2, 3);
+        // Unconnected hop: two switches in different groups without a link.
+        let mut missing = None;
+        'outer: for s in 4..8 {
+            for d in 8..12 {
+                if t.channel_between(SwitchId(s), SwitchId(d)).is_none() {
+                    missing = Some((s, d));
+                    break 'outer;
+                }
+            }
+        }
+        let (s, d) = missing.expect("expected some unlinked cross-group pair");
+        let p = Path::from_switches(&[SwitchId(s), SwitchId(d)]);
+        assert_eq!(
+            validate_path(&t, &p),
+            Err(ValidationError::MissingChannel(0))
+        );
+        // A walk with repeated switches is fine as long as it is wired.
+        let p = Path::from_switches(&[SwitchId(0), SwitchId(1), SwitchId(0)]);
+        assert_eq!(validate_path(&t, &p), Ok(()));
+    }
+}

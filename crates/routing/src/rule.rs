@@ -1,0 +1,167 @@
+//! Compact descriptions of VLB candidate subsets (the Table-1 data points).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A rule describing which VLB paths are candidates.
+///
+/// These are the "data points" of Table 1 of the paper plus the *strategic*
+/// 5-hop choices of §3.3.3.  A rule is either materialized into an explicit
+/// [`crate::PathTable`] (small networks) or sampled on the fly
+/// ([`crate::RuleProvider`], large networks).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum VlbRule {
+    /// All VLB paths — conventional UGAL.
+    All,
+    /// All paths of at most `max_hops` hops, plus a fraction `frac_next` of
+    /// the `(max_hops + 1)`-hop paths.
+    ///
+    /// `ClassLimit { max_hops: 4, frac_next: 0.6 }` is the paper's
+    /// "60% 5-hop" point: all VLB paths that are 4 hops or less plus 60% of
+    /// the 5-hop paths.  `frac_next = 0` is the plain "`max_hops`-hop paths"
+    /// point.
+    ClassLimit {
+        /// Hop classes fully included.
+        max_hops: u8,
+        /// Fraction of the next class included (`0.0 ..= 1.0`).
+        frac_next: f64,
+    },
+    /// Strategic choice: all paths of ≤ 4 hops, plus the 5-hop paths whose
+    /// first MIN segment is exactly `first_seg` hops (2 + 3 or 3 + 2, the
+    /// two deterministic ways of halving the 5-hop class, §3.3.3).
+    Strategic {
+        /// Required first-segment length of included 5-hop paths (2 or 3).
+        first_seg: u8,
+    },
+}
+
+impl VlbRule {
+    /// True when the rule keeps every VLB path.
+    pub fn is_all(&self) -> bool {
+        match self {
+            VlbRule::All => true,
+            VlbRule::ClassLimit {
+                max_hops,
+                frac_next,
+            } => *max_hops >= 6 || (*max_hops == 5 && *frac_next >= 1.0),
+            VlbRule::Strategic { .. } => false,
+        }
+    }
+
+    /// Largest hop count a path accepted by this rule can have.
+    pub fn max_hops(&self) -> u8 {
+        match self {
+            VlbRule::All => 6,
+            VlbRule::ClassLimit {
+                max_hops,
+                frac_next,
+            } => {
+                if *frac_next > 0.0 {
+                    max_hops + 1
+                } else {
+                    *max_hops
+                }
+            }
+            VlbRule::Strategic { .. } => 5,
+        }
+    }
+}
+
+impl fmt::Display for VlbRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VlbRule::All => write!(f, "all VLB paths"),
+            VlbRule::ClassLimit {
+                max_hops,
+                frac_next,
+            } => {
+                if *frac_next == 0.0 {
+                    write!(f, "{max_hops}-hop paths")
+                } else {
+                    write!(
+                        f,
+                        "{}% {}-hop",
+                        (frac_next * 100.0).round() as u32,
+                        max_hops + 1
+                    )
+                }
+            }
+            VlbRule::Strategic { first_seg } => {
+                write!(f, "strategic {}+{} 5-hop", first_seg, 5 - first_seg)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_labels() {
+        assert_eq!(VlbRule::All.to_string(), "all VLB paths");
+        assert_eq!(
+            VlbRule::ClassLimit {
+                max_hops: 4,
+                frac_next: 0.6
+            }
+            .to_string(),
+            "60% 5-hop"
+        );
+        assert_eq!(
+            VlbRule::ClassLimit {
+                max_hops: 3,
+                frac_next: 0.0
+            }
+            .to_string(),
+            "3-hop paths"
+        );
+        assert_eq!(
+            VlbRule::Strategic { first_seg: 2 }.to_string(),
+            "strategic 2+3 5-hop"
+        );
+    }
+
+    #[test]
+    fn is_all_detection() {
+        assert!(VlbRule::All.is_all());
+        assert!(VlbRule::ClassLimit {
+            max_hops: 5,
+            frac_next: 1.0
+        }
+        .is_all());
+        assert!(VlbRule::ClassLimit {
+            max_hops: 6,
+            frac_next: 0.0
+        }
+        .is_all());
+        assert!(!VlbRule::ClassLimit {
+            max_hops: 5,
+            frac_next: 0.9
+        }
+        .is_all());
+        assert!(!VlbRule::Strategic { first_seg: 2 }.is_all());
+    }
+
+    #[test]
+    fn max_hops() {
+        assert_eq!(VlbRule::All.max_hops(), 6);
+        assert_eq!(
+            VlbRule::ClassLimit {
+                max_hops: 4,
+                frac_next: 0.5
+            }
+            .max_hops(),
+            5
+        );
+        assert_eq!(
+            VlbRule::ClassLimit {
+                max_hops: 4,
+                frac_next: 0.0
+            }
+            .max_hops(),
+            4
+        );
+        assert_eq!(VlbRule::Strategic { first_seg: 3 }.max_hops(), 5);
+    }
+}

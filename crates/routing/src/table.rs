@@ -1,0 +1,246 @@
+//! Explicit per-switch-pair path tables.
+
+use crate::enumerate::{all_vlb_paths, min_paths, split_lengths};
+use crate::path::Path;
+use crate::rule::VlbRule;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tugal_topology::{Dragonfly, SwitchId};
+
+/// The candidate paths of one (source switch, destination switch) pair.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct PairPaths {
+    /// MIN candidates (one per global link between the endpoint groups).
+    pub min: Vec<Path>,
+    /// VLB candidates — all of them for conventional UGAL, a topology-custom
+    /// subset (T-VLB) for T-UGAL.
+    pub vlb: Vec<Path>,
+}
+
+impl PairPaths {
+    /// Average hop count of the VLB candidates (`None` when empty).
+    pub fn mean_vlb_hops(&self) -> Option<f64> {
+        if self.vlb.is_empty() {
+            return None;
+        }
+        Some(self.vlb.iter().map(|p| p.hops() as f64).sum::<f64>() / self.vlb.len() as f64)
+    }
+}
+
+/// Explicit path table: candidate MIN and VLB paths for every ordered pair
+/// of distinct switches.
+///
+/// Memory is O(#pairs × #paths); the paper's `dfly(4,8,4,17)` (136 switches)
+/// fits comfortably, while `dfly(13,26,13,27)` does not and uses the
+/// on-the-fly [`crate::RuleProvider`] instead.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PathTable {
+    n: usize,
+    pairs: Vec<PairPaths>,
+}
+
+impl PathTable {
+    /// Builds the conventional-UGAL table: all MIN and all VLB paths.
+    pub fn build_all(topo: &Dragonfly) -> Self {
+        Self::build_filtered(topo, |_, _, _| true)
+    }
+
+    /// Builds a table whose VLB sets satisfy `rule`.
+    ///
+    /// `seed` drives the random selection of fractional classes
+    /// ("`f`% of the (m+1)-hop paths"); each pair derives an independent
+    /// stream so tables are reproducible.
+    pub fn build_with_rule(topo: &Dragonfly, rule: VlbRule, seed: u64) -> Self {
+        let mut t = Self::build_all(topo);
+        t.apply_rule(topo, rule, seed);
+        t
+    }
+
+    fn build_filtered(topo: &Dragonfly, keep: impl Fn(&Dragonfly, &Path, usize) -> bool) -> Self {
+        let n = topo.num_switches();
+        let mut pairs = Vec::with_capacity(n * n);
+        for s in 0..n as u32 {
+            for d in 0..n as u32 {
+                let (s, d) = (SwitchId(s), SwitchId(d));
+                if s == d {
+                    pairs.push(PairPaths::default());
+                    continue;
+                }
+                let min = min_paths(topo, s, d);
+                let vlb = all_vlb_paths(topo, s, d)
+                    .into_iter()
+                    .filter(|p| keep(topo, p, p.hops()))
+                    .collect();
+                pairs.push(PairPaths { min, vlb });
+            }
+        }
+        PathTable { n, pairs }
+    }
+
+    /// Number of switches the table covers.
+    pub fn num_switches(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn idx(&self, s: SwitchId, d: SwitchId) -> usize {
+        s.index() * self.n + d.index()
+    }
+
+    /// Candidate paths of a pair.
+    #[inline]
+    pub fn pair(&self, s: SwitchId, d: SwitchId) -> &PairPaths {
+        &self.pairs[self.idx(s, d)]
+    }
+
+    /// Mutable candidate paths of a pair.
+    #[inline]
+    pub fn pair_mut(&mut self, s: SwitchId, d: SwitchId) -> &mut PairPaths {
+        let i = self.idx(s, d);
+        &mut self.pairs[i]
+    }
+
+    /// Restricts every pair's VLB set to `rule`.
+    ///
+    /// The rule is applied to the *current* VLB sets, so it can only shrink
+    /// them; build a fresh table to widen.
+    pub fn apply_rule(&mut self, topo: &Dragonfly, rule: VlbRule, seed: u64) {
+        if rule.is_all() {
+            return;
+        }
+        for (i, pp) in self.pairs.iter_mut().enumerate() {
+            match rule {
+                VlbRule::All => {}
+                VlbRule::ClassLimit {
+                    max_hops,
+                    frac_next,
+                } => {
+                    let mut keep: Vec<Path> = Vec::with_capacity(pp.vlb.len());
+                    let mut next: Vec<Path> = Vec::new();
+                    for &p in &pp.vlb {
+                        if p.hops() <= max_hops as usize {
+                            keep.push(p);
+                        } else if p.hops() == max_hops as usize + 1 {
+                            next.push(p);
+                        }
+                    }
+                    if frac_next > 0.0 && !next.is_empty() {
+                        // Independent, reproducible stream per pair.
+                        let mut rng = SmallRng::seed_from_u64(
+                            seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        );
+                        next.shuffle(&mut rng);
+                        let take = ((next.len() as f64) * frac_next).round() as usize;
+                        keep.extend_from_slice(&next[..take.min(next.len())]);
+                    }
+                    // Never leave a pair without VLB candidates: keep the
+                    // shortest class if the cutoff removed everything.
+                    if keep.is_empty() && !pp.vlb.is_empty() {
+                        let shortest = pp.vlb.iter().map(|p| p.hops()).min().unwrap();
+                        keep.extend(pp.vlb.iter().copied().filter(|p| p.hops() == shortest));
+                    }
+                    pp.vlb = keep;
+                }
+                VlbRule::Strategic { first_seg } => {
+                    let topo_ref = topo;
+                    pp.vlb.retain(|p| {
+                        p.hops() <= 4
+                            || (p.hops() == 5
+                                && split_lengths(topo_ref, p).contains(&(first_seg as usize)))
+                    });
+                }
+            }
+        }
+    }
+
+    /// Average VLB hop count over all pairs with at least one VLB path.
+    pub fn mean_vlb_hops(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for pp in &self.pairs {
+            sum += pp.vlb.iter().map(|p| p.hops() as f64).sum::<f64>();
+            count += pp.vlb.len();
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+
+    /// Histogram of VLB path hop counts over the whole table
+    /// (`counts[h]` = number of h-hop VLB candidates).
+    pub fn vlb_class_counts(&self) -> [u64; 8] {
+        let mut counts = [0u64; 8];
+        for pp in &self.pairs {
+            for p in &pp.vlb {
+                counts[p.hops()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Total number of VLB candidates stored.
+    pub fn total_vlb_paths(&self) -> u64 {
+        self.pairs.iter().map(|pp| pp.vlb.len() as u64).sum()
+    }
+
+    /// Serializes the table into a compact binary blob (a computed T-VLB
+    /// is a design-time artifact the paper expects to ship with the
+    /// network; this is the shipping format).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.n as u64).to_le_bytes());
+        for pp in &self.pairs {
+            for list in [&pp.min, &pp.vlb] {
+                out.extend_from_slice(&(list.len() as u32).to_le_bytes());
+                for p in list {
+                    let switches: Vec<u16> = p.switches().map(|s| s.0 as u16).collect();
+                    out.push(switches.len() as u8);
+                    for sw in switches {
+                        out.extend_from_slice(&sw.to_le_bytes());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Reverses [`PathTable::to_bytes`].  Returns `None` on malformed
+    /// input.
+    pub fn from_bytes(data: &[u8]) -> Option<Self> {
+        let mut cur = 0usize;
+        let take = |cur: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = data.get(*cur..*cur + n)?;
+            *cur += n;
+            Some(s)
+        };
+        let n = u64::from_le_bytes(take(&mut cur, 8)?.try_into().ok()?) as usize;
+        let mut pairs = Vec::with_capacity(n * n);
+        for _ in 0..n * n {
+            let mut pp = PairPaths::default();
+            for which in 0..2 {
+                let count =
+                    u32::from_le_bytes(take(&mut cur, 4)?.try_into().ok()?) as usize;
+                let list = if which == 0 { &mut pp.min } else { &mut pp.vlb };
+                list.reserve(count);
+                for _ in 0..count {
+                    let len = *take(&mut cur, 1)?.first()? as usize;
+                    if len == 0 || len > crate::MAX_HOPS + 1 {
+                        return None;
+                    }
+                    let mut switches = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        let sw =
+                            u16::from_le_bytes(take(&mut cur, 2)?.try_into().ok()?);
+                        switches.push(tugal_topology::SwitchId(sw as u32));
+                    }
+                    list.push(Path::from_switches(&switches));
+                }
+            }
+            pairs.push(pp);
+        }
+        (cur == data.len()).then_some(PathTable { n, pairs })
+    }
+}

@@ -1,0 +1,237 @@
+//! Global-link arrangements.
+//!
+//! When `g < a·h + 1`, each group has more global ports than peer groups and
+//! several *parallel* global links connect each pair of groups.  How the
+//! `a·h` ports of a group map onto the `g−1` peers is the *arrangement*
+//! (Hastings et al., *Comparing global link arrangements for Dragonfly
+//! networks*, CLUSTER'15).  The paper uses "a minor variation of [the]
+//! absolute arrangement" that forms bidirectional topologies for any valid
+//! `g`; that variation is implemented here as [`AbsoluteArrangement`] and is
+//! the default.  [`RelativeArrangement`] and [`CirculantArrangement`] are
+//! provided because the paper notes its techniques are arrangement-agnostic,
+//! which our test-suite and ablation benches exercise.
+//!
+//! All arrangements share port bookkeeping: group `gi` owns global ports
+//! `0 .. a·h`, port `k` belongs to switch `gi·a + k/h` (each switch owns `h`
+//! consecutive ports).  Writing `L = a·h / (g−1)` for the links per group
+//! pair, port `k` is split as `k = r·(g−1) + o` into a *round* `r ∈ 0..L`
+//! and an *offset* `o ∈ 0..g−1` that selects the peer group.
+
+use crate::ids::SwitchId;
+use crate::params::DragonflyParams;
+
+/// Maps each group's global ports onto peer groups.
+///
+/// Implementations return every undirected global cable exactly once.  The
+/// [`crate::Dragonfly`] constructor validates the returned wiring (port
+/// budgets, symmetry, even spread across group pairs).
+pub trait GlobalArrangement {
+    /// Human-readable arrangement name (used in reports).
+    fn name(&self) -> &'static str;
+
+    /// All undirected global links, each reported once as
+    /// `(lower switch, higher switch)` in unspecified order.
+    fn links(&self, params: &DragonflyParams) -> Vec<(SwitchId, SwitchId)>;
+}
+
+/// Switch owning global port `k` of group `gi`.
+fn port_switch(params: &DragonflyParams, gi: u32, k: u32) -> SwitchId {
+    debug_assert!(k < params.a * params.h);
+    SwitchId(gi * params.a + k / params.h)
+}
+
+/// The paper's default: a variation of the *absolute* arrangement.
+///
+/// Port `k = r·(g−1) + o` of group `gi` targets group `o` if `o < gi` and
+/// `o + 1` otherwise (the group-index space with `gi` removed).  The peer
+/// group reaches back with the mirrored offset in the same round, which makes
+/// the wiring bidirectionally consistent for every `g` with
+/// `(g−1) | a·h` — including non-maximal topologies, which is exactly the
+/// "minor variation" the paper needs.  For the maximal topology
+/// (`g = a·h + 1`, `L = 1`) this degenerates to the textbook absolute
+/// arrangement.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AbsoluteArrangement;
+
+impl GlobalArrangement for AbsoluteArrangement {
+    fn name(&self) -> &'static str {
+        "absolute"
+    }
+
+    fn links(&self, params: &DragonflyParams) -> Vec<(SwitchId, SwitchId)> {
+        let (a, h, g) = (params.a, params.h, params.g);
+        let rounds = (a * h) / (g - 1);
+        let mut links = Vec::with_capacity((g * (g - 1) / 2 * rounds) as usize);
+        for gi in 0..g {
+            for k in 0..a * h {
+                let r = k / (g - 1);
+                let o = k % (g - 1);
+                let gj = if o < gi { o } else { o + 1 };
+                if gj < gi {
+                    // Emitted once, from the lower-indexed peer.
+                    continue;
+                }
+                debug_assert!(r < rounds);
+                // Offset with which gj looks back at gi.
+                let o_back = if gi < gj { gi } else { gi - 1 };
+                let k_back = r * (g - 1) + o_back;
+                links.push((port_switch(params, gi, k), port_switch(params, gj, k_back)));
+            }
+        }
+        links
+    }
+}
+
+/// The *relative* arrangement: port offset `o` of group `gi` targets group
+/// `(gi + o + 1) mod g`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RelativeArrangement;
+
+impl GlobalArrangement for RelativeArrangement {
+    fn name(&self) -> &'static str {
+        "relative"
+    }
+
+    fn links(&self, params: &DragonflyParams) -> Vec<(SwitchId, SwitchId)> {
+        let (a, h, g) = (params.a, params.h, params.g);
+        let mut links = Vec::new();
+        for gi in 0..g {
+            for k in 0..a * h {
+                let r = k / (g - 1);
+                let o = k % (g - 1);
+                let gj = (gi + o + 1) % g;
+                // Emit each undirected cable once.  The peer reaches back
+                // with offset o' = g - o - 2; break the tie by offset (or by
+                // group index when the offsets coincide).
+                let o_back = g - o - 2;
+                if o > o_back || (o == o_back && gi > gj) {
+                    continue;
+                }
+                let k_back = r * (g - 1) + o_back;
+                links.push((port_switch(params, gi, k), port_switch(params, gj, k_back)));
+            }
+        }
+        links
+    }
+}
+
+/// The *circulant-based* arrangement: offsets alternate `+1, −1, +2, −2, …`
+/// around the ring of groups.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CirculantArrangement;
+
+impl GlobalArrangement for CirculantArrangement {
+    fn name(&self) -> &'static str {
+        "circulant"
+    }
+
+    fn links(&self, params: &DragonflyParams) -> Vec<(SwitchId, SwitchId)> {
+        let (a, h, g) = (params.a, params.h, params.g);
+        let mut links = Vec::new();
+        for gi in 0..g {
+            for k in 0..a * h {
+                let r = k / (g - 1);
+                let o = k % (g - 1);
+                let d = o / 2 + 1;
+                let half = g % 2 == 0 && d == g / 2 && o % 2 == 0;
+                let (gj, o_back) = if half {
+                    // +g/2 is its own inverse: pair equal offsets.
+                    (((gi + d) % g), o)
+                } else if o % 2 == 0 {
+                    (((gi + d) % g), o + 1)
+                } else {
+                    (((gi + g - d) % g), o - 1)
+                };
+                if o > o_back || (o == o_back && gi > gj) {
+                    continue;
+                }
+                let k_back = r * (g - 1) + o_back;
+                links.push((port_switch(params, gi, k), port_switch(params, gj, k_back)));
+            }
+        }
+        links
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_wiring(arr: &dyn GlobalArrangement, params: DragonflyParams) {
+        let links = arr.links(&params);
+        let expected = (params.g * params.a * params.h / 2) as usize;
+        assert_eq!(links.len(), expected, "{} link count", arr.name());
+
+        // Per-switch global-port budget.
+        let mut degree = vec![0u32; params.num_switches()];
+        for &(u, v) in &links {
+            assert_ne!(u, v);
+            degree[u.index()] += 1;
+            degree[v.index()] += 1;
+            // Never intra-group.
+            assert_ne!(u.0 / params.a, v.0 / params.a, "{} intra-group", arr.name());
+        }
+        for (s, d) in degree.iter().enumerate() {
+            assert_eq!(*d, params.h, "{} switch {s} port budget", arr.name());
+        }
+
+        // Even spread across group pairs.
+        let mut per_pair =
+            std::collections::HashMap::<(u32, u32), u32>::with_capacity(links.len());
+        for &(u, v) in &links {
+            let (ga, gb) = (u.0 / params.a, v.0 / params.a);
+            let key = (ga.min(gb), ga.max(gb));
+            *per_pair.entry(key).or_default() += 1;
+        }
+        let l = params.links_per_group_pair();
+        assert_eq!(
+            per_pair.len() as u32,
+            params.g * (params.g - 1) / 2,
+            "{} pair coverage",
+            arr.name()
+        );
+        for (&pair, &n) in &per_pair {
+            assert_eq!(n, l, "{} links between pair {pair:?}", arr.name());
+        }
+    }
+
+    #[test]
+    fn absolute_wiring_paper_topologies() {
+        for params in DragonflyParams::paper_topologies() {
+            check_wiring(&AbsoluteArrangement, params);
+        }
+    }
+
+    #[test]
+    fn absolute_wiring_small() {
+        check_wiring(&AbsoluteArrangement, DragonflyParams::new(2, 4, 2, 9));
+        check_wiring(&AbsoluteArrangement, DragonflyParams::new(2, 4, 2, 3));
+        check_wiring(&AbsoluteArrangement, DragonflyParams::new(2, 4, 2, 5));
+        check_wiring(&AbsoluteArrangement, DragonflyParams::new(1, 2, 1, 3));
+    }
+
+    #[test]
+    fn relative_wiring() {
+        check_wiring(&RelativeArrangement, DragonflyParams::new(2, 4, 2, 9));
+        check_wiring(&RelativeArrangement, DragonflyParams::new(2, 4, 2, 5));
+        check_wiring(&RelativeArrangement, DragonflyParams::new(4, 8, 4, 17));
+        check_wiring(&RelativeArrangement, DragonflyParams::new(4, 8, 4, 9));
+    }
+
+    #[test]
+    fn circulant_wiring() {
+        check_wiring(&CirculantArrangement, DragonflyParams::new(2, 4, 2, 9));
+        check_wiring(&CirculantArrangement, DragonflyParams::new(2, 4, 2, 5));
+        check_wiring(&CirculantArrangement, DragonflyParams::new(4, 8, 4, 17));
+        // Even g exercises the self-inverse half-offset case.
+        check_wiring(&CirculantArrangement, DragonflyParams::new(2, 4, 2, 2));
+        check_wiring(&CirculantArrangement, DragonflyParams::new(4, 8, 4, 5));
+    }
+
+    #[test]
+    fn maximal_absolute_has_one_link_per_pair() {
+        let params = DragonflyParams::new(2, 4, 2, 9);
+        let links = AbsoluteArrangement.links(&params);
+        assert_eq!(links.len(), 36); // C(9,2)
+    }
+}

@@ -1,0 +1,126 @@
+//! Directed channels (links) of the network.
+//!
+//! Every physical cable is represented as **two directed channels**, one per
+//! direction, because routing, buffering and credit flow are directional.
+//! Channels are densely numbered so per-channel simulator state can live in
+//! flat vectors:
+//!
+//! 1. local channels (switch → switch within a group), then
+//! 2. global channels (switch → switch across groups), then
+//! 3. injection channels (node → its switch), then
+//! 4. ejection channels (switch → node).
+
+use crate::ids::{NodeId, SwitchId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense identifier for a directed channel.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChannelId(pub u32);
+
+impl ChannelId {
+    /// The raw dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds the identifier from a dense index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        Self(i as u32)
+    }
+}
+
+impl fmt::Debug for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// What a channel connects.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Endpoint {
+    /// A switch port.
+    Switch(SwitchId),
+    /// A compute-node port.
+    Node(NodeId),
+}
+
+/// The class of a channel; link latencies and routing logic depend on it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ChannelKind {
+    /// Intra-group switch-to-switch link (the short cables).
+    Local,
+    /// Inter-group switch-to-switch link (the long cables).
+    Global,
+    /// Node-to-switch terminal link.
+    Injection,
+    /// Switch-to-node terminal link.
+    Ejection,
+}
+
+impl ChannelKind {
+    /// True for switch-to-switch channels (the hops that the paper counts in
+    /// path lengths).
+    pub fn is_network(self) -> bool {
+        matches!(self, ChannelKind::Local | ChannelKind::Global)
+    }
+}
+
+/// A directed channel.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Channel {
+    /// Dense identifier; equals this channel's position in
+    /// [`crate::Dragonfly::channels`].
+    pub id: ChannelId,
+    /// Transmitting endpoint.
+    pub src: Endpoint,
+    /// Receiving endpoint.
+    pub dst: Endpoint,
+    /// Channel class.
+    pub kind: ChannelKind,
+}
+
+impl Channel {
+    /// Source switch, if the source endpoint is a switch.
+    pub fn src_switch(&self) -> Option<SwitchId> {
+        match self.src {
+            Endpoint::Switch(s) => Some(s),
+            Endpoint::Node(_) => None,
+        }
+    }
+
+    /// Destination switch, if the destination endpoint is a switch.
+    pub fn dst_switch(&self) -> Option<SwitchId> {
+        match self.dst {
+            Endpoint::Switch(s) => Some(s),
+            Endpoint::Node(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_classification() {
+        assert!(ChannelKind::Local.is_network());
+        assert!(ChannelKind::Global.is_network());
+        assert!(!ChannelKind::Injection.is_network());
+        assert!(!ChannelKind::Ejection.is_network());
+    }
+
+    #[test]
+    fn endpoint_accessors() {
+        let c = Channel {
+            id: ChannelId(0),
+            src: Endpoint::Switch(SwitchId(3)),
+            dst: Endpoint::Node(NodeId(9)),
+            kind: ChannelKind::Ejection,
+        };
+        assert_eq!(c.src_switch(), Some(SwitchId(3)));
+        assert_eq!(c.dst_switch(), None);
+    }
+}

@@ -1,0 +1,309 @@
+//! The [`Dragonfly`] network object: switches, nodes, channels and the
+//! index structures hot loops need.
+
+use crate::arrangement::{AbsoluteArrangement, GlobalArrangement};
+use crate::channels::{Channel, ChannelId, ChannelKind, Endpoint};
+use crate::ids::{GroupId, NodeId, SwitchId};
+use crate::params::{DragonflyParams, TopologyError};
+
+/// A fully built `dfly(p, a, h, g)` network.
+///
+/// Construction wires the intra-group all-to-all, the global links (absolute
+/// arrangement by default) and the terminal links, and precomputes:
+///
+/// * a dense, stable [`ChannelId`] space (local, global, injection, ejection
+///   channels in that order),
+/// * per-switch outgoing global channel lists,
+/// * per-ordered-group-pair *gateway* lists — the `(src switch, dst switch,
+///   channel)` triples of the global links from one group to another, which
+///   is the inner loop of MIN/VLB path enumeration.
+#[derive(Debug, Clone)]
+pub struct Dragonfly {
+    params: DragonflyParams,
+    arrangement_name: &'static str,
+    channels: Vec<Channel>,
+    /// Outgoing global channels per switch: `(channel, remote switch)`.
+    global_out: Vec<Vec<(ChannelId, SwitchId)>>,
+    /// For each ordered group pair `(from · g) + to`, the global links
+    /// leaving `from` toward `to`.
+    gateways: Vec<Vec<(SwitchId, SwitchId, ChannelId)>>,
+    base_injection: usize,
+    base_ejection: usize,
+}
+
+impl Dragonfly {
+    /// Builds the topology with the paper's default (absolute) global-link
+    /// arrangement.
+    pub fn new(params: DragonflyParams) -> Result<Self, TopologyError> {
+        Self::with_arrangement(params, &AbsoluteArrangement)
+    }
+
+    /// Builds the topology with an explicit global-link arrangement.
+    pub fn with_arrangement(
+        params: DragonflyParams,
+        arrangement: &dyn GlobalArrangement,
+    ) -> Result<Self, TopologyError> {
+        params.validate()?;
+        let (a, g, p, h) = (params.a, params.g, params.p, params.h);
+        let s_count = params.num_switches();
+        let n_count = params.num_nodes();
+
+        let n_local = s_count * (a as usize - 1);
+        let undirected = arrangement.links(&params);
+        let n_global = undirected.len() * 2;
+        debug_assert_eq!(n_global, s_count * h as usize);
+        let mut channels = Vec::with_capacity(n_local + n_global + 2 * n_count);
+
+        // 1. Local channels: for each switch, one to every other switch of
+        //    its group, ordered by the peer's local index.
+        for s in 0..s_count as u32 {
+            let group = s / a;
+            for lt in 0..a {
+                let t = group * a + lt;
+                if t == s {
+                    continue;
+                }
+                channels.push(Channel {
+                    id: ChannelId::from_index(channels.len()),
+                    src: Endpoint::Switch(SwitchId(s)),
+                    dst: Endpoint::Switch(SwitchId(t)),
+                    kind: ChannelKind::Local,
+                });
+            }
+        }
+        // 2. Global channels: both directions of every cable.
+        let mut global_out: Vec<Vec<(ChannelId, SwitchId)>> =
+            vec![Vec::with_capacity(h as usize); s_count];
+        for &(u, v) in &undirected {
+            for (x, y) in [(u, v), (v, u)] {
+                let id = ChannelId::from_index(channels.len());
+                channels.push(Channel {
+                    id,
+                    src: Endpoint::Switch(x),
+                    dst: Endpoint::Switch(y),
+                    kind: ChannelKind::Global,
+                });
+                global_out[x.index()].push((id, y));
+            }
+        }
+        let base_injection = channels.len();
+
+        // 3. Terminal channels.
+        for n in 0..n_count as u32 {
+            channels.push(Channel {
+                id: ChannelId::from_index(channels.len()),
+                src: Endpoint::Node(NodeId(n)),
+                dst: Endpoint::Switch(SwitchId(n / p)),
+                kind: ChannelKind::Injection,
+            });
+        }
+        let base_ejection = channels.len();
+        for n in 0..n_count as u32 {
+            channels.push(Channel {
+                id: ChannelId::from_index(channels.len()),
+                src: Endpoint::Switch(SwitchId(n / p)),
+                dst: Endpoint::Node(NodeId(n)),
+                kind: ChannelKind::Ejection,
+            });
+        }
+
+        // Gateway lists per ordered group pair.
+        let mut gateways = vec![Vec::new(); (g * g) as usize];
+        for (s, outs) in global_out.iter().enumerate() {
+            let from = s as u32 / a;
+            for &(c, t) in outs {
+                let to = t.0 / a;
+                gateways[(from * g + to) as usize].push((SwitchId(s as u32), t, c));
+            }
+        }
+        // Deterministic order regardless of arrangement iteration order.
+        for gw in &mut gateways {
+            gw.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        }
+
+        Ok(Self {
+            params,
+            arrangement_name: arrangement.name(),
+            channels,
+            global_out,
+            gateways,
+            base_injection,
+            base_ejection,
+        })
+    }
+
+    /// The defining parameters.
+    #[inline]
+    pub fn params(&self) -> DragonflyParams {
+        self.params
+    }
+
+    /// Name of the global-link arrangement used.
+    pub fn arrangement_name(&self) -> &'static str {
+        self.arrangement_name
+    }
+
+    /// Number of switches, `g · a`.
+    #[inline]
+    pub fn num_switches(&self) -> usize {
+        self.params.num_switches()
+    }
+
+    /// Number of compute nodes, `g · a · p`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.params.num_nodes()
+    }
+
+    /// Number of groups, `g`.
+    #[inline]
+    pub fn num_groups(&self) -> usize {
+        self.params.g as usize
+    }
+
+    /// Parallel global links between each pair of groups.
+    #[inline]
+    pub fn links_per_group_pair(&self) -> u32 {
+        self.params.links_per_group_pair()
+    }
+
+    /// All directed channels, densely indexed by [`ChannelId`].
+    #[inline]
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// Channel metadata by id.
+    #[inline]
+    pub fn channel(&self, id: ChannelId) -> &Channel {
+        &self.channels[id.index()]
+    }
+
+    /// Total number of directed channels (local + global + terminal).
+    #[inline]
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Number of switch-to-switch directed channels (local + global); these
+    /// occupy the low end of the [`ChannelId`] space.
+    #[inline]
+    pub fn num_network_channels(&self) -> usize {
+        self.base_injection
+    }
+
+    /// Group of a switch.
+    #[inline]
+    pub fn group_of(&self, s: SwitchId) -> GroupId {
+        GroupId(s.0 / self.params.a)
+    }
+
+    /// Local index of a switch within its group.
+    #[inline]
+    pub fn local_index(&self, s: SwitchId) -> u32 {
+        s.0 % self.params.a
+    }
+
+    /// Switch with a given local index in a group.
+    #[inline]
+    pub fn switch_in_group(&self, g: GroupId, local: u32) -> SwitchId {
+        debug_assert!(local < self.params.a);
+        SwitchId(g.0 * self.params.a + local)
+    }
+
+    /// Switches of a group, in local-index order.
+    pub fn switches_in_group(&self, g: GroupId) -> impl Iterator<Item = SwitchId> {
+        let base = g.0 * self.params.a;
+        (base..base + self.params.a).map(SwitchId)
+    }
+
+    /// The switch a node attaches to.
+    #[inline]
+    pub fn switch_of_node(&self, n: NodeId) -> SwitchId {
+        SwitchId(n.0 / self.params.p)
+    }
+
+    /// Group of a node.
+    #[inline]
+    pub fn group_of_node(&self, n: NodeId) -> GroupId {
+        self.group_of(self.switch_of_node(n))
+    }
+
+    /// Nodes attached to a switch, in terminal order.
+    pub fn nodes_of_switch(&self, s: SwitchId) -> impl Iterator<Item = NodeId> {
+        let base = s.0 * self.params.p;
+        (base..base + self.params.p).map(NodeId)
+    }
+
+    /// Node `(g_i, s_j, n_k)` in the paper's coordinate notation.
+    #[inline]
+    pub fn node_at(&self, g: GroupId, s_local: u32, n_local: u32) -> NodeId {
+        debug_assert!(s_local < self.params.a && n_local < self.params.p);
+        NodeId((g.0 * self.params.a + s_local) * self.params.p + n_local)
+    }
+
+    /// Decomposes a node into the paper's `(g_i, s_j, n_k)` coordinates.
+    #[inline]
+    pub fn node_coords(&self, n: NodeId) -> (GroupId, u32, u32) {
+        let s = n.0 / self.params.p;
+        (GroupId(s / self.params.a), s % self.params.a, n.0 % self.params.p)
+    }
+
+    /// The directed local channel between two distinct switches of the same
+    /// group (O(1), arithmetic on the dense channel layout).
+    #[inline]
+    pub fn local_channel(&self, s: SwitchId, t: SwitchId) -> ChannelId {
+        debug_assert_eq!(self.group_of(s), self.group_of(t));
+        debug_assert_ne!(s, t);
+        let a = self.params.a;
+        let (ls, lt) = (s.0 % a, t.0 % a);
+        let rank = if lt < ls { lt } else { lt - 1 };
+        ChannelId(s.0 * (a - 1) + rank)
+    }
+
+    /// Outgoing global channels of a switch: `(channel, remote switch)`.
+    #[inline]
+    pub fn global_out(&self, s: SwitchId) -> &[(ChannelId, SwitchId)] {
+        &self.global_out[s.index()]
+    }
+
+    /// First directed global channel from switch `u` to switch `v`, if any.
+    pub fn global_channel(&self, u: SwitchId, v: SwitchId) -> Option<ChannelId> {
+        self.global_out[u.index()]
+            .iter()
+            .find(|&&(_, t)| t == v)
+            .map(|&(c, _)| c)
+    }
+
+    /// The global links from group `from` toward group `to`:
+    /// `(source switch, destination switch, channel)` triples, sorted.
+    #[inline]
+    pub fn gateways(&self, from: GroupId, to: GroupId) -> &[(SwitchId, SwitchId, ChannelId)] {
+        &self.gateways[(from.0 * self.params.g + to.0) as usize]
+    }
+
+    /// Injection channel of a node (node → switch).
+    #[inline]
+    pub fn injection_channel(&self, n: NodeId) -> ChannelId {
+        ChannelId::from_index(self.base_injection + n.index())
+    }
+
+    /// Ejection channel toward a node (switch → node).
+    #[inline]
+    pub fn ejection_channel(&self, n: NodeId) -> ChannelId {
+        ChannelId::from_index(self.base_ejection + n.index())
+    }
+
+    /// The directed channel between two switches regardless of kind
+    /// (local first, then any parallel global link).
+    pub fn channel_between(&self, u: SwitchId, v: SwitchId) -> Option<ChannelId> {
+        if u == v {
+            return None;
+        }
+        if self.group_of(u) == self.group_of(v) {
+            Some(self.local_channel(u, v))
+        } else {
+            self.global_channel(u, v)
+        }
+    }
+}

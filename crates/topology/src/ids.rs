@@ -1,0 +1,98 @@
+//! Strongly typed identifiers for topology entities.
+//!
+//! All identifiers are dense `u32` indices so they can be used directly as
+//! `Vec` indices in hot simulator loops without hashing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $short:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw dense index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds the identifier from a dense index.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                Self(i as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($short, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($short, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(v: $name) -> usize {
+                v.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A switch (router).  Switch `s` lives in group `s / a` and has local
+    /// index `s % a` within its group.
+    SwitchId,
+    "s"
+);
+
+id_type!(
+    /// A group of `a` fully connected switches.
+    GroupId,
+    "g"
+);
+
+id_type!(
+    /// A compute node (processing element).  Node `n` attaches to switch
+    /// `n / p` as its `n % p`-th terminal.
+    NodeId,
+    "n"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let s = SwitchId::from_index(17);
+        assert_eq!(s.index(), 17);
+        assert_eq!(format!("{s}"), "s17");
+        assert_eq!(format!("{s:?}"), "s17");
+        let g = GroupId(3);
+        assert_eq!(format!("{g}"), "g3");
+        let n = NodeId(255);
+        assert_eq!(usize::from(n), 255);
+    }
+
+    #[test]
+    fn ids_order_and_hash() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(SwitchId(1));
+        set.insert(SwitchId(1));
+        set.insert(SwitchId(2));
+        assert_eq!(set.len(), 2);
+        assert!(SwitchId(1) < SwitchId(2));
+    }
+}

@@ -1,0 +1,51 @@
+//! # Dragonfly topology (`dfly(p, a, h, g)`)
+//!
+//! This crate builds the two-layer Dragonfly topology studied in
+//! *"Topology-Custom UGAL Routing on Dragonfly"* (Rahman et al., SC '19):
+//! a number of *groups*, each a fully connected graph of `a` switches, with
+//! the groups themselves fully connected by global links.
+//!
+//! A topology is described by four parameters:
+//!
+//! * `p` — compute nodes (terminals) per switch,
+//! * `a` — switches per group,
+//! * `h` — global ports per switch,
+//! * `g` — number of groups (`2 ≤ g ≤ a·h + 1`).
+//!
+//! The maximal topology has `g = a·h + 1` groups with exactly one global
+//! link between each pair of groups.  Smaller `g` leaves `a·h / (g-1)`
+//! parallel global links between each pair of groups, which is precisely the
+//! path-diversity knob the paper's T-UGAL exploits.
+//!
+//! Global links are wired with a *minor variation of the absolute
+//! arrangement* (Hastings et al., CLUSTER'15), the paper's default; the
+//! relative and circulant arrangements are also provided.
+//!
+//! ```
+//! use tugal_topology::{Dragonfly, DragonflyParams};
+//!
+//! // The dfly(4,8,4,9) topology from Table 2 of the paper.
+//! let topo = Dragonfly::new(DragonflyParams::new(4, 8, 4, 9)).unwrap();
+//! assert_eq!(topo.num_switches(), 72);
+//! assert_eq!(topo.num_nodes(), 288);
+//! assert_eq!(topo.links_per_group_pair(), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+mod arrangement;
+mod channels;
+mod dragonfly;
+mod ids;
+mod params;
+
+pub use arrangement::{
+    AbsoluteArrangement, CirculantArrangement, GlobalArrangement, RelativeArrangement,
+};
+pub use channels::{Channel, ChannelId, ChannelKind, Endpoint};
+pub use dragonfly::Dragonfly;
+pub use ids::{GroupId, NodeId, SwitchId};
+pub use params::{DragonflyParams, TopologyError};
+
+#[cfg(test)]
+mod tests;

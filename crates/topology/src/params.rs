@@ -1,0 +1,226 @@
+//! Topology parameters and their validation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four parameters defining a `dfly(p, a, h, g)` topology (§2.1 of the
+/// paper).
+///
+/// * `p` — compute nodes per switch,
+/// * `a` — switches per group (intra-group topology is fully connected),
+/// * `h` — global ports per switch,
+/// * `g` — number of groups.
+///
+/// A *balanced* Dragonfly has `a = 2p = 2h` (Kim et al., ISCA'08); the
+/// constructor does not enforce balance, only structural validity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DragonflyParams {
+    /// Compute nodes per switch.
+    pub p: u32,
+    /// Switches per group.
+    pub a: u32,
+    /// Global ports per switch.
+    pub h: u32,
+    /// Number of groups.
+    pub g: u32,
+}
+
+impl fmt::Debug for DragonflyParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dfly({},{},{},{})", self.p, self.a, self.h, self.g)
+    }
+}
+
+impl fmt::Display for DragonflyParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dfly({},{},{},{})", self.p, self.a, self.h, self.g)
+    }
+}
+
+/// Errors produced when validating [`DragonflyParams`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// One of `p`, `a`, `h`, `g` is zero.
+    ZeroParameter,
+    /// Fewer than two groups — a Dragonfly needs an inter-group network.
+    TooFewGroups,
+    /// More groups than the `a·h + 1` maximum supported by the radix.
+    TooManyGroups {
+        /// Requested number of groups.
+        g: u32,
+        /// Maximum `a·h + 1`.
+        max: u32,
+    },
+    /// The arrangement requires `a·h` to be divisible by `g - 1` so every
+    /// pair of groups gets the same number of global links.
+    UnevenGlobalLinks {
+        /// Total global ports per group, `a·h`.
+        ports: u32,
+        /// `g - 1` peer groups.
+        peers: u32,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::ZeroParameter => write!(f, "p, a, h and g must all be nonzero"),
+            TopologyError::TooFewGroups => write!(f, "a Dragonfly needs at least 2 groups"),
+            TopologyError::TooManyGroups { g, max } => {
+                write!(f, "{g} groups requested but a*h+1 = {max} is the maximum")
+            }
+            TopologyError::UnevenGlobalLinks { ports, peers } => write!(
+                f,
+                "a*h = {ports} global ports per group cannot be spread evenly over {peers} peer groups"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+impl DragonflyParams {
+    /// Creates parameters without validating them; call
+    /// [`DragonflyParams::validate`] or pass to
+    /// [`crate::Dragonfly::new`], which validates.
+    pub fn new(p: u32, a: u32, h: u32, g: u32) -> Self {
+        Self { p, a, h, g }
+    }
+
+    /// The maximal *balanced* topology for a given `h`: `p = h`, `a = 2h`,
+    /// `g = a·h + 1` (one global link between every pair of groups).
+    pub fn max_balanced(h: u32) -> Self {
+        Self::new(h, 2 * h, h, 2 * h * h + 1)
+    }
+
+    /// Checks structural validity (see [`TopologyError`]).
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        if self.p == 0 || self.a == 0 || self.h == 0 || self.g == 0 {
+            return Err(TopologyError::ZeroParameter);
+        }
+        if self.g < 2 {
+            return Err(TopologyError::TooFewGroups);
+        }
+        let max = self.a * self.h + 1;
+        if self.g > max {
+            return Err(TopologyError::TooManyGroups { g: self.g, max });
+        }
+        if !(self.a * self.h).is_multiple_of(self.g - 1) {
+            return Err(TopologyError::UnevenGlobalLinks {
+                ports: self.a * self.h,
+                peers: self.g - 1,
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of switches: `g · a`.
+    pub fn num_switches(&self) -> usize {
+        (self.g * self.a) as usize
+    }
+
+    /// Number of compute nodes: `g · a · p`.
+    pub fn num_nodes(&self) -> usize {
+        (self.g * self.a * self.p) as usize
+    }
+
+    /// Ports per switch: `p + (a-1) + h` (terminals, local, global).
+    pub fn switch_radix(&self) -> u32 {
+        self.p + self.a - 1 + self.h
+    }
+
+    /// Parallel global links between each pair of groups,
+    /// `a·h / (g-1)`.
+    pub fn links_per_group_pair(&self) -> u32 {
+        (self.a * self.h) / (self.g - 1)
+    }
+
+    /// True when `a = 2p = 2h` (the load-balance recommendation of the
+    /// original Dragonfly paper).
+    pub fn is_balanced(&self) -> bool {
+        self.a == 2 * self.p && self.a == 2 * self.h
+    }
+
+    /// The four topologies of Table 2 in the paper, in the order listed.
+    pub fn paper_topologies() -> [DragonflyParams; 4] {
+        [
+            DragonflyParams::new(4, 8, 4, 33),
+            DragonflyParams::new(4, 8, 4, 17),
+            DragonflyParams::new(4, 8, 4, 9),
+            DragonflyParams::new(13, 26, 13, 27),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table2_parameters() {
+        // Table 2 of the paper (the 135-switch entry for dfly(4,8,4,17) is a
+        // typo in the paper: 17 * 8 = 136).
+        let t = DragonflyParams::paper_topologies();
+        assert_eq!(t[0].num_nodes(), 1056);
+        assert_eq!(t[0].num_switches(), 264);
+        assert_eq!(t[0].links_per_group_pair(), 1);
+        assert_eq!(t[1].num_nodes(), 544);
+        assert_eq!(t[1].num_switches(), 136);
+        assert_eq!(t[1].links_per_group_pair(), 2);
+        assert_eq!(t[2].num_nodes(), 288);
+        assert_eq!(t[2].num_switches(), 72);
+        assert_eq!(t[2].links_per_group_pair(), 4);
+        assert_eq!(t[3].num_nodes(), 9126);
+        assert_eq!(t[3].num_switches(), 702);
+        assert_eq!(t[3].links_per_group_pair(), 13);
+        for p in t {
+            p.validate().unwrap();
+            assert!(p.is_balanced());
+        }
+    }
+
+    #[test]
+    fn switch_radix_matches_paper() {
+        // "These topologies are built with 15-port switches."
+        assert_eq!(DragonflyParams::new(4, 8, 4, 9).switch_radix(), 15);
+    }
+
+    #[test]
+    fn max_balanced() {
+        let p = DragonflyParams::max_balanced(4);
+        assert_eq!(p, DragonflyParams::new(4, 8, 4, 33));
+        p.validate().unwrap();
+        let e = DragonflyParams::max_balanced(2);
+        assert_eq!(e, DragonflyParams::new(2, 4, 2, 9));
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(
+            DragonflyParams::new(0, 8, 4, 9).validate(),
+            Err(TopologyError::ZeroParameter)
+        );
+        assert_eq!(
+            DragonflyParams::new(4, 8, 4, 1).validate(),
+            Err(TopologyError::TooFewGroups)
+        );
+        assert_eq!(
+            DragonflyParams::new(4, 8, 4, 34).validate(),
+            Err(TopologyError::TooManyGroups { g: 34, max: 33 })
+        );
+        assert_eq!(
+            DragonflyParams::new(4, 8, 4, 20).validate(),
+            Err(TopologyError::UnevenGlobalLinks {
+                ports: 32,
+                peers: 19
+            })
+        );
+    }
+
+    #[test]
+    fn display_format() {
+        let p = DragonflyParams::new(4, 8, 4, 9);
+        assert_eq!(format!("{p}"), "dfly(4,8,4,9)");
+        assert_eq!(format!("{p:?}"), "dfly(4,8,4,9)");
+    }
+}

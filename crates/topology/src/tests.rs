@@ -1,0 +1,211 @@
+//! Cross-module topology tests, including property-based wiring checks.
+
+use crate::*;
+use proptest::prelude::*;
+
+fn dfly(p: u32, a: u32, h: u32, g: u32) -> Dragonfly {
+    Dragonfly::new(DragonflyParams::new(p, a, h, g)).unwrap()
+}
+
+#[test]
+fn channel_layout_counts() {
+    let t = dfly(2, 4, 2, 9);
+    // 36 switches: locals 36*3 = 108, globals 36*2 = 72, terminals 72*2.
+    assert_eq!(t.num_switches(), 36);
+    assert_eq!(t.num_nodes(), 72);
+    assert_eq!(t.num_network_channels(), 108 + 72);
+    assert_eq!(t.num_channels(), 108 + 72 + 72 + 72);
+}
+
+#[test]
+fn local_channel_is_consistent_with_channel_table() {
+    let t = dfly(2, 4, 2, 3);
+    for s in 0..t.num_switches() as u32 {
+        let s = SwitchId(s);
+        for v in t.switches_in_group(t.group_of(s)) {
+            if v == s {
+                continue;
+            }
+            let c = t.local_channel(s, v);
+            let ch = t.channel(c);
+            assert_eq!(ch.src, Endpoint::Switch(s));
+            assert_eq!(ch.dst, Endpoint::Switch(v));
+            assert_eq!(ch.kind, ChannelKind::Local);
+        }
+    }
+}
+
+#[test]
+fn global_out_matches_channel_table() {
+    let t = dfly(4, 8, 4, 9);
+    for s in 0..t.num_switches() as u32 {
+        let s = SwitchId(s);
+        let outs = t.global_out(s);
+        assert_eq!(outs.len(), 4);
+        for &(c, v) in outs {
+            let ch = t.channel(c);
+            assert_eq!(ch.src, Endpoint::Switch(s));
+            assert_eq!(ch.dst, Endpoint::Switch(v));
+            assert_eq!(ch.kind, ChannelKind::Global);
+            assert_ne!(t.group_of(s), t.group_of(v));
+        }
+    }
+}
+
+#[test]
+fn global_links_are_bidirectional() {
+    let t = dfly(4, 8, 4, 17);
+    for s in 0..t.num_switches() as u32 {
+        let s = SwitchId(s);
+        for &(_, v) in t.global_out(s) {
+            assert!(
+                t.global_channel(v, s).is_some(),
+                "missing reverse of {s}->{v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn gateways_cover_every_ordered_pair() {
+    let t = dfly(4, 8, 4, 9);
+    let l = t.links_per_group_pair() as usize;
+    for from in 0..t.num_groups() as u32 {
+        for to in 0..t.num_groups() as u32 {
+            let gw = t.gateways(GroupId(from), GroupId(to));
+            if from == to {
+                assert!(gw.is_empty());
+            } else {
+                assert_eq!(gw.len(), l, "pair ({from},{to})");
+                for &(u, v, c) in gw {
+                    assert_eq!(t.group_of(u).0, from);
+                    assert_eq!(t.group_of(v).0, to);
+                    let ch = t.channel(c);
+                    assert_eq!(ch.src, Endpoint::Switch(u));
+                    assert_eq!(ch.dst, Endpoint::Switch(v));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn node_coordinates_roundtrip() {
+    let t = dfly(4, 8, 4, 9);
+    for n in 0..t.num_nodes() as u32 {
+        let n = NodeId(n);
+        let (g, s, k) = t.node_coords(n);
+        assert_eq!(t.node_at(g, s, k), n);
+        assert_eq!(t.group_of_node(n), g);
+        assert_eq!(t.switch_of_node(n), t.switch_in_group(g, s));
+    }
+}
+
+#[test]
+fn terminal_channels() {
+    let t = dfly(2, 4, 2, 3);
+    for n in 0..t.num_nodes() as u32 {
+        let n = NodeId(n);
+        let inj = t.channel(t.injection_channel(n));
+        assert_eq!(inj.kind, ChannelKind::Injection);
+        assert_eq!(inj.src, Endpoint::Node(n));
+        assert_eq!(inj.dst, Endpoint::Switch(t.switch_of_node(n)));
+        let ej = t.channel(t.ejection_channel(n));
+        assert_eq!(ej.kind, ChannelKind::Ejection);
+        assert_eq!(ej.src, Endpoint::Switch(t.switch_of_node(n)));
+        assert_eq!(ej.dst, Endpoint::Node(n));
+    }
+}
+
+#[test]
+fn nodes_of_switch_partition() {
+    let t = dfly(4, 8, 4, 9);
+    let mut seen = vec![false; t.num_nodes()];
+    for s in 0..t.num_switches() as u32 {
+        for n in t.nodes_of_switch(SwitchId(s)) {
+            assert!(!seen[n.index()]);
+            seen[n.index()] = true;
+            assert_eq!(t.switch_of_node(n), SwitchId(s));
+        }
+    }
+    assert!(seen.iter().all(|&x| x));
+}
+
+#[test]
+fn arrangements_produce_distinct_but_valid_wirings() {
+    let params = DragonflyParams::new(4, 8, 4, 9);
+    let a = Dragonfly::with_arrangement(params, &AbsoluteArrangement).unwrap();
+    let r = Dragonfly::with_arrangement(params, &RelativeArrangement).unwrap();
+    let c = Dragonfly::with_arrangement(params, &CirculantArrangement).unwrap();
+    assert_eq!(a.arrangement_name(), "absolute");
+    assert_eq!(r.arrangement_name(), "relative");
+    assert_eq!(c.arrangement_name(), "circulant");
+    for t in [&a, &r, &c] {
+        assert_eq!(t.num_network_channels(), 72 * 7 + 72 * 4);
+    }
+}
+
+#[test]
+fn channel_between_prefers_kind_by_topology() {
+    let t = dfly(2, 4, 2, 3);
+    let s0 = SwitchId(0);
+    let s1 = SwitchId(1);
+    let c = t.channel_between(s0, s1).unwrap();
+    assert_eq!(t.channel(c).kind, ChannelKind::Local);
+    assert_eq!(t.channel_between(s0, s0), None);
+}
+
+/// Strategy over valid small parameter tuples.
+fn valid_params() -> impl Strategy<Value = DragonflyParams> {
+    (1u32..4, 2u32..7, 1u32..4)
+        .prop_flat_map(|(p, a, h)| {
+            let max = a * h + 1;
+            let divisors: Vec<u32> = (2..=max)
+                .filter(|g| (a * h) % (g - 1) == 0)
+                .collect();
+            (Just(p), Just(a), Just(h), proptest::sample::select(divisors))
+        })
+        .prop_map(|(p, a, h, g)| DragonflyParams::new(p, a, h, g))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_every_valid_topology_builds_with_sound_wiring(params in valid_params()) {
+        let t = Dragonfly::new(params).unwrap();
+        // Degree invariants.
+        let mut global_degree = vec![0u32; t.num_switches()];
+        for ch in t.channels() {
+            if ch.kind == ChannelKind::Global {
+                global_degree[ch.src_switch().unwrap().index()] += 1;
+            }
+        }
+        for d in global_degree {
+            prop_assert_eq!(d, params.h);
+        }
+        // Every ordered group pair has exactly L gateways.
+        let l = params.links_per_group_pair() as usize;
+        for from in 0..params.g {
+            for to in 0..params.g {
+                if from != to {
+                    prop_assert_eq!(t.gateways(GroupId(from), GroupId(to)).len(), l);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prop_channel_ids_dense_and_self_describing(params in valid_params()) {
+        let t = Dragonfly::new(params).unwrap();
+        for (i, ch) in t.channels().iter().enumerate() {
+            prop_assert_eq!(ch.id.index(), i);
+        }
+        prop_assert_eq!(
+            t.num_channels(),
+            t.num_switches() * (params.a as usize - 1)
+                + t.num_switches() * params.h as usize
+                + 2 * t.num_nodes()
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! Additional standard interconnect patterns and trace replay.
+//!
+//! The paper evaluates five pattern families (§4.1.3); these extras are
+//! the remaining classics of the BookSim suite plus a replayable trace,
+//! rounding the crate out into a general evaluation library.
+
+use crate::TrafficPattern;
+use rand::rngs::SmallRng;
+use tugal_topology::{Dragonfly, NodeId};
+
+/// Bit-complement: node `i` sends to node `N − 1 − i` (with `N` nodes).
+///
+/// On Dragonfly this pairs the first group with the last, producing a
+/// symmetric moderately adversarial load.
+pub struct BitComplement {
+    n: u32,
+}
+
+impl BitComplement {
+    /// Bit-complement over the nodes of `topo`.
+    pub fn new(topo: &Dragonfly) -> Self {
+        Self {
+            n: topo.num_nodes() as u32,
+        }
+    }
+}
+
+impl TrafficPattern for BitComplement {
+    fn dest(&self, src: NodeId, _rng: &mut SmallRng) -> Option<NodeId> {
+        let d = self.n - 1 - src.0;
+        (d != src.0).then_some(NodeId(d))
+    }
+
+    fn name(&self) -> String {
+        "bit-complement".into()
+    }
+}
+
+/// Group tornado: node `(g_i, s_j, n_k)` sends to
+/// `(g_{(i + ⌈g/2⌉ − 1) mod g}, s_j, n_k)` — the classic tornado pattern
+/// lifted to the group level (equivalent to `shift(⌈g/2⌉−1, 0)`).
+pub struct Tornado {
+    inner: crate::Shift,
+}
+
+impl Tornado {
+    /// Tornado over the groups of `topo`.
+    pub fn new(topo: &Dragonfly) -> Self {
+        let g = topo.params().g;
+        let dg = (g / 2).max(1);
+        Self {
+            inner: crate::Shift::new(topo, dg, 0),
+        }
+    }
+}
+
+impl TrafficPattern for Tornado {
+    fn dest(&self, src: NodeId, rng: &mut SmallRng) -> Option<NodeId> {
+        self.inner.dest(src, rng)
+    }
+
+    fn name(&self) -> String {
+        "tornado".into()
+    }
+
+    fn demands(&self) -> Option<Vec<(u32, u32, u32)>> {
+        self.inner.demands()
+    }
+}
+
+/// Switch transpose: switch `s` exchanges traffic with switch
+/// `(s · a + s / a)`-style transposition of the (group, local) coordinates
+/// (requires `g == a`; falls back to reversing coordinates otherwise).
+pub struct Transpose {
+    a: u32,
+    g: u32,
+    p: u32,
+}
+
+impl Transpose {
+    /// Transpose over the `(group, switch)` coordinate matrix.
+    pub fn new(topo: &Dragonfly) -> Self {
+        let params = topo.params();
+        Self {
+            a: params.a,
+            g: params.g,
+            p: params.p,
+        }
+    }
+}
+
+impl TrafficPattern for Transpose {
+    fn dest(&self, src: NodeId, _rng: &mut SmallRng) -> Option<NodeId> {
+        let s = src.0 / self.p;
+        let k = src.0 % self.p;
+        let (gi, sj) = (s / self.a, s % self.a);
+        // Swap coordinates modulo the respective ranges.
+        let gd = sj % self.g;
+        let sd = gi % self.a;
+        let d = (gd * self.a + sd) * self.p + k;
+        (d != src.0).then_some(NodeId(d))
+    }
+
+    fn name(&self) -> String {
+        "transpose".into()
+    }
+}
+
+/// Replays an explicit list of `(cycle, src, dst)` events.
+///
+/// Unlike the rate-driven patterns, a trace decides *when* packets enter:
+/// the simulator still draws per-node Bernoulli injection, so the trace is
+/// exposed as a per-source FIFO — each call pops the source's next
+/// destination.  For exact-cycle replay drive the simulator at rate 1.0
+/// and let exhausted sources idle.
+pub struct Trace {
+    queues: Vec<std::sync::Mutex<std::collections::VecDeque<NodeId>>>,
+}
+
+impl Trace {
+    /// Builds per-source FIFOs from `(src, dst)` events in order.
+    pub fn new(topo: &Dragonfly, events: impl IntoIterator<Item = (NodeId, NodeId)>) -> Self {
+        let mut queues: Vec<std::collections::VecDeque<NodeId>> =
+            vec![std::collections::VecDeque::new(); topo.num_nodes()];
+        for (src, dst) in events {
+            queues[src.index()].push_back(dst);
+        }
+        Self {
+            queues: queues.into_iter().map(std::sync::Mutex::new).collect(),
+        }
+    }
+
+    /// Remaining events for a source.
+    pub fn remaining(&self, src: NodeId) -> usize {
+        self.queues[src.index()].lock().unwrap().len()
+    }
+}
+
+impl TrafficPattern for Trace {
+    fn dest(&self, src: NodeId, _rng: &mut SmallRng) -> Option<NodeId> {
+        self.queues[src.index()].lock().unwrap().pop_front()
+    }
+
+    fn name(&self) -> String {
+        "trace".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tugal_topology::DragonflyParams;
+
+    fn topo() -> Dragonfly {
+        Dragonfly::new(DragonflyParams::new(4, 8, 4, 9)).unwrap()
+    }
+
+    #[test]
+    fn bit_complement_is_an_involution() {
+        let t = topo();
+        let p = BitComplement::new(&t);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for n in 0..t.num_nodes() as u32 {
+            if let Some(d) = p.dest(NodeId(n), &mut rng) {
+                let back = p.dest(d, &mut rng).unwrap();
+                assert_eq!(back, NodeId(n));
+            }
+        }
+    }
+
+    #[test]
+    fn tornado_is_half_rotation() {
+        let t = topo();
+        let p = Tornado::new(&t);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let d = p.dest(NodeId(0), &mut rng).unwrap();
+        assert_eq!(t.group_of_node(d).0, 4); // ceil(9/2) = 4 groups away
+        assert!(p.demands().is_some());
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let t = topo();
+        let p = Transpose::new(&t);
+        let mut rng = SmallRng::seed_from_u64(0);
+        // (g=2, s=5, k=1) -> (g=5, s=2, k=1)
+        let src = t.node_at(tugal_topology::GroupId(2), 5, 1);
+        let d = p.dest(src, &mut rng).unwrap();
+        let (gd, sd, kd) = t.node_coords(d);
+        assert_eq!((gd.0, sd, kd), (5, 2, 1));
+    }
+
+    #[test]
+    fn trace_replays_in_order_and_exhausts() {
+        let t = topo();
+        let trace = Trace::new(
+            &t,
+            vec![
+                (NodeId(0), NodeId(5)),
+                (NodeId(0), NodeId(9)),
+                (NodeId(3), NodeId(1)),
+            ],
+        );
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(trace.remaining(NodeId(0)), 2);
+        assert_eq!(trace.dest(NodeId(0), &mut rng), Some(NodeId(5)));
+        assert_eq!(trace.dest(NodeId(0), &mut rng), Some(NodeId(9)));
+        assert_eq!(trace.dest(NodeId(0), &mut rng), None);
+        assert_eq!(trace.dest(NodeId(3), &mut rng), Some(NodeId(1)));
+        assert_eq!(trace.dest(NodeId(7), &mut rng), None);
+    }
+}

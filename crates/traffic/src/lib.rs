@@ -1,0 +1,386 @@
+//! # Synthetic traffic patterns for Dragonfly evaluation
+//!
+//! Implements every pattern the paper uses:
+//!
+//! * **UR** — uniform random traffic (§4.1.3),
+//! * **ADV / shift(Δg, Δs)** — adversarial shift: node `(g_i, s_j, n_k)`
+//!   sends to `(g_{i+Δg mod g}, s_{j+Δs mod a}, n_k)` (§3.3.1); the paper's
+//!   "ADV" is `shift(k, 0)`,
+//! * **random node permutation** — each node sends to / receives from at
+//!   most one peer,
+//! * **MIXED(UR%, ADV%)** — a fixed random UR% of nodes send uniform
+//!   traffic, the rest adversarial (space-domain mix),
+//! * **TMIXED(UR%, ADV%)** — every packet flips a coin (time-domain mix),
+//! * **TYPE_1_SET** — all `(g−1)·a` shift patterns used by Algorithm 1,
+//! * **TYPE_2_SET** — random group-level permutations refined by per-pair
+//!   switch-level permutations (§3.3.1).
+//!
+//! A pattern is queried per packet through [`TrafficPattern::dest`]: given
+//! the source node it returns the destination node (or `None` when the
+//! source is idle in this pattern, e.g. unmatched nodes of a partial
+//! permutation).  Deterministic patterns ignore the RNG; randomized ones
+//! (UR, TMIXED) draw from it, so simulation replications are reproducible
+//! from their seeds.
+
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::sync::Arc;
+use tugal_topology::{Dragonfly, DragonflyParams, NodeId};
+
+/// A traffic pattern: maps a source node to a destination per packet.
+pub trait TrafficPattern: Send + Sync {
+    /// Destination for the next packet of `src`, or `None` if `src` does not
+    /// transmit under this pattern.
+    fn dest(&self, src: NodeId, rng: &mut SmallRng) -> Option<NodeId>;
+
+    /// Short human-readable name used in reports.
+    fn name(&self) -> String;
+
+    /// The switch-level demand matrix of the pattern, when it is
+    /// deterministic: `(src switch, dst switch, node flows)` triples.
+    ///
+    /// Used by the LP throughput model.  Randomized patterns (UR, TMIXED)
+    /// return `None` and are evaluated by simulation only, matching the
+    /// paper (the model is only applied to adversarial patterns).
+    fn demands(&self) -> Option<Vec<(u32, u32, u32)>> {
+        None
+    }
+}
+
+/// Uniform random traffic: every other node is an equally likely
+/// destination.
+pub struct Uniform {
+    num_nodes: u32,
+}
+
+impl Uniform {
+    /// Uniform traffic over the nodes of `topo`.
+    pub fn new(topo: &Dragonfly) -> Self {
+        Self {
+            num_nodes: topo.num_nodes() as u32,
+        }
+    }
+}
+
+impl TrafficPattern for Uniform {
+    fn dest(&self, src: NodeId, rng: &mut SmallRng) -> Option<NodeId> {
+        loop {
+            let d = NodeId(rng.gen_range(0..self.num_nodes));
+            if d != src {
+                return Some(d);
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        "UR".into()
+    }
+}
+
+/// Adversarial shift pattern `shift(Δg, Δs)`.
+///
+/// Node `(g_i, s_j, n_k)` sends to `(g_{(i+Δg) mod g}, s_{(j+Δs) mod a},
+/// n_k)`.  All traffic of a group targets a single other group, saturating
+/// the few direct global links between the two — the most demanding traffic
+/// on any Dragonfly (§3.1).
+#[derive(Clone)]
+pub struct Shift {
+    params: DragonflyParams,
+    /// Group shift Δg (`1 ..= g-1` for a cross-group pattern).
+    pub dg: u32,
+    /// Switch shift Δs (`0 ..= a-1`).
+    pub ds: u32,
+}
+
+impl Shift {
+    /// Creates `shift(dg, ds)` on the given topology.
+    pub fn new(topo: &Dragonfly, dg: u32, ds: u32) -> Self {
+        let params = topo.params();
+        assert!(dg < params.g && ds < params.a, "shift out of range");
+        Self { params, dg, ds }
+    }
+
+    /// Destination node as a pure function of the source coordinates.
+    pub fn map(&self, src: NodeId) -> NodeId {
+        let p = self.params;
+        let s = src.0 / p.p;
+        let k = src.0 % p.p;
+        let (gi, sj) = (s / p.a, s % p.a);
+        let gd = (gi + self.dg) % p.g;
+        let sd = (sj + self.ds) % p.a;
+        NodeId((gd * p.a + sd) * p.p + k)
+    }
+}
+
+impl TrafficPattern for Shift {
+    fn dest(&self, src: NodeId, _rng: &mut SmallRng) -> Option<NodeId> {
+        Some(self.map(src))
+    }
+
+    fn name(&self) -> String {
+        format!("shift({},{})", self.dg, self.ds)
+    }
+
+    fn demands(&self) -> Option<Vec<(u32, u32, u32)>> {
+        let p = self.params;
+        let n_sw = p.num_switches() as u32;
+        let mut out = Vec::with_capacity(n_sw as usize);
+        for s in 0..n_sw {
+            let (gi, sj) = (s / p.a, s % p.a);
+            let gd = (gi + self.dg) % p.g;
+            let sd = (sj + self.ds) % p.a;
+            let d = gd * p.a + sd;
+            if d != s {
+                out.push((s, d, p.p));
+            }
+        }
+        Some(out)
+    }
+}
+
+/// A fixed node-level permutation: node `i` sends to `perm[i]`.
+pub struct NodePermutation {
+    perm: Vec<NodeId>,
+}
+
+impl NodePermutation {
+    /// Random permutation over all nodes (self-loops are sent nowhere).
+    pub fn random(topo: &Dragonfly, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut perm: Vec<NodeId> = (0..topo.num_nodes() as u32).map(NodeId).collect();
+        perm.shuffle(&mut rng);
+        Self { perm }
+    }
+
+    /// Wraps an explicit mapping.
+    ///
+    /// # Panics
+    /// If `perm` is not a permutation of `0..len`.
+    pub fn from_vec(perm: Vec<NodeId>) -> Self {
+        let mut seen = vec![false; perm.len()];
+        for d in &perm {
+            assert!(!std::mem::replace(&mut seen[d.index()], true), "not a permutation");
+        }
+        Self { perm }
+    }
+
+    /// The underlying mapping.
+    pub fn mapping(&self) -> &[NodeId] {
+        &self.perm
+    }
+}
+
+impl TrafficPattern for NodePermutation {
+    fn dest(&self, src: NodeId, _rng: &mut SmallRng) -> Option<NodeId> {
+        let d = self.perm[src.index()];
+        (d != src).then_some(d)
+    }
+
+    fn name(&self) -> String {
+        "permutation".into()
+    }
+}
+
+/// Space-domain mix `MIXED(UR%, ADV%)`: a fixed random subset of nodes
+/// sends uniform traffic, the rest follows an adversarial shift.
+pub struct Mixed {
+    uniform: Uniform,
+    shift: Shift,
+    is_uniform: Vec<bool>,
+    ur_percent: u32,
+}
+
+impl Mixed {
+    /// `ur_percent`% of nodes (selected with `seed`) are uniform; the rest
+    /// run `shift`.
+    pub fn new(topo: &Dragonfly, ur_percent: u32, shift: Shift, seed: u64) -> Self {
+        assert!(ur_percent <= 100);
+        let n = topo.num_nodes();
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        let cut = n * ur_percent as usize / 100;
+        let mut is_uniform = vec![false; n];
+        for &i in &idx[..cut] {
+            is_uniform[i] = true;
+        }
+        Self {
+            uniform: Uniform::new(topo),
+            shift,
+            is_uniform,
+            ur_percent,
+        }
+    }
+}
+
+impl TrafficPattern for Mixed {
+    fn dest(&self, src: NodeId, rng: &mut SmallRng) -> Option<NodeId> {
+        if self.is_uniform[src.index()] {
+            self.uniform.dest(src, rng)
+        } else {
+            self.shift.dest(src, rng)
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("MIXED({},{})", self.ur_percent, 100 - self.ur_percent)
+    }
+}
+
+/// Time-domain mix `TMIXED(UR%, ADV%)`: each packet is uniform with
+/// probability UR% and adversarial otherwise.
+pub struct TMixed {
+    uniform: Uniform,
+    shift: Shift,
+    ur_prob: f64,
+    ur_percent: u32,
+}
+
+impl TMixed {
+    /// Every packet is uniform with probability `ur_percent`%.
+    pub fn new(topo: &Dragonfly, ur_percent: u32, shift: Shift) -> Self {
+        assert!(ur_percent <= 100);
+        Self {
+            uniform: Uniform::new(topo),
+            shift,
+            ur_prob: ur_percent as f64 / 100.0,
+            ur_percent,
+        }
+    }
+}
+
+impl TrafficPattern for TMixed {
+    fn dest(&self, src: NodeId, rng: &mut SmallRng) -> Option<NodeId> {
+        if rng.gen_bool(self.ur_prob) {
+            self.uniform.dest(src, rng)
+        } else {
+            self.shift.dest(src, rng)
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("TMIXED({},{})", self.ur_percent, 100 - self.ur_percent)
+    }
+}
+
+/// A TYPE_2 adversarial pattern (§3.3.1): a random group-level permutation
+/// with no fixed points, refined by an independent random switch-level
+/// permutation for every (source group → destination group) edge; node `k`
+/// of a switch sends to node `k` of the matched switch.
+pub struct GroupPermutation {
+    params: DragonflyParams,
+    /// `group_map[i]` = destination group of group `i`.
+    group_map: Vec<u32>,
+    /// `switch_map[i][j]` = destination switch local index for switch `j`
+    /// of group `i`.
+    switch_map: Vec<Vec<u32>>,
+    seed: u64,
+}
+
+impl GroupPermutation {
+    /// Generates a TYPE_2 pattern from a seed.
+    pub fn random(topo: &Dragonfly, seed: u64) -> Self {
+        let params = topo.params();
+        let g = params.g as usize;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Derangement at the group level: adversarial patterns keep all
+        // traffic inter-group.  Rejection sampling terminates quickly
+        // (acceptance -> 1/e).
+        let mut group_map: Vec<u32> = (0..g as u32).collect();
+        loop {
+            group_map.shuffle(&mut rng);
+            if group_map.iter().enumerate().all(|(i, &d)| i as u32 != d) {
+                break;
+            }
+        }
+        let switch_map = (0..g)
+            .map(|_| {
+                let mut m: Vec<u32> = (0..params.a).collect();
+                m.shuffle(&mut rng);
+                m
+            })
+            .collect();
+        Self {
+            params,
+            group_map,
+            switch_map,
+            seed,
+        }
+    }
+
+    /// The group-level permutation.
+    pub fn group_map(&self) -> &[u32] {
+        &self.group_map
+    }
+}
+
+impl TrafficPattern for GroupPermutation {
+    fn dest(&self, src: NodeId, _rng: &mut SmallRng) -> Option<NodeId> {
+        let p = self.params;
+        let s = src.0 / p.p;
+        let k = src.0 % p.p;
+        let (gi, sj) = (s / p.a, s % p.a);
+        let gd = self.group_map[gi as usize];
+        let sd = self.switch_map[gi as usize][sj as usize];
+        Some(NodeId((gd * p.a + sd) * p.p + k))
+    }
+
+    fn name(&self) -> String {
+        format!("type2(seed={})", self.seed)
+    }
+
+    fn demands(&self) -> Option<Vec<(u32, u32, u32)>> {
+        let p = self.params;
+        let mut out = Vec::with_capacity(p.num_switches());
+        for s in 0..p.num_switches() as u32 {
+            let (gi, sj) = (s / p.a, s % p.a);
+            let gd = self.group_map[gi as usize];
+            let sd = self.switch_map[gi as usize][sj as usize];
+            out.push((s, gd * p.a + sd, p.p));
+        }
+        Some(out)
+    }
+}
+
+/// The `TYPE_1_SET` of Algorithm 1: `shift(Δg, Δs)` for all `Δg ∈ 1..g` and
+/// `Δs ∈ 0..a` — `(g−1)·a` patterns.
+pub fn type_1_set(topo: &Dragonfly) -> Vec<Shift> {
+    let p = topo.params();
+    let mut out = Vec::with_capacity(((p.g - 1) * p.a) as usize);
+    for dg in 1..p.g {
+        for ds in 0..p.a {
+            out.push(Shift::new(topo, dg, ds));
+        }
+    }
+    out
+}
+
+/// The `TYPE_2_SET` of Algorithm 1: `count` random group/switch permutation
+/// patterns (the paper uses 20).
+pub fn type_2_set(topo: &Dragonfly, count: usize, seed: u64) -> Vec<GroupPermutation> {
+    (0..count as u64)
+        .map(|i| GroupPermutation::random(topo, seed.wrapping_add(i)))
+        .collect()
+}
+
+/// Convenience: the patterns Figure 6–9 use, by name, for harness code.
+pub fn adversarial(topo: &Arc<Dragonfly>, dg: u32) -> Shift {
+    Shift::new(topo, dg, 0)
+}
+
+impl fmt::Debug for GroupPermutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GroupPermutation(seed={}, map={:?})", self.seed, self.group_map)
+    }
+}
+
+mod extra;
+
+pub use extra::{BitComplement, Tornado, Trace, Transpose};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,229 @@
+//! Traffic pattern tests.
+
+use crate::*;
+use proptest::prelude::*;
+use std::collections::HashSet;
+use tugal_topology::{Dragonfly, DragonflyParams, GroupId};
+
+fn topo() -> Dragonfly {
+    Dragonfly::new(DragonflyParams::new(4, 8, 4, 9)).unwrap()
+}
+
+fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+#[test]
+fn uniform_never_self_and_covers_nodes() {
+    let t = topo();
+    let u = Uniform::new(&t);
+    let mut r = rng(1);
+    let src = NodeId(5);
+    let mut seen = HashSet::new();
+    for _ in 0..5000 {
+        let d = u.dest(src, &mut r).unwrap();
+        assert_ne!(d, src);
+        seen.insert(d);
+    }
+    // With 5000 draws over 287 destinations we should see nearly all.
+    assert!(seen.len() > 280, "{}", seen.len());
+}
+
+#[test]
+fn shift_matches_paper_definition() {
+    let t = topo();
+    let s = Shift::new(&t, 2, 3);
+    // Node (g1, s2, n1) -> (g3, s5, n1).
+    let src = t.node_at(GroupId(1), 2, 1);
+    let dst = t.node_at(GroupId(3), 5, 1);
+    assert_eq!(s.map(src), dst);
+    // Wrap-around.
+    let src = t.node_at(GroupId(8), 7, 0);
+    let dst = t.node_at(GroupId(1), 2, 0);
+    assert_eq!(s.map(src), dst);
+}
+
+#[test]
+fn shift_is_a_permutation() {
+    let t = topo();
+    for (dg, ds) in [(1, 0), (2, 0), (3, 5), (8, 7)] {
+        let s = Shift::new(&t, dg, ds);
+        let mut seen = vec![false; t.num_nodes()];
+        for n in 0..t.num_nodes() as u32 {
+            let d = s.map(NodeId(n));
+            assert!(!std::mem::replace(&mut seen[d.index()], true));
+        }
+    }
+}
+
+#[test]
+fn adv_pattern_keeps_router_index() {
+    // "All nodes connecting to a router i in a group send to all nodes
+    // connecting to router i in another group": shift(k, 0).
+    let t = topo();
+    let s = Shift::new(&t, 2, 0);
+    for n in 0..t.num_nodes() as u32 {
+        let n = NodeId(n);
+        let d = s.map(n);
+        assert_eq!(t.local_index(t.switch_of_node(n)), t.local_index(t.switch_of_node(d)));
+        assert_eq!(
+            (t.group_of_node(n).0 + 2) % 9,
+            t.group_of_node(d).0
+        );
+    }
+}
+
+#[test]
+fn shift_demands_match_map() {
+    let t = topo();
+    let s = Shift::new(&t, 1, 1);
+    let demands = s.demands().unwrap();
+    assert_eq!(demands.len(), t.num_switches()); // no self-pairs for dg=1
+    for (src_sw, dst_sw, flows) in demands {
+        assert_eq!(flows, 4);
+        // Check one representative node.
+        let n = NodeId(src_sw * 4);
+        assert_eq!(s.map(n).0 / 4, dst_sw);
+    }
+}
+
+#[test]
+fn node_permutation_roundtrip_and_partiality() {
+    let t = topo();
+    let p = NodePermutation::random(&t, 7);
+    let mut r = rng(0);
+    let mut targets = HashSet::new();
+    let mut idle = 0;
+    for n in 0..t.num_nodes() as u32 {
+        match p.dest(NodeId(n), &mut r) {
+            Some(d) => {
+                assert!(targets.insert(d), "duplicate destination {d:?}");
+            }
+            None => idle += 1,
+        }
+    }
+    // Fixed points are idle; a random permutation of 288 has about one.
+    assert!(idle <= 5);
+}
+
+#[test]
+#[should_panic(expected = "not a permutation")]
+fn node_permutation_rejects_bad_mapping() {
+    let _ = NodePermutation::from_vec(vec![NodeId(0), NodeId(0)]);
+}
+
+#[test]
+fn mixed_respects_percentages() {
+    let t = topo();
+    let shift = Shift::new(&t, 1, 0);
+    let m = Mixed::new(&t, 25, shift.clone(), 3);
+    assert_eq!(m.name(), "MIXED(25,75)");
+    let mut r = rng(5);
+    let mut adversarial = 0;
+    for n in 0..t.num_nodes() as u32 {
+        let n = NodeId(n);
+        // Adversarial nodes always produce the shift target; uniform nodes
+        // almost never match it on a single draw.
+        let d = m.dest(n, &mut r).unwrap();
+        if d == shift.map(n) {
+            adversarial += 1;
+        }
+    }
+    // 75% of 288 = 216 adversarial (few uniform draws may coincide).
+    assert!((214..=224).contains(&adversarial), "{adversarial}");
+}
+
+#[test]
+fn tmixed_mixes_in_time() {
+    let t = topo();
+    let shift = Shift::new(&t, 1, 0);
+    let m = TMixed::new(&t, 50, shift.clone());
+    assert_eq!(m.name(), "TMIXED(50,50)");
+    let mut r = rng(8);
+    let src = NodeId(0);
+    let hits = (0..2000)
+        .filter(|_| m.dest(src, &mut r).unwrap() == shift.map(src))
+        .count();
+    assert!((900..1100).contains(&hits), "{hits}");
+}
+
+#[test]
+fn type_1_set_size_and_coverage() {
+    let t = topo();
+    let set = type_1_set(&t);
+    assert_eq!(set.len(), 8 * 8); // (g-1) * a
+    let mut combos = HashSet::new();
+    for s in &set {
+        assert!(s.dg >= 1);
+        combos.insert((s.dg, s.ds));
+    }
+    assert_eq!(combos.len(), 64);
+}
+
+#[test]
+fn type_2_group_map_is_derangement() {
+    let t = topo();
+    for p in type_2_set(&t, 20, 99) {
+        for (i, &d) in p.group_map().iter().enumerate() {
+            assert_ne!(i as u32, d, "fixed point in group permutation");
+        }
+        // Group map is a permutation.
+        let set: HashSet<_> = p.group_map().iter().collect();
+        assert_eq!(set.len(), 9);
+    }
+}
+
+#[test]
+fn type_2_is_node_permutation_preserving_k() {
+    let t = topo();
+    let p = GroupPermutation::random(&t, 3);
+    let mut r = rng(0);
+    let mut seen = vec![false; t.num_nodes()];
+    for n in 0..t.num_nodes() as u32 {
+        let n = NodeId(n);
+        let d = p.dest(n, &mut r).unwrap();
+        assert!(!std::mem::replace(&mut seen[d.index()], true));
+        let (_, _, k_src) = t.node_coords(n);
+        let (_, _, k_dst) = t.node_coords(d);
+        assert_eq!(k_src, k_dst);
+        assert_ne!(t.group_of_node(n), t.group_of_node(d));
+    }
+    assert!(seen.iter().all(|&x| x));
+}
+
+#[test]
+fn type_2_demands_are_switch_level_one_to_one() {
+    let t = topo();
+    let p = GroupPermutation::random(&t, 4);
+    let d = p.demands().unwrap();
+    assert_eq!(d.len(), t.num_switches());
+    let srcs: HashSet<_> = d.iter().map(|x| x.0).collect();
+    let dsts: HashSet<_> = d.iter().map(|x| x.1).collect();
+    assert_eq!(srcs.len(), t.num_switches());
+    assert_eq!(dsts.len(), t.num_switches());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn prop_shift_wraps_correctly(dg in 1u32..9, ds in 0u32..8, n in 0u32..288) {
+        let t = topo();
+        let s = Shift::new(&t, dg, ds);
+        let src = NodeId(n);
+        let d = s.map(src);
+        let (gs, ss, ks) = t.node_coords(src);
+        let (gd, sd, kd) = t.node_coords(d);
+        prop_assert_eq!(gd.0, (gs.0 + dg) % 9);
+        prop_assert_eq!(sd, (ss + ds) % 8);
+        prop_assert_eq!(ks, kd);
+    }
+
+    #[test]
+    fn prop_type2_reproducible(seed in 0u64..500) {
+        let t = topo();
+        let a = GroupPermutation::random(&t, seed);
+        let b = GroupPermutation::random(&t, seed);
+        prop_assert_eq!(a.group_map(), b.group_map());
+    }
+}

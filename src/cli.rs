@@ -1,0 +1,208 @@
+//! Parsers for the `tugal` command-line tool, kept in the library so they
+//! are unit-testable.
+
+use std::sync::Arc;
+use tugal_netsim::RoutingAlgorithm;
+use tugal_routing::VlbRule;
+use tugal_topology::{Dragonfly, DragonflyParams};
+use tugal_traffic::{
+    GroupPermutation, Mixed, NodePermutation, Shift, TMixed, Tornado, TrafficPattern, Uniform,
+};
+
+/// Parses `p,a,h,g` into topology parameters.
+pub fn parse_topology(v: &str) -> Result<DragonflyParams, String> {
+    let parts: Vec<u32> = v
+        .split(',')
+        .map(|x| x.trim().parse::<u32>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("bad topology '{v}': {e}"))?;
+    if parts.len() != 4 {
+        return Err(format!("bad topology '{v}': need p,a,h,g"));
+    }
+    Ok(DragonflyParams::new(parts[0], parts[1], parts[2], parts[3]))
+}
+
+/// Parses a candidate-set rule: `all`, `H` (hop limit), `H+P%`
+/// (hop limit plus a percentage of the next class) or `strategic:2|3`.
+pub fn parse_rule(s: &str) -> Result<VlbRule, String> {
+    if s == "all" {
+        return Ok(VlbRule::All);
+    }
+    if let Some(first) = s.strip_prefix("strategic:") {
+        let first_seg: u8 = first.parse().map_err(|e| format!("bad rule '{s}': {e}"))?;
+        if !(2..=3).contains(&first_seg) {
+            return Err(format!(
+                "strategic first segment must be 2 or 3, got {first_seg}"
+            ));
+        }
+        return Ok(VlbRule::Strategic { first_seg });
+    }
+    if let Some((hops, pct)) = s.split_once('+') {
+        let max_hops: u8 = hops.parse().map_err(|e| format!("bad rule '{s}': {e}"))?;
+        let pct = pct.trim_end_matches('%');
+        let frac_next: f64 = pct
+            .parse::<f64>()
+            .map_err(|e| format!("bad rule '{s}': {e}"))?
+            / 100.0;
+        if !(0.0..=1.0).contains(&frac_next) {
+            return Err(format!("bad rule '{s}': percentage out of range"));
+        }
+        return Ok(VlbRule::ClassLimit {
+            max_hops,
+            frac_next,
+        });
+    }
+    let max_hops: u8 = s.parse().map_err(|_| format!("bad rule '{s}'"))?;
+    Ok(VlbRule::ClassLimit {
+        max_hops,
+        frac_next: 0.0,
+    })
+}
+
+/// Parses a routing algorithm name.
+pub fn parse_routing(s: &str) -> Result<RoutingAlgorithm, String> {
+    match s {
+        "min" => Ok(RoutingAlgorithm::Min),
+        "vlb" => Ok(RoutingAlgorithm::Vlb),
+        "ugal-l" => Ok(RoutingAlgorithm::UgalL),
+        "ugal-g" => Ok(RoutingAlgorithm::UgalG),
+        "par" => Ok(RoutingAlgorithm::Par),
+        _ => Err(format!("unknown routing '{s}'")),
+    }
+}
+
+/// Parses a traffic-pattern spec (`uniform`, `shift:DG,DS`, `tornado`,
+/// `perm:SEED`, `type2:SEED`, `mixed:UR%,DG`, `tmixed:UR%,DG`).
+pub fn parse_pattern(s: &str, topo: &Arc<Dragonfly>) -> Result<Arc<dyn TrafficPattern>, String> {
+    let (name, arg) = s.split_once(':').unwrap_or((s, ""));
+    let nums = || -> Result<Vec<u32>, String> {
+        arg.split(',')
+            .filter(|x| !x.is_empty())
+            .map(|x| {
+                x.parse::<u32>()
+                    .map_err(|e| format!("bad pattern '{s}': {e}"))
+            })
+            .collect()
+    };
+    match name {
+        "uniform" | "ur" => Ok(Arc::new(Uniform::new(topo))),
+        "shift" => {
+            let v = nums()?;
+            if v.len() != 2 {
+                return Err(format!("shift needs DG,DS in '{s}'"));
+            }
+            if v[0] >= topo.params().g || v[1] >= topo.params().a {
+                return Err(format!("shift out of range in '{s}'"));
+            }
+            Ok(Arc::new(Shift::new(topo, v[0], v[1])))
+        }
+        "tornado" => Ok(Arc::new(Tornado::new(topo))),
+        "perm" => {
+            let v = nums()?;
+            Ok(Arc::new(NodePermutation::random(
+                topo,
+                v.first().copied().unwrap_or(1) as u64,
+            )))
+        }
+        "type2" => {
+            let v = nums()?;
+            Ok(Arc::new(GroupPermutation::random(
+                topo,
+                v.first().copied().unwrap_or(1) as u64,
+            )))
+        }
+        "mixed" => {
+            let v = nums()?;
+            if v.len() != 2 || v[0] > 100 {
+                return Err(format!("mixed needs UR%,DG in '{s}'"));
+            }
+            Ok(Arc::new(Mixed::new(topo, v[0], Shift::new(topo, v[1], 0), 7)))
+        }
+        "tmixed" => {
+            let v = nums()?;
+            if v.len() != 2 || v[0] > 100 {
+                return Err(format!("tmixed needs UR%,DG in '{s}'"));
+            }
+            Ok(Arc::new(TMixed::new(topo, v[0], Shift::new(topo, v[1], 0))))
+        }
+        _ => Err(format!("unknown pattern '{s}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_parsing() {
+        assert_eq!(
+            parse_topology("4,8,4,9").unwrap(),
+            DragonflyParams::new(4, 8, 4, 9)
+        );
+        assert_eq!(
+            parse_topology(" 2, 4, 2, 3 ").unwrap(),
+            DragonflyParams::new(2, 4, 2, 3)
+        );
+        assert!(parse_topology("4,8,4").is_err());
+        assert!(parse_topology("a,b,c,d").is_err());
+    }
+
+    #[test]
+    fn rule_parsing() {
+        assert_eq!(parse_rule("all").unwrap(), VlbRule::All);
+        assert_eq!(
+            parse_rule("4").unwrap(),
+            VlbRule::ClassLimit {
+                max_hops: 4,
+                frac_next: 0.0
+            }
+        );
+        assert_eq!(
+            parse_rule("4+60%").unwrap(),
+            VlbRule::ClassLimit {
+                max_hops: 4,
+                frac_next: 0.6
+            }
+        );
+        assert_eq!(
+            parse_rule("4+60").unwrap(),
+            VlbRule::ClassLimit {
+                max_hops: 4,
+                frac_next: 0.6
+            }
+        );
+        assert_eq!(
+            parse_rule("strategic:2").unwrap(),
+            VlbRule::Strategic { first_seg: 2 }
+        );
+        assert!(parse_rule("strategic:4").is_err());
+        assert!(parse_rule("4+150%").is_err());
+        assert!(parse_rule("nope").is_err());
+    }
+
+    #[test]
+    fn routing_parsing() {
+        assert_eq!(parse_routing("min").unwrap(), RoutingAlgorithm::Min);
+        assert_eq!(parse_routing("ugal-g").unwrap(), RoutingAlgorithm::UgalG);
+        assert!(parse_routing("ugal").is_err());
+    }
+
+    #[test]
+    fn pattern_parsing() {
+        let topo = Arc::new(Dragonfly::new(DragonflyParams::new(2, 4, 2, 9)).unwrap());
+        for spec in [
+            "uniform",
+            "shift:1,0",
+            "tornado",
+            "perm:7",
+            "type2:3",
+            "mixed:50,1",
+            "tmixed:25,2",
+        ] {
+            assert!(parse_pattern(spec, &topo).is_ok(), "{spec}");
+        }
+        assert!(parse_pattern("shift:9,0", &topo).is_err()); // dg out of range
+        assert!(parse_pattern("mixed:150,1", &topo).is_err());
+        assert!(parse_pattern("martian", &topo).is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! Paper-level invariants checked across crates: Table 2/3 numbers, path
+//! structure, pattern structure, VC budgets.
+
+use std::sync::Arc;
+use tugal_suite::routing::{
+    all_vlb_paths, min_paths, required_vcs, PathTable, VcScheme, VlbRule,
+};
+use tugal_suite::topology::{Dragonfly, DragonflyParams, SwitchId};
+use tugal_suite::traffic::{type_1_set, TrafficPattern};
+
+#[test]
+fn table2_topologies_build_with_correct_shape() {
+    let expect = [
+        (DragonflyParams::new(4, 8, 4, 33), 1056, 264, 1),
+        (DragonflyParams::new(4, 8, 4, 17), 544, 136, 2), // 136: paper's "135" is a typo
+        (DragonflyParams::new(4, 8, 4, 9), 288, 72, 4),
+        (DragonflyParams::new(13, 26, 13, 27), 9126, 702, 13),
+    ];
+    for (params, nodes, switches, links) in expect {
+        let t = Dragonfly::new(params).unwrap();
+        assert_eq!(t.num_nodes(), nodes, "{params}");
+        assert_eq!(t.num_switches(), switches, "{params}");
+        assert_eq!(t.links_per_group_pair(), links, "{params}");
+    }
+}
+
+#[test]
+fn paper_path_length_taxonomy() {
+    // §2.2: MIN <= 3 hops with <= 1 global; VLB 2..=6 hops with exactly 2
+    // globals.  Checked on the paper's dense topology.
+    let t = Dragonfly::new(DragonflyParams::new(4, 8, 4, 9)).unwrap();
+    let (s, d) = (SwitchId(0), SwitchId(9));
+    for p in min_paths(&t, s, d) {
+        assert!(p.hops() >= 1 && p.hops() <= 3);
+        assert!(p.global_hops(&t) <= 1);
+    }
+    for p in all_vlb_paths(&t, s, d) {
+        assert!(p.hops() >= 2 && p.hops() <= 6, "{p:?}");
+        assert_eq!(p.global_hops(&t), 2, "{p:?}");
+    }
+}
+
+#[test]
+fn vc_budgets_match_table3() {
+    assert_eq!(required_vcs(VcScheme::Compact, false), 4); // UGAL-L / UGAL-G
+    assert_eq!(required_vcs(VcScheme::Compact, true), 5); // PAR
+    assert_eq!(required_vcs(VcScheme::PerHop, false), 6); // routing(6), Fig. 18
+}
+
+#[test]
+fn type_1_set_size_matches_paper_formula() {
+    // (g-1) * a patterns (§3.3.1).
+    for (p, a, h, g) in [(2u32, 4u32, 2u32, 9u32), (2, 4, 2, 5), (2, 4, 2, 3)] {
+        let t = Dragonfly::new(DragonflyParams::new(p, a, h, g)).unwrap();
+        assert_eq!(type_1_set(&t).len() as u32, (g - 1) * a);
+    }
+}
+
+#[test]
+fn tvlb_tables_shrink_mean_hops_monotonically() {
+    // Table-level sanity for the motivation computation in §3.1: tighter
+    // rules give shorter mean VLB paths.
+    let t = Dragonfly::new(DragonflyParams::new(2, 4, 2, 3)).unwrap();
+    let all = PathTable::build_all(&t).mean_vlb_hops();
+    let five = PathTable::build_with_rule(
+        &t,
+        VlbRule::ClassLimit {
+            max_hops: 5,
+            frac_next: 0.0,
+        },
+        0,
+    )
+    .mean_vlb_hops();
+    let four = PathTable::build_with_rule(
+        &t,
+        VlbRule::ClassLimit {
+            max_hops: 4,
+            frac_next: 0.0,
+        },
+        0,
+    )
+    .mean_vlb_hops();
+    assert!(four < five && five < all, "{four} {five} {all}");
+}
+
+#[test]
+fn motivation_arithmetic_of_section_3_1() {
+    // "Assume 70% of packets are delivered with MIN paths ... 3.9 hops";
+    // with T-VLB at 4.8 mean hops, 3.54 hops and ~10% saving.  Pure
+    // arithmetic, kept here as an executable record of §3.1.
+    let ugal: f64 = 0.7 * 3.0 + 0.3 * 6.0;
+    let tugal: f64 = 0.7 * 3.0 + 0.3 * 4.8;
+    assert!((ugal - 3.9).abs() < 1e-12);
+    assert!((tugal - 3.54).abs() < 1e-12);
+    assert!((ugal / tugal - 1.0 - 0.10).abs() < 0.02);
+}
+
+#[test]
+fn adversarial_demands_concentrate_on_one_group_pair() {
+    // §3.1: shift patterns push an entire group's traffic at one other
+    // group — the property that makes them the most demanding patterns.
+    let t = Arc::new(Dragonfly::new(DragonflyParams::new(2, 4, 2, 9)).unwrap());
+    let demands = tugal_suite::traffic::Shift::new(&t, 1, 0).demands().unwrap();
+    for (s, d, _) in demands {
+        assert_eq!((s / 4 + 1) % 9, d / 4);
+    }
+}

@@ -1,0 +1,95 @@
+#![allow(clippy::needless_range_loop)] // `h` indexes hop-count bins
+
+//! Consistency between the two representations of a candidate set:
+//! the O(1)-memory rejection sampler (`RuleProvider`) must draw paths with
+//! the class distribution the model's analytic realization counts
+//! (`PairStats`) predict — they are the same object seen from two sides.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use tugal_suite::model::PairStats;
+use tugal_suite::routing::{PathProvider, RuleProvider, VlbRule};
+use tugal_suite::topology::{Dragonfly, DragonflyParams, SwitchId};
+
+#[test]
+fn rule_provider_class_distribution_matches_pair_stats() {
+    let topo = Arc::new(Dragonfly::new(DragonflyParams::new(4, 8, 4, 9)).unwrap());
+    let (s, d) = (SwitchId(0), SwitchId(9));
+    let stats = PairStats::compute(&topo, s, d);
+    let provider = RuleProvider::new(topo.clone(), VlbRule::All);
+    let mut rng = SmallRng::seed_from_u64(42);
+
+    let draws = 20_000;
+    let mut observed = [0f64; 8];
+    for _ in 0..draws {
+        let p = provider.sample_vlb(s, d, &mut rng);
+        observed[p.hops()] += 1.0;
+    }
+    let total = stats.total_count();
+    for h in 2..=6 {
+        let expected = stats.class_count(h) / total;
+        let seen = observed[h] / draws as f64;
+        assert!(
+            (seen - expected).abs() < 0.02,
+            "class {h}: sampled {seen:.4} vs analytic {expected:.4}"
+        );
+    }
+}
+
+#[test]
+fn class_limited_sampler_matches_conditioned_distribution() {
+    let topo = Arc::new(Dragonfly::new(DragonflyParams::new(4, 8, 4, 9)).unwrap());
+    let (s, d) = (SwitchId(3), SwitchId(20));
+    let stats = PairStats::compute(&topo, s, d);
+    let rule = VlbRule::ClassLimit {
+        max_hops: 4,
+        frac_next: 0.5,
+    };
+    let provider = RuleProvider::new(topo.clone(), rule);
+    let mut rng = SmallRng::seed_from_u64(7);
+
+    let draws = 20_000;
+    let mut observed = [0f64; 8];
+    for _ in 0..draws {
+        let p = provider.sample_vlb(s, d, &mut rng);
+        assert!(p.hops() <= 5, "rule violated: {p:?}");
+        observed[p.hops()] += 1.0;
+    }
+    // Conditioned weights: classes <= 4 full, class 5 at 50%.
+    let weight = |h: usize| {
+        stats.class_count(h)
+            * if h == 5 {
+                0.5
+            } else if h <= 4 {
+                1.0
+            } else {
+                0.0
+            }
+    };
+    let total: f64 = (2..=5).map(weight).sum();
+    for h in 2..=5 {
+        let expected = weight(h) / total;
+        let seen = observed[h] / draws as f64;
+        assert!(
+            (seen - expected).abs() < 0.02,
+            "class {h}: sampled {seen:.4} vs analytic {expected:.4}"
+        );
+    }
+}
+
+#[test]
+fn table_mean_hops_close_to_stats_mean_hops() {
+    // The explicit table dedups identical walks while the stats count
+    // realizations; the induced mean-hop difference must stay small (it is
+    // the modeling approximation documented in the PairStats docs).
+    let topo = Arc::new(Dragonfly::new(DragonflyParams::new(2, 4, 2, 5)).unwrap());
+    let provider = tugal_suite::routing::TableProvider::all_paths(topo.clone());
+    let table_mean = provider.mean_vlb_hops();
+    let stats = PairStats::compute(&topo, SwitchId(0), SwitchId(6));
+    assert!(
+        (table_mean - stats.mean_vlb_hops()).abs() < 0.6,
+        "table {table_mean} vs stats {}",
+        stats.mean_vlb_hops()
+    );
+}

@@ -1,0 +1,93 @@
+//! Property-based tests over the simulator's public interface: for random
+//! (but valid) configurations and loads, physical invariants must hold.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tugal_suite::netsim::{Config, RoutingAlgorithm, Simulator};
+use tugal_suite::routing::TableProvider;
+use tugal_suite::topology::{Dragonfly, DragonflyParams};
+use tugal_suite::traffic::{Shift, TrafficPattern, Uniform};
+
+fn tiny_config(routing: RoutingAlgorithm, seed: u64) -> Config {
+    let mut cfg = Config::quick().for_routing(routing);
+    cfg.window = 800;
+    cfg.warmup_windows = 1;
+    cfg.seed = seed;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn prop_simulation_invariants(
+        seed in 0u64..1000,
+        rate in 0.02f64..0.5,
+        routing_idx in 0usize..5,
+        adversarial in proptest::bool::ANY,
+    ) {
+        let routing = [
+            RoutingAlgorithm::Min,
+            RoutingAlgorithm::Vlb,
+            RoutingAlgorithm::UgalL,
+            RoutingAlgorithm::UgalG,
+            RoutingAlgorithm::Par,
+        ][routing_idx];
+        let topo = Arc::new(Dragonfly::new(DragonflyParams::new(2, 4, 2, 5)).unwrap());
+        let provider = Arc::new(TableProvider::all_paths(topo.clone()));
+        let pattern: Arc<dyn TrafficPattern> = if adversarial {
+            Arc::new(Shift::new(&topo, 1, 0))
+        } else {
+            Arc::new(Uniform::new(&topo))
+        };
+        let r = Simulator::new(topo, provider, pattern, routing, tiny_config(routing, seed))
+            .run(rate);
+
+        // Physical invariants.
+        prop_assert!(r.delivered <= r.injected + 20_000, "{r:?}");
+        prop_assert!(r.throughput >= 0.0 && r.throughput <= 1.0 + 1e-9, "{r:?}");
+        prop_assert!(r.max_channel_util <= 1.0 + 1e-9, "{r:?}");
+        prop_assert!(!r.deadlock_suspected, "{r:?}");
+        prop_assert!(r.vlb_fraction >= 0.0 && r.vlb_fraction <= 1.0);
+        if r.delivered > 0 {
+            // Hops within the structural range (0 for same-switch pairs,
+            // up to 7 with a PAR reroute).
+            prop_assert!(r.avg_hops >= 0.0 && r.avg_hops <= 7.0, "{r:?}");
+            // A delivered packet spends at least injection + ejection time.
+            prop_assert!(r.avg_latency >= 2.0, "{r:?}");
+            prop_assert!(r.latency_p99 >= r.latency_p50, "{r:?}");
+        }
+        match routing {
+            RoutingAlgorithm::Min => prop_assert!(r.vlb_fraction == 0.0),
+            RoutingAlgorithm::Vlb if adversarial => {
+                prop_assert!(r.vlb_fraction > 0.9, "{r:?}")
+            }
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn prop_determinism_across_routings(seed in 0u64..200, routing_idx in 0usize..5) {
+        let routing = [
+            RoutingAlgorithm::Min,
+            RoutingAlgorithm::Vlb,
+            RoutingAlgorithm::UgalL,
+            RoutingAlgorithm::UgalG,
+            RoutingAlgorithm::Par,
+        ][routing_idx];
+        let topo = Arc::new(Dragonfly::new(DragonflyParams::new(2, 4, 2, 3)).unwrap());
+        let provider = Arc::new(TableProvider::all_paths(topo.clone()));
+        let pattern: Arc<dyn TrafficPattern> = Arc::new(Uniform::new(&topo));
+        let run = || {
+            Simulator::new(
+                topo.clone(),
+                provider.clone(),
+                pattern.clone(),
+                routing,
+                tiny_config(routing, seed),
+            )
+            .run(0.2)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
