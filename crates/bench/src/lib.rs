@@ -251,13 +251,13 @@ fn write_json(id: &str, series: &[Series]) {
         vlb_fraction: f64,
     }
     #[derive(serde::Serialize)]
-    struct Out<'a> {
-        id: &'a str,
+    struct Out {
+        id: String,
         full_fidelity: bool,
         series: Vec<(String, Vec<Row>)>,
     }
     let out = Out {
-        id,
+        id: id.to_string(),
         full_fidelity: full_fidelity(),
         series: series
             .iter()

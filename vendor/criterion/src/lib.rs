@@ -1,0 +1,250 @@
+//! Vendored minimal stand-in for `criterion`: same macro/builder surface,
+//! simple wall-clock measurement underneath.
+//!
+//! Each benchmark is warmed up, then timed over `sample_size` samples whose
+//! per-sample iteration count adapts so a sample takes a measurable slice
+//! of time.  Mean / min / max nanoseconds per iteration go to stdout.  No
+//! statistical analysis, plots, or baselines — numbers from this harness
+//! are indicative, not publication-grade.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Target time a single measured sample should take.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(50);
+/// Warm-up budget per benchmark.
+const WARMUP_TIME: Duration = Duration::from_millis(300);
+
+/// Top-level benchmark driver (builder-style, like upstream).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        run_benchmark(&name.into(), self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        run_benchmark(
+            &format!("{}/{}", self.name, name.into()),
+            self.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(self) {}
+}
+
+/// Per-sample batching hint, mirroring `criterion::BatchSize`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Inputs are cheap; batch many per sample.
+    SmallInput,
+    /// Inputs are expensive; run one routine call per batch.
+    LargeInput,
+}
+
+/// Passed to benchmark closures; runs and times the routine.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, `iters_per_sample` calls per recorded sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let n = self.iters_per_sample;
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+
+    /// Times `routine` over inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let n = self.iters_per_sample;
+        let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        self.samples.push(start.elapsed());
+    }
+
+    fn last_sample(&self) -> Duration {
+        self.samples.last().copied().unwrap_or_default()
+    }
+}
+
+/// Warm-up + calibration, then `sample_size` timed samples; prints a
+/// one-line summary compatible with eyeballing against upstream output.
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
+    // Calibration: grow the per-sample iteration count until one sample
+    // takes a measurable amount of time (doubles as warm-up).
+    let mut iters = 1u64;
+    let warmup_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            iters_per_sample: iters,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let took = b.last_sample();
+        if took >= TARGET_SAMPLE_TIME || warmup_start.elapsed() >= WARMUP_TIME {
+            break;
+        }
+        // Aim for the target time, growing at most 8x per step.
+        let scale = (TARGET_SAMPLE_TIME.as_secs_f64() / took.as_secs_f64().max(1e-9))
+            .clamp(2.0, 8.0);
+        iters = ((iters as f64) * scale).ceil() as u64;
+    }
+
+    let mut b = Bencher {
+        iters_per_sample: iters,
+        samples: Vec::with_capacity(sample_size),
+    };
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+
+    let per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() * 1e9 / iters as f64)
+        .collect();
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+    let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "{name:<60} time: [{} {} {}]  ({} samples x {} iters)",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max),
+        b.samples.len(),
+        iters
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop-add", |b| {
+            let mut acc = 0u64;
+            b.iter(|| {
+                acc = acc.wrapping_add(1);
+                acc
+            })
+        });
+        let mut g = c.benchmark_group("group");
+        g.sample_size(2);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+}

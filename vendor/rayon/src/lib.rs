@@ -1,0 +1,191 @@
+//! Vendored minimal stand-in for the `rayon` API subset this workspace
+//! uses: `slice.par_iter().map(f).collect::<C>()`.
+//!
+//! Parallelism is real: items are claimed from an atomic work queue by
+//! `std::thread::scope` workers (dynamic load balancing for uneven job
+//! costs), and results are returned in input order.  `RAYON_NUM_THREADS`
+//! caps the worker count, as upstream does.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The traits needed for `.par_iter().map().collect()` call sites.
+pub mod prelude {
+    pub use super::{FromParallelVec, IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// Number of worker threads a parallel call may use.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Types whose references can be iterated in parallel (`[T]`, and `Vec<T>`
+/// through deref).
+pub trait IntoParallelRefIterator<'data> {
+    /// Item yielded by the parallel iterator.
+    type Item: 'data;
+
+    /// A parallel iterator over `&Self::Item`.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over a slice.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Maps each item through `f` (executed when collected).
+    pub fn map<F, R>(self, f: F) -> ParMap<'data, T, F>
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator; [`ParMap::collect`] executes it.
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T: Sync, F> ParMap<'data, T, F> {
+    /// Runs the map in parallel and collects results in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+        C: FromParallelVec<R>,
+    {
+        C::from_ordered_vec(parallel_map(self.items, &self.f))
+    }
+}
+
+/// Conversion from the ordered result vector of a parallel map; mirrors the
+/// `FromParallelIterator` impls the workspace relies on.
+pub trait FromParallelVec<T>: Sized {
+    /// Builds the collection from results in input order.
+    fn from_ordered_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelVec<T> for Vec<T> {
+    fn from_ordered_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+impl<T, E> FromParallelVec<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered_vec(v: Vec<Result<T, E>>) -> Self {
+        v.into_iter().collect()
+    }
+}
+
+/// Maps `f` over `items` on a scoped worker pool, preserving input order.
+/// Workers claim indices from a shared atomic counter, so uneven per-item
+/// costs balance dynamically (the property nested simulation sweeps need).
+fn parallel_map<'data, T: Sync, R: Send>(
+    items: &'data [T],
+    f: &(impl Fn(&'data T) -> R + Sync),
+) -> Vec<R> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, R)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        buckets = handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect();
+    });
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|r| r.expect("parallel map missed an index"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ordered_results() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collects_into_result() {
+        let items = vec![1u32, 2, 3];
+        let ok: Result<Vec<u32>, String> = items.par_iter().map(|&x| Ok(x)).collect();
+        assert_eq!(ok.unwrap(), vec![1, 2, 3]);
+        let err: Result<Vec<u32>, String> = items
+            .par_iter()
+            .map(|&x| if x == 2 { Err("boom".to_string()) } else { Ok(x) })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn uneven_work_completes() {
+        let items: Vec<usize> = (0..64).collect();
+        let out: Vec<usize> = items
+            .par_iter()
+            .map(|&x| {
+                if x % 7 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                x
+            })
+            .collect();
+        assert_eq!(out, items);
+    }
+}

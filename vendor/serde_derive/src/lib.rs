@@ -1,0 +1,408 @@
+//! Vendored minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! macros for the vendored `serde`.
+//!
+//! Supports exactly the shapes this workspace derives on: non-generic
+//! structs with named fields, tuple structs, and enums whose variants are
+//! unit, single-field tuple, or struct variants (serialized with serde's
+//! externally-tagged convention).  Hand-rolled token parsing — no `syn` /
+//! `quote`, since the build environment cannot fetch them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct TypeDef {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_type(input);
+    gen_serialize(&def).parse().expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_type(input);
+    gen_deserialize(&def).parse().expect("generated impl parses")
+}
+
+fn parse_type(input: TokenStream) -> TypeDef {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("vendored serde_derive: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("vendored serde_derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic types (type `{name}`)");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            _ => Shape::Struct(Fields::Unit),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("vendored serde_derive: malformed enum body: {other:?}"),
+        },
+        other => panic!("vendored serde_derive: cannot derive for `{other}`"),
+    };
+    TypeDef { name, shape }
+}
+
+/// Advances `i` past `#[...]` attributes (incl. doc comments) and
+/// `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field body: `name: Type, ...`.  Commas inside
+/// angle brackets belong to the type and are skipped by depth tracking;
+/// commas inside `()`/`[]`/`{}` are invisible (those are single groups).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        // Skip to the next top-level comma.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple body `(Type, Type, ...)`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    count - usize::from(trailing_comma)
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn gen_serialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let body = match &def.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+        }
+        Shape::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_variant_arm(ty: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.fields {
+        Fields::Unit => format!(
+            "{ty}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+        ),
+        Fields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let payload = if *n == 1 {
+                "::serde::Serialize::to_value(__f0)".to_string()
+            } else {
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "{ty}::{vn}({}) => ::serde::Value::Object(vec![\
+                 (::std::string::String::from(\"{vn}\"), {payload})]),",
+                binds.join(", ")
+            )
+        }
+        Fields::Named(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{ty}::{vn} {{ {} }} => ::serde::Value::Object(vec![\
+                 (::std::string::String::from(\"{vn}\"), \
+                 ::serde::Value::Object(vec![{}]))]),",
+                fields.join(", "),
+                pairs.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let body = match &def.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::obj_field(v, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{ \
+                   ::serde::Value::Array(items) if items.len() == {n} => \
+                     ::std::result::Result::Ok({name}({})), \
+                   _ => ::std::result::Result::Err(::serde::Error::msg(\
+                        \"expected array for tuple struct {name}\")), \
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Unit) => {
+            format!("::std::result::Result::Ok({name})")
+        }
+        Shape::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| {
+            format!(
+                "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}),",
+                vn = v.name
+            )
+        })
+        .collect();
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.fields, Fields::Unit))
+        .map(|v| {
+            let vn = &v.name;
+            let build = match &v.fields {
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}::{vn}(\
+                     ::serde::Deserialize::from_value(__payload)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "match __payload {{ \
+                           ::serde::Value::Array(items) if items.len() == {n} => \
+                             ::std::result::Result::Ok({name}::{vn}({})), \
+                           _ => ::std::result::Result::Err(::serde::Error::msg(\
+                                \"expected array payload for {name}::{vn}\")), \
+                         }}",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 ::serde::obj_field(__payload, \"{f}\")?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "::std::result::Result::Ok({name}::{vn} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Unit => unreachable!(),
+            };
+            format!("\"{vn}\" => return {build},")
+        })
+        .collect();
+
+    let mut body = String::new();
+    if !unit_arms.is_empty() {
+        body.push_str(&format!(
+            "if let ::serde::Value::Str(__s) = v {{ \
+               match __s.as_str() {{ {} _ => {{}} }} \
+             }}\n",
+            unit_arms.join(" ")
+        ));
+    }
+    if !payload_arms.is_empty() {
+        body.push_str(&format!(
+            "if let ::serde::Value::Object(__fields) = v {{ \
+               if __fields.len() == 1 {{ \
+                 let (__tag, __payload) = &__fields[0]; \
+                 match __tag.as_str() {{ {} _ => {{}} }} \
+               }} \
+             }}\n",
+            payload_arms.join(" ")
+        ));
+    }
+    body.push_str(&format!(
+        "::std::result::Result::Err(::serde::Error::msg(\
+         \"invalid value for enum {name}\"))"
+    ));
+    body
+}
