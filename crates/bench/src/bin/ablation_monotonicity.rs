@@ -8,8 +8,8 @@
 //! set — it cannot penalize oversized sets — which is why the default
 //! variant is the one Algorithm 1 uses (DESIGN.md §4).
 
-use tugal_model::{modeled_throughput_multi, ModelVariant};
 use tugal_bench::dfly;
+use tugal_model::{modeled_throughput_multi, ModelVariant};
 use tugal_traffic::{Shift, TrafficPattern};
 
 fn main() {
@@ -17,11 +17,9 @@ fn main() {
     let rules = tugal::table1_points();
     let demands = Shift::new(&topo, 2, 0).demands().unwrap();
     let draw =
-        modeled_throughput_multi(&topo, &demands, &rules, ModelVariant::DrawProportional)
-            .unwrap();
+        modeled_throughput_multi(&topo, &demands, &rules, ModelVariant::DrawProportional).unwrap();
     let mono =
-        modeled_throughput_multi(&topo, &demands, &rules, ModelVariant::MonotoneClasses)
-            .unwrap();
+        modeled_throughput_multi(&topo, &demands, &rules, ModelVariant::MonotoneClasses).unwrap();
     println!("# ablation_monotonicity: model variants on shift(2,0), dfly(4,8,4,9)");
     println!(
         "{:>16} {:>18} {:>18} {:>8}",

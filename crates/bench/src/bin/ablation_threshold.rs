@@ -23,12 +23,7 @@ fn main() {
         for t in [0i64, 30, 1_000_000] {
             let mut cfg = sim_config().for_routing(RoutingAlgorithm::UgalL);
             cfg.ugal_threshold = t;
-            entries.push((
-                format!("T={t}"),
-                ugal.clone(),
-                RoutingAlgorithm::UgalL,
-                cfg,
-            ));
+            entries.push((format!("T={t}"), ugal.clone(), RoutingAlgorithm::UgalL, cfg));
         }
         let series = run_series_cfg(&topo, pattern, &entries, &rate_grid(0.4));
         println!("## pattern {pname}");

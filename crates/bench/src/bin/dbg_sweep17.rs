@@ -9,6 +9,11 @@ fn main() {
         ..SweepConfig::default()
     };
     for o in coarse_grain_sweep(&topo, &cfg) {
-        println!("{:>16} {:.4} (sem {:.4})", o.rule.to_string(), o.mean, o.sem);
+        println!(
+            "{:>16} {:.4} (sem {:.4})",
+            o.rule.to_string(),
+            o.mean,
+            o.sem
+        );
     }
 }

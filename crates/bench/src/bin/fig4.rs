@@ -23,10 +23,19 @@ fn main() {
     println!("# fig4: average modeled throughput, Step-1 sweep, dfly(4,8,4,9)");
     println!(
         "# mode: {}",
-        if full_fidelity() { "full" } else { "quick (sampled patterns)" }
+        if full_fidelity() {
+            "full"
+        } else {
+            "quick (sampled patterns)"
+        }
     );
     println!("{:>16} {:>12} {:>10}", "config", "throughput", "stderr");
     for o in coarse_grain_sweep(&topo, &cfg) {
-        println!("{:>16} {:>12.4} {:>10.4}", o.rule.to_string(), o.mean, o.sem);
+        println!(
+            "{:>16} {:>12.4} {:>10.4}",
+            o.rule.to_string(),
+            o.mean,
+            o.sem
+        );
     }
 }

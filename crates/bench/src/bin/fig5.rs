@@ -14,11 +14,26 @@ fn main() {
         // Quick mode: a representative sub-grid — each LP on the maximal
         // 264-switch topology takes seconds on one core.
         let rules = vec![
-            VlbRule::ClassLimit { max_hops: 3, frac_next: 0.0 },
-            VlbRule::ClassLimit { max_hops: 4, frac_next: 0.0 },
-            VlbRule::ClassLimit { max_hops: 4, frac_next: 0.5 },
-            VlbRule::ClassLimit { max_hops: 5, frac_next: 0.0 },
-            VlbRule::ClassLimit { max_hops: 5, frac_next: 0.5 },
+            VlbRule::ClassLimit {
+                max_hops: 3,
+                frac_next: 0.0,
+            },
+            VlbRule::ClassLimit {
+                max_hops: 4,
+                frac_next: 0.0,
+            },
+            VlbRule::ClassLimit {
+                max_hops: 4,
+                frac_next: 0.5,
+            },
+            VlbRule::ClassLimit {
+                max_hops: 5,
+                frac_next: 0.0,
+            },
+            VlbRule::ClassLimit {
+                max_hops: 5,
+                frac_next: 0.5,
+            },
             VlbRule::All,
         ];
         (
@@ -33,12 +48,21 @@ fn main() {
     println!("# fig5: average modeled throughput, Step-1 sweep, dfly(4,8,4,33)");
     println!(
         "# mode: {}",
-        if full_fidelity() { "full" } else { "quick (sampled patterns, sub-grid)" }
+        if full_fidelity() {
+            "full"
+        } else {
+            "quick (sampled patterns, sub-grid)"
+        }
     );
     println!("{:>16} {:>12} {:>10}", "config", "throughput", "stderr");
     let outcomes = coarse_grain_sweep_rules(&topo, &cfg, &rules);
     for o in &outcomes {
-        println!("{:>16} {:>12.4} {:>10.4}", o.rule.to_string(), o.mean, o.sem);
+        println!(
+            "{:>16} {:>12.4} {:>10.4}",
+            o.rule.to_string(),
+            o.mean,
+            o.sem
+        );
     }
     let best = outcomes
         .iter()

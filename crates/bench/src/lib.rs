@@ -17,17 +17,21 @@
 //! qualitative shapes; EXPERIMENTS.md records which mode produced the
 //! stored numbers.
 
+use std::collections::BTreeMap;
 use std::io::Write;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use tugal::{compute_tvlb, conventional_provider, TUgalConfig};
-use tugal_netsim::{latency_curve, Config, CurvePoint, RoutingAlgorithm, SweepOptions};
+use tugal_netsim::runner::{ExperimentRunner, SeriesSpec};
+use tugal_netsim::{Config, CurvePoint, RoutingAlgorithm, SweepOptions};
 use tugal_routing::{PathProvider, RuleProvider, VlbRule};
 use tugal_topology::{Dragonfly, DragonflyParams};
 use tugal_traffic::TrafficPattern;
 
 /// True when `TUGAL_FULL=1`: paper-scale windows and pattern suites.
 pub fn full_fidelity() -> bool {
-    std::env::var("TUGAL_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("TUGAL_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Simulator configuration for the current fidelity mode (Table 3 network
@@ -83,10 +87,23 @@ pub fn tvlb_provider(topo: &Arc<Dragonfly>) -> (Arc<dyn PathProvider>, VlbRule) 
         };
         return (Arc::new(RuleProvider::new(topo.clone(), rule)), rule);
     }
+    let cfg = if full_fidelity() {
+        TUgalConfig::default()
+    } else {
+        let mut c = TUgalConfig::quick();
+        c.sweep.type1_sample = Some(8);
+        c.sweep.type2_count = 4;
+        c
+    };
     // Algorithm 1's Step-1 sweep dominates harness runtime; figures sharing
     // a topology reuse the chosen rule through a small disk cache and
-    // re-materialize the (deterministic) table + balance adjustment.
-    let key = format!("{}|{}", topo.params(), full_fidelity());
+    // re-materialize the (deterministic) table + balance adjustment.  The
+    // key digests the *full* TUgalConfig, so entries computed under any
+    // other sweep/balance/simulation setting (or by older code) never leak
+    // into a new run.
+    let digest = format!("{:016x}", cfg.digest());
+    record_digest(topo, &digest);
+    let key = format!("{}|{digest}", topo.params());
     if let Some(rule) = cache_lookup(&key) {
         let mut table = tugal_routing::PathTable::build_with_rule(topo, rule, 0x7065);
         if !rule.is_all() {
@@ -97,35 +114,52 @@ pub fn tvlb_provider(topo: &Arc<Dragonfly>) -> (Arc<dyn PathProvider>, VlbRule) 
             rule,
         );
     }
-    let cfg = if full_fidelity() {
-        TUgalConfig::default()
-    } else {
-        let mut c = TUgalConfig::quick();
-        c.sweep.type1_sample = Some(8);
-        c.sweep.type2_count = 4;
-        c
-    };
     let result = compute_tvlb(topo.clone(), &cfg);
     cache_store(&key, result.chosen);
     (result.provider, result.chosen)
+}
+
+/// `topology params → TUgalConfig digest` for every T-VLB cache lookup
+/// this process performed; recorded into each `results/*.json` so stored
+/// numbers name the exact Algorithm-1 configuration behind them.
+static TVLB_DIGESTS: Mutex<BTreeMap<String, String>> = Mutex::new(BTreeMap::new());
+
+fn record_digest(topo: &Arc<Dragonfly>, digest: &str) {
+    if let Ok(mut m) = TVLB_DIGESTS.lock() {
+        m.insert(topo.params().to_string(), digest.to_string());
+    }
 }
 
 fn cache_path() -> std::path::PathBuf {
     std::path::PathBuf::from("results/tvlb_cache.json")
 }
 
+/// Reads the whole cache map; a corrupt or partially written file is
+/// reported once to stderr and treated as empty, so the next
+/// [`cache_store`] regenerates it instead of caching silently dying.
+fn cache_load() -> std::collections::HashMap<String, VlbRule> {
+    let data = match std::fs::read_to_string(cache_path()) {
+        Ok(d) => d,
+        Err(_) => return Default::default(), // no cache yet
+    };
+    match serde_json::from_str(&data) {
+        Ok(map) => map,
+        Err(e) => {
+            eprintln!(
+                "warning: T-VLB cache {} is corrupt ({e:?}); ignoring it and regenerating",
+                cache_path().display()
+            );
+            Default::default()
+        }
+    }
+}
+
 fn cache_lookup(key: &str) -> Option<VlbRule> {
-    let data = std::fs::read_to_string(cache_path()).ok()?;
-    let map: std::collections::HashMap<String, VlbRule> = serde_json::from_str(&data).ok()?;
-    map.get(key).copied()
+    cache_load().get(key).copied()
 }
 
 fn cache_store(key: &str, rule: VlbRule) {
-    let mut map: std::collections::HashMap<String, VlbRule> =
-        std::fs::read_to_string(cache_path())
-            .ok()
-            .and_then(|d| serde_json::from_str(&d).ok())
-            .unwrap_or_default();
+    let mut map = cache_load();
     map.insert(key.to_string(), rule);
     let _ = std::fs::create_dir_all("results");
     if let Ok(s) = serde_json::to_string_pretty(&map) {
@@ -148,6 +182,11 @@ pub struct Series {
 
 /// Runs the standard figure body: for each (label, provider, routing),
 /// a latency curve over `rates` under `pattern`.
+///
+/// All entries are expanded into one flat (series × rate × seed) job list
+/// and scheduled through a single parallel batch by the
+/// [`ExperimentRunner`], so a slow series cannot idle the workers finished
+/// with a fast one.
 #[allow(clippy::type_complexity)]
 pub fn run_series(
     topo: &Arc<Dragonfly>,
@@ -160,19 +199,17 @@ pub fn run_series(
     if topo.num_switches() > 300 && !full_fidelity() {
         opts.seeds.truncate(1); // the 9k-node runs dominate quick-mode time
     }
-    entries
+    let specs: Vec<(String, Arc<dyn PathProvider>, RoutingAlgorithm, Config)> = entries
         .iter()
         .map(|(label, provider, routing)| {
             let mut cfg = sim_config().for_routing(*routing);
             if let Some(v) = vcs_override {
                 cfg.num_vcs = cfg.num_vcs.max(v);
             }
-            Series {
-                label: label.to_string(),
-                points: latency_curve(topo, provider, pattern, *routing, &cfg, rates, &opts),
-            }
+            (label.to_string(), provider.clone(), *routing, cfg)
         })
-        .collect()
+        .collect();
+    run_flat(topo, pattern, &specs, rates, &opts)
 }
 
 /// Like [`run_series`], but each entry carries its own fully-specified
@@ -185,12 +222,33 @@ pub fn run_series_cfg(
     entries: &[(String, Arc<dyn PathProvider>, RoutingAlgorithm, Config)],
     rates: &[f64],
 ) -> Vec<Series> {
-    let opts = sweep_options();
-    entries
-        .iter()
-        .map(|(label, provider, routing, cfg)| Series {
+    run_flat(topo, pattern, entries, rates, &sweep_options())
+}
+
+#[allow(clippy::type_complexity)]
+fn run_flat(
+    topo: &Arc<Dragonfly>,
+    pattern: &Arc<dyn TrafficPattern>,
+    entries: &[(String, Arc<dyn PathProvider>, RoutingAlgorithm, Config)],
+    rates: &[f64],
+    opts: &SweepOptions,
+) -> Vec<Series> {
+    let mut runner = ExperimentRunner::new(topo.clone());
+    for (label, provider, routing, cfg) in entries {
+        runner = runner.series(SeriesSpec {
             label: label.clone(),
-            points: latency_curve(topo, provider, pattern, *routing, cfg, rates, &opts),
+            provider: provider.clone(),
+            pattern: pattern.clone(),
+            routing: *routing,
+            cfg: cfg.clone(),
+        });
+    }
+    runner
+        .run(rates, &opts.seeds)
+        .into_iter()
+        .map(|curve| Series {
+            label: curve.label,
+            points: curve.points,
         })
         .collect()
 }
@@ -202,8 +260,16 @@ pub fn print_figure(id: &str, title: &str, series: &[Series]) {
     println!("# {id}: {title}");
     println!(
         "# mode: {}",
-        if full_fidelity() { "full (TUGAL_FULL=1)" } else { "quick" }
+        if full_fidelity() {
+            "full (TUGAL_FULL=1)"
+        } else {
+            "quick"
+        }
     );
+    if series.is_empty() {
+        println!("# (no series)");
+        return;
+    }
     print!("{:>8}", "load");
     for s in series {
         print!("\t{:>12}", s.label);
@@ -226,6 +292,10 @@ pub fn print_figure(id: &str, title: &str, series: &[Series]) {
         let sat = saturation_from_curve(&s.points);
         println!("# saturation[{}] ~ {:.3} packets/cycle/node", s.label, sat);
     }
+    for s in series {
+        let ms: f64 = s.points.iter().map(|p| p.elapsed_ms).sum();
+        println!("# sim-time[{}] = {:.0} ms", s.label, ms);
+    }
     write_json(id, series);
 }
 
@@ -239,7 +309,8 @@ pub fn saturation_from_curve(points: &[CurvePoint]) -> f64 {
         .fold(0.0, f64::max)
 }
 
-/// Writes the series to `results/<id>.json`.
+/// Writes the series to `results/<id>.json`, including the wall-clock each
+/// point cost and the T-VLB config digests behind any cached providers.
 fn write_json(id: &str, series: &[Series]) {
     #[derive(serde::Serialize)]
     struct Row {
@@ -249,16 +320,22 @@ fn write_json(id: &str, series: &[Series]) {
         saturated: bool,
         avg_hops: f64,
         vlb_fraction: f64,
+        /// Wall-clock of this point's simulations, ms (summed over seeds).
+        elapsed_ms: f64,
     }
     #[derive(serde::Serialize)]
     struct Out {
         id: String,
         full_fidelity: bool,
+        /// `topology params → TUgalConfig digest` used for T-VLB cache
+        /// lookups while producing these series.
+        tvlb_config_digests: BTreeMap<String, String>,
         series: Vec<(String, Vec<Row>)>,
     }
     let out = Out {
         id: id.to_string(),
         full_fidelity: full_fidelity(),
+        tvlb_config_digests: TVLB_DIGESTS.lock().map(|m| m.clone()).unwrap_or_default(),
         series: series
             .iter()
             .map(|s| {
@@ -273,6 +350,7 @@ fn write_json(id: &str, series: &[Series]) {
                             saturated: p.result.saturated,
                             avg_hops: p.result.avg_hops,
                             vlb_fraction: p.result.vlb_fraction,
+                            elapsed_ms: p.elapsed_ms,
                         })
                         .collect(),
                 )

@@ -59,6 +59,23 @@ impl TUgalConfig {
             ..Default::default()
         }
     }
+
+    /// Stable 64-bit digest of the *full* configuration (FNV-1a over the
+    /// `Debug` rendering, which covers every field recursively).  Disk
+    /// caches of Algorithm-1 outcomes key on this so entries produced
+    /// under any other sweep/balance/simulation setting — including
+    /// settings from older code with different fields — can never be
+    /// mistaken for the current one.
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+        const FNV_PRIME: u64 = 0x100000001b3;
+        let mut h = FNV_OFFSET;
+        for b in format!("{self:?}").bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
 }
 
 /// One Step-2 candidate and its simulated score.
@@ -179,8 +196,7 @@ pub fn compute_tvlb(topo: Arc<Dragonfly>, cfg: &TUgalConfig) -> TUgalResult {
     let provider = built.swap_remove(best_idx);
     let chosen = scores[best_idx].rule;
 
-    let mean_hops_all = conventional_provider(topo.clone(), cfg.max_table_switches)
-        .mean_vlb_hops();
+    let mean_hops_all = conventional_provider(topo.clone(), cfg.max_table_switches).mean_vlb_hops();
     let mean_hops_tvlb = provider.mean_vlb_hops();
     TUgalResult {
         provider,
@@ -197,11 +213,7 @@ pub fn compute_tvlb(topo: Arc<Dragonfly>, cfg: &TUgalConfig) -> TUgalResult {
 
 /// Simulates a candidate on TYPE_2 patterns: mean saturation throughput
 /// (bisection per pattern, §3.3.3's "average throughput of the patterns").
-fn evaluate(
-    topo: &Arc<Dragonfly>,
-    provider: &Arc<dyn PathProvider>,
-    cfg: &TUgalConfig,
-) -> f64 {
+fn evaluate(topo: &Arc<Dragonfly>, provider: &Arc<dyn PathProvider>, cfg: &TUgalConfig) -> f64 {
     let patterns: Vec<Arc<dyn TrafficPattern>> =
         type_2_set(topo, cfg.eval_patterns, cfg.seed ^ 0xABCD)
             .into_iter()

@@ -95,8 +95,7 @@ pub fn adjust_local(table: &mut PathTable, topo: &Dragonfly, opts: &BalanceOptio
                     break;
                 }
                 // usage[position][channel] over the pair's candidates.
-                let mut usage: [HashMap<u32, usize>; 2] =
-                    [HashMap::new(), HashMap::new()];
+                let mut usage: [HashMap<u32, usize>; 2] = [HashMap::new(), HashMap::new()];
                 for p in &pair.vlb {
                     let mut gpos = 0;
                     for i in 0..p.hops() {
@@ -117,9 +116,7 @@ pub fn adjust_local(table: &mut PathTable, topo: &Dragonfly, opts: &BalanceOptio
                     let mean = u.values().sum::<usize>() as f64 / u.len() as f64;
                     for (&ch, &cnt) in u {
                         let ratio = cnt as f64 / mean;
-                        if ratio > opts.local_ratio
-                            && hot.is_none_or(|(_, _, r)| ratio > r)
-                        {
+                        if ratio > opts.local_ratio && hot.is_none_or(|(_, _, r)| ratio > r) {
                             hot = Some((pos, ch, ratio));
                         }
                     }

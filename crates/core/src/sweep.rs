@@ -115,8 +115,7 @@ pub fn coarse_grain_sweep_rules(
     let per_pattern: Vec<Vec<f64>> = demands
         .par_iter()
         .map(|d| {
-            modeled_throughput_multi(topo, d, &rules, cfg.variant)
-                .expect("throughput model failed")
+            modeled_throughput_multi(topo, d, &rules, cfg.variant).expect("throughput model failed")
         })
         .collect();
 
@@ -174,11 +173,7 @@ pub fn candidate_regions(outcomes: &[SweepOutcome]) -> Vec<VlbRule> {
             champions[r] = Some(o);
         }
     }
-    let mut rules: Vec<VlbRule> = champions
-        .iter()
-        .flatten()
-        .map(|o| o.rule)
-        .collect();
+    let mut rules: Vec<VlbRule> = champions.iter().flatten().map(|o| o.rule).collect();
     if !rules.contains(&VlbRule::All) {
         rules.push(VlbRule::All);
     }
@@ -306,22 +301,70 @@ mod region_tests {
     fn champions_one_per_region_plus_all() {
         // A double-hump curve like the measured dfly(4,8,4,17) sweep.
         let outcomes = vec![
-            o(VlbRule::ClassLimit { max_hops: 3, frac_next: 0.0 }, 0.33),
-            o(VlbRule::ClassLimit { max_hops: 3, frac_next: 0.4 }, 0.466), // region-4 peak
-            o(VlbRule::ClassLimit { max_hops: 4, frac_next: 0.0 }, 0.456),
-            o(VlbRule::ClassLimit { max_hops: 4, frac_next: 0.4 }, 0.490), // region-5 peak
-            o(VlbRule::ClassLimit { max_hops: 5, frac_next: 0.0 }, 0.469),
-            o(VlbRule::ClassLimit { max_hops: 5, frac_next: 0.9 }, 0.528), // region-6 peak
+            o(
+                VlbRule::ClassLimit {
+                    max_hops: 3,
+                    frac_next: 0.0,
+                },
+                0.33,
+            ),
+            o(
+                VlbRule::ClassLimit {
+                    max_hops: 3,
+                    frac_next: 0.4,
+                },
+                0.466,
+            ), // region-4 peak
+            o(
+                VlbRule::ClassLimit {
+                    max_hops: 4,
+                    frac_next: 0.0,
+                },
+                0.456,
+            ),
+            o(
+                VlbRule::ClassLimit {
+                    max_hops: 4,
+                    frac_next: 0.4,
+                },
+                0.490,
+            ), // region-5 peak
+            o(
+                VlbRule::ClassLimit {
+                    max_hops: 5,
+                    frac_next: 0.0,
+                },
+                0.469,
+            ),
+            o(
+                VlbRule::ClassLimit {
+                    max_hops: 5,
+                    frac_next: 0.9,
+                },
+                0.528,
+            ), // region-6 peak
             o(VlbRule::All, 0.531),
         ];
         let cands = candidate_regions(&outcomes);
-        assert!(cands.contains(&VlbRule::ClassLimit { max_hops: 3, frac_next: 0.4 }));
-        assert!(cands.contains(&VlbRule::ClassLimit { max_hops: 4, frac_next: 0.4 }));
+        assert!(cands.contains(&VlbRule::ClassLimit {
+            max_hops: 3,
+            frac_next: 0.4
+        }));
+        assert!(cands.contains(&VlbRule::ClassLimit {
+            max_hops: 4,
+            frac_next: 0.4
+        }));
         assert!(cands.contains(&VlbRule::All));
         // Region 6's champion is All itself here (0.531 > 0.528).
-        assert!(!cands.contains(&VlbRule::ClassLimit { max_hops: 5, frac_next: 0.9 }));
+        assert!(!cands.contains(&VlbRule::ClassLimit {
+            max_hops: 5,
+            frac_next: 0.9
+        }));
         // Region 3's only member also advances.
-        assert!(cands.contains(&VlbRule::ClassLimit { max_hops: 3, frac_next: 0.0 }));
+        assert!(cands.contains(&VlbRule::ClassLimit {
+            max_hops: 3,
+            frac_next: 0.0
+        }));
         assert_eq!(cands.len(), 4);
     }
 
@@ -330,12 +373,21 @@ mod region_tests {
         // Even when some fraction of 6-hop beats the full set, Step 2 must
         // be able to fall back to conventional UGAL.
         let outcomes = vec![
-            o(VlbRule::ClassLimit { max_hops: 5, frac_next: 0.5 }, 0.58),
+            o(
+                VlbRule::ClassLimit {
+                    max_hops: 5,
+                    frac_next: 0.5,
+                },
+                0.58,
+            ),
             o(VlbRule::All, 0.56),
         ];
         let cands = candidate_regions(&outcomes);
         assert!(cands.contains(&VlbRule::All));
-        assert!(cands.contains(&VlbRule::ClassLimit { max_hops: 5, frac_next: 0.5 }));
+        assert!(cands.contains(&VlbRule::ClassLimit {
+            max_hops: 5,
+            frac_next: 0.5
+        }));
     }
 
     #[test]

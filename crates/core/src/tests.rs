@@ -14,7 +14,11 @@ fn tvlb_on_dense_topology_restricts_and_shortens() {
     // dfly(2,4,2,3): 4 links per group pair — plenty of short VLB paths.
     let t = topo(2, 4, 2, 3);
     let result = compute_tvlb(t.clone(), &TUgalConfig::quick());
-    assert_ne!(result.chosen, VlbRule::All, "dense topology should restrict");
+    assert_ne!(
+        result.chosen,
+        VlbRule::All,
+        "dense topology should restrict"
+    );
     assert!(
         result.report.mean_hops_tvlb < result.report.mean_hops_all - 0.2,
         "T-VLB should be shorter on average: {} vs {}",

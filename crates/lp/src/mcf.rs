@@ -53,7 +53,10 @@ impl ConcurrentFlow {
     /// Creates an instance over edges with the given capacities (all must be
     /// positive).
     pub fn new(capacities: Vec<f64>) -> Self {
-        assert!(capacities.iter().all(|&c| c > 0.0), "capacities must be positive");
+        assert!(
+            capacities.iter().all(|&c| c > 0.0),
+            "capacities must be positive"
+        );
         Self {
             capacities,
             commodities: Vec::new(),
@@ -108,9 +111,7 @@ impl ConcurrentFlow {
                         .paths
                         .iter()
                         .enumerate()
-                        .map(|(i, p)| {
-                            (i, p.edges.iter().map(|&e| lengths[e]).sum::<f64>())
-                        })
+                        .map(|(i, p)| (i, p.edges.iter().map(|&e| lengths[e]).sum::<f64>()))
                         .min_by(|a, b| a.1.total_cmp(&b.1))
                         .expect("non-empty path set");
                     let path = &com.paths[pi];
@@ -163,7 +164,11 @@ impl ConcurrentFlow {
             }
         }
         McfSolution {
-            throughput: if throughput.is_finite() { throughput } else { 0.0 },
+            throughput: if throughput.is_finite() {
+                throughput
+            } else {
+                0.0
+            },
             path_flows,
             iterations,
         }
@@ -213,10 +218,7 @@ mod tests {
     fn approx(caps: &[f64], commodities: &[(f64, Vec<Vec<usize>>)], eps: f64) -> McfSolution {
         let mut cf = ConcurrentFlow::new(caps.to_vec());
         for (d, paths) in commodities {
-            cf.add_commodity(
-                *d,
-                paths.iter().map(|p| FlowPath::new(p.clone())).collect(),
-            );
+            cf.add_commodity(*d, paths.iter().map(|p| FlowPath::new(p.clone())).collect());
         }
         cf.solve(eps)
     }
@@ -244,10 +246,7 @@ mod tests {
     fn two_commodities_share_an_edge() {
         // Edge 0 shared; each commodity also has a private edge.
         let caps = vec![1.0, 1.0, 1.0];
-        let com = vec![
-            (1.0, vec![vec![0], vec![1]]),
-            (1.0, vec![vec![0], vec![2]]),
-        ];
+        let com = vec![(1.0, vec![vec![0], vec![1]]), (1.0, vec![vec![0], vec![2]])];
         let ex = exact(&caps, &com); // 1.5 each: private 1 + half of shared
         let sol = approx(&caps, &com, 0.02);
         assert!((ex - 1.5).abs() < 1e-6, "{ex}");
@@ -305,8 +304,9 @@ mod tests {
                 let paths: Vec<Vec<usize>> = (0..n_paths)
                     .map(|_| {
                         let len = 1 + (next() * 3.0) as usize;
-                        let mut p: Vec<usize> =
-                            (0..len).map(|_| (next() * n_edges as f64) as usize % n_edges).collect();
+                        let mut p: Vec<usize> = (0..len)
+                            .map(|_| (next() * n_edges as f64) as usize % n_edges)
+                            .collect();
                         p.dedup();
                         p
                     })

@@ -327,8 +327,8 @@ impl<'a> Tableau<'a> {
         for i in 0..self.m {
             if self.basis[i] >= self.art_start {
                 let row_start = i * self.width;
-                let pivot_col = (0..self.art_start)
-                    .find(|&j| self.rows[row_start + j].abs() > PIVOT_EPS);
+                let pivot_col =
+                    (0..self.art_start).find(|&j| self.rows[row_start + j].abs() > PIVOT_EPS);
                 if let Some(j) = pivot_col {
                     self.pivot(i, j);
                 } else {
@@ -363,7 +363,11 @@ impl<'a> Tableau<'a> {
     /// Runs simplex pivots until optimality.  `phase1` forbids nothing;
     /// phase 2 forbids artificial columns from entering.
     fn iterate(&mut self, phase1: bool) -> Result<(), SolveError> {
-        let col_limit = if phase1 { self.width - 1 } else { self.art_start };
+        let col_limit = if phase1 {
+            self.width - 1
+        } else {
+            self.art_start
+        };
         let mut stall = 0usize;
         let mut bland = false;
         let mut last_obj = self.obj[self.width - 1];
@@ -624,7 +628,9 @@ mod tests {
         // points.
         let mut state = 0x12345678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
         };
         for _case in 0..20 {
@@ -634,8 +640,7 @@ mod tests {
             let vars: Vec<VarId> = (0..n).map(|_| lp.add_var(next())).collect();
             let mut rows = Vec::new();
             for _ in 0..m {
-                let terms: Vec<(VarId, f64)> =
-                    vars.iter().map(|&v| (v, next())).collect();
+                let terms: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, next())).collect();
                 let rhs = 1.0 + next();
                 lp.add_constraint(&terms, Relation::Le, rhs);
                 rows.push((terms, rhs));
@@ -653,11 +658,7 @@ mod tests {
             for _ in 0..200 {
                 let candidate: Vec<f64> = (0..n).map(|_| next() * 0.3).collect();
                 let feasible = rows.iter().all(|(terms, rhs)| {
-                    terms
-                        .iter()
-                        .map(|&(v, c)| c * candidate[v.0])
-                        .sum::<f64>()
-                        <= *rhs
+                    terms.iter().map(|&(v, c)| c * candidate[v.0]).sum::<f64>() <= *rhs
                 });
                 if feasible {
                     let obj: f64 = candidate
@@ -690,7 +691,11 @@ mod dual_tests {
         assert_eq!(duals.len(), 3);
         // Strong duality: b^T y == c^T x.
         let dual_obj = 4.0 * duals[0] + 12.0 * duals[1] + 18.0 * duals[2];
-        assert!((dual_obj - s.objective).abs() < 1e-6, "{dual_obj} vs {}", s.objective);
+        assert!(
+            (dual_obj - s.objective).abs() < 1e-6,
+            "{dual_obj} vs {}",
+            s.objective
+        );
         // Complementary slackness: x < 4 is slack at the optimum (2, 6),
         // so its dual is zero; the other two rows bind.
         assert!(duals[0].abs() < 1e-9, "{duals:?}");

@@ -40,7 +40,6 @@
 //! solving.
 
 #![warn(missing_docs)]
-
 // `c1`/`c2`/`h` loop indices are semantic hop counts over fixed small
 // arrays; the index style is clearer than iterator chains there.
 #![allow(clippy::needless_range_loop)]

@@ -51,8 +51,7 @@ fn draw_proportional_plateaus_on_dense_topology() {
         },
         VlbRule::All,
     ];
-    let th =
-        modeled_throughput_multi(&t, &d, &rules, ModelVariant::DrawProportional).unwrap();
+    let th = modeled_throughput_multi(&t, &d, &rules, ModelVariant::DrawProportional).unwrap();
     let (small, mid, all) = (th[0], th[1], th[2]);
     assert!(
         (mid - all).abs() < 0.015 * all.max(1e-9),
@@ -81,8 +80,7 @@ fn all_vlb_wins_on_maximal_topology() {
         },
         VlbRule::All,
     ];
-    let th =
-        modeled_throughput_multi(&t, &d, &rules, ModelVariant::DrawProportional).unwrap();
+    let th = modeled_throughput_multi(&t, &d, &rules, ModelVariant::DrawProportional).unwrap();
     assert!(
         th[2] >= th[1] && th[2] >= th[0],
         "all-VLB must win on the maximal topology: {th:?}"
@@ -141,8 +139,7 @@ fn strategic_rules_are_competitive_at_five_hops() {
             frac_next: 0.5,
         },
     ];
-    let th =
-        modeled_throughput_multi(&t, &d, &rules, ModelVariant::DrawProportional).unwrap();
+    let th = modeled_throughput_multi(&t, &d, &rules, ModelVariant::DrawProportional).unwrap();
     for (r, v) in rules.iter().zip(&th) {
         assert!(*v > 0.3, "{r:?} scored {v}");
     }
@@ -185,8 +182,7 @@ fn type2_patterns_model_cleanly() {
     let t = topo(4, 8, 4, 9);
     for p in tugal_traffic::type_2_set(&t, 3, 11) {
         let d = p.demands().unwrap();
-        let th =
-            modeled_throughput(&t, &d, VlbRule::All, ModelVariant::DrawProportional).unwrap();
+        let th = modeled_throughput(&t, &d, VlbRule::All, ModelVariant::DrawProportional).unwrap();
         assert!(th > 0.2 && th <= 1.0, "{th}");
     }
 }
@@ -202,11 +198,9 @@ fn multi_is_consistent_with_single() {
             frac_next: 0.0,
         },
     ];
-    let multi =
-        modeled_throughput_multi(&t, &d, &rules, ModelVariant::DrawProportional).unwrap();
+    let multi = modeled_throughput_multi(&t, &d, &rules, ModelVariant::DrawProportional).unwrap();
     for (i, &rule) in rules.iter().enumerate() {
-        let single =
-            modeled_throughput(&t, &d, rule, ModelVariant::DrawProportional).unwrap();
+        let single = modeled_throughput(&t, &d, rule, ModelVariant::DrawProportional).unwrap();
         assert!((multi[i] - single).abs() < 1e-9);
     }
 }
@@ -254,8 +248,7 @@ fn bottlenecks_are_global_links_under_adversarial_traffic() {
 fn bottleneck_throughput_matches_plain_solve() {
     let t = topo(2, 4, 2, 9);
     let d = shift_demands(&t, 2, 1);
-    let plain =
-        modeled_throughput(&t, &d, VlbRule::All, ModelVariant::DrawProportional).unwrap();
+    let plain = modeled_throughput(&t, &d, VlbRule::All, ModelVariant::DrawProportional).unwrap();
     let (theta, _) = crate::modeled_bottlenecks(&t, &d, VlbRule::All).unwrap();
     assert!((plain - theta).abs() < 1e-9);
 }

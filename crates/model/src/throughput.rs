@@ -148,9 +148,7 @@ fn solve_one(
     variant: ModelVariant,
 ) -> Result<f64, ModelError> {
     match variant {
-        ModelVariant::DrawProportional => {
-            solve_draw_proportional(topo, demands, stats, rule, None)
-        }
+        ModelVariant::DrawProportional => solve_draw_proportional(topo, demands, stats, rule, None),
         ModelVariant::MonotoneClasses => solve_monotone(topo, demands, stats, rule),
     }
 }
@@ -172,8 +170,7 @@ pub fn modeled_bottlenecks(
         .map(|&(s, d, _)| PairStats::compute(topo, SwitchId(s), SwitchId(d)))
         .collect();
     let mut hot = Vec::new();
-    let theta =
-        solve_draw_proportional(topo, pattern_demands, &stats, rule, Some(&mut hot))?;
+    let theta = solve_draw_proportional(topo, pattern_demands, &stats, rule, Some(&mut hot))?;
     Ok((theta, hot))
 }
 
@@ -252,13 +249,7 @@ fn solve_draw_proportional(
                     }
                     for &(ch, u) in &st.combo_usage[c1][c2] {
                         let pv = weight * u / n_vlb;
-                        add_usage(
-                            &mut chan_rows,
-                            &mut theta_load,
-                            ch,
-                            Some((m, -pv)),
-                            d * pv,
-                        );
+                        add_usage(&mut chan_rows, &mut theta_load, ch, Some((m, -pv)), d * pv);
                     }
                 }
             }
@@ -277,7 +268,10 @@ fn solve_draw_proportional(
         }
     }
 
-    let demand_bound = demands.iter().map(|&(_, _, f)| f as f64).fold(0.0, f64::max);
+    let demand_bound = demands
+        .iter()
+        .map(|&(_, _, f)| f as f64)
+        .fold(0.0, f64::max);
     let row_channels = add_capacity_rows(&mut lp, theta, chan_rows, theta_load, demand_bound);
     lp.set_max_iterations(400_000);
     let sol = lp.solve().map_err(ModelError::Lp)?;
@@ -376,7 +370,10 @@ fn solve_monotone(
         }
     }
 
-    let demand_bound = demands.iter().map(|&(_, _, f)| f as f64).fold(0.0, f64::max);
+    let demand_bound = demands
+        .iter()
+        .map(|&(_, _, f)| f as f64)
+        .fold(0.0, f64::max);
     let _ = add_capacity_rows(&mut lp, theta, chan_rows, theta_load, demand_bound);
     lp.set_max_iterations(400_000);
     let sol = lp.solve().map_err(ModelError::Lp)?;
@@ -394,11 +391,7 @@ fn add_capacity_rows(
     demand_bound: f64,
 ) -> Vec<(usize, u32)> {
     let mut row_channels = Vec::new();
-    let mut channels: Vec<u32> = chan_rows
-        .keys()
-        .chain(theta_load.keys())
-        .copied()
-        .collect();
+    let mut channels: Vec<u32> = chan_rows.keys().chain(theta_load.keys()).copied().collect();
     channels.sort_unstable();
     channels.dedup();
 

@@ -114,9 +114,10 @@ impl Config {
     /// configured VC scheme (5 for PAR, 4 otherwise with the compact
     /// scheme — exactly Table 3).
     pub fn for_routing(mut self, routing: RoutingAlgorithm) -> Self {
-        self.num_vcs = self
-            .num_vcs
-            .max(tugal_routing::required_vcs(self.vc_scheme, routing.progressive()));
+        self.num_vcs = self.num_vcs.max(tugal_routing::required_vcs(
+            self.vc_scheme,
+            routing.progressive(),
+        ));
         self
     }
 

@@ -1,0 +1,160 @@
+//! Switch allocation and wire transmission, plus source-queue injection:
+//! the per-cycle movement phases of the engine.
+
+use super::observer::SimObserver;
+use super::state::Packet;
+use super::{Engine, F_REVISABLE, F_ROUTED, SOURCE_QUEUE_CAP};
+use rand::Rng;
+use tugal_routing::Path;
+use tugal_topology::NodeId;
+
+impl<O: SimObserver> Engine<'_, O> {
+    /// Bernoulli injection at the configured rate: each node draws once
+    /// per cycle; new packets enter the (capped) source queue modelled by
+    /// the injection channel's staging + downstream buffer.
+    pub(crate) fn inject(&mut self) {
+        let topo = self.sim.topo.clone();
+        let nodes = topo.num_nodes() as u32;
+        for n in 0..nodes {
+            if !self.rng.gen_bool(self.rate) {
+                continue;
+            }
+            let Some(dst) = self.sim.pattern.dest(NodeId(n), &mut self.rng) else {
+                continue;
+            };
+            self.stats.record_injection();
+            self.obs.on_inject(self.now, NodeId(n), dst);
+            let inj = topo.injection_channel(NodeId(n)).0 as usize;
+            // The injection channel's downstream buffer plays the role of
+            // BookSim's infinite source queue; cap it so deep-saturation
+            // points keep finite memory (the latency threshold fires long
+            // before the cap matters).
+            if self.ws.staging[inj].len() + self.ws.buf_occ[inj] as usize >= SOURCE_QUEUE_CAP {
+                continue; // dropped at an overflowing source queue
+            }
+            let pi = self.alloc_packet(Packet {
+                dst_node: dst.0,
+                birth: self.now,
+                path: Path::single(topo.switch_of_node(NodeId(n))),
+                hop: 0,
+                cur_vc: 0,
+                cur_chan: inj as u32,
+                pre_local: 0,
+                hops_taken: 0,
+                flags: 0,
+            });
+            self.ws.staging[inj].push_back(pi);
+            if !self.ws.in_busy[inj] {
+                self.ws.in_busy[inj] = true;
+                self.ws.busy_list.push(inj as u32);
+            }
+        }
+    }
+
+    /// Switch allocation: `speedup` round-robin rounds per cycle, one
+    /// winner per output channel per round, visiting only the non-empty
+    /// input-buffer FIFOs on each router's ready list.
+    pub(crate) fn allocate(&mut self) {
+        let speedup = self.sim.cfg.speedup;
+        let n_switches = self.sim.topo.num_switches();
+        for sw in 0..n_switches {
+            if self.ws.ready[sw].is_empty() {
+                continue;
+            }
+            for round in 0..speedup {
+                let stamp = self.now * speedup as u64 + round as u64 + 1;
+                let len = self.ws.ready[sw].len();
+                if len == 0 {
+                    break;
+                }
+                let start = self.ws.rr[sw] % len;
+                for k in 0..len {
+                    let pos = (start + k) % len;
+                    let idx = self.ws.ready[sw][pos] as usize;
+                    let Some(&pi) = self.ws.in_buf[idx].front() else {
+                        continue;
+                    };
+                    // Route / revise at the head of the buffer.
+                    if self.ws.packets[pi as usize].flags & F_ROUTED == 0 {
+                        self.route(pi);
+                    } else if self.ws.packets[pi as usize].flags & F_REVISABLE != 0 {
+                        self.par_revise(pi);
+                    }
+                    let (out, vc) = self.next_hop(pi);
+                    if self.ws.out_stamp[out as usize] == stamp {
+                        continue; // output taken this round
+                    }
+                    if let Some(vc) = vc {
+                        let cidx = out as usize * self.v + vc as usize;
+                        if self.ws.credits[cidx] == 0 {
+                            continue; // no downstream buffer space
+                        }
+                        self.ws.credits[cidx] -= 1;
+                        self.ws.cred_used[out as usize] += 1;
+                        let p = &mut self.ws.packets[pi as usize];
+                        p.cur_vc = vc;
+                        p.hop += 1;
+                        p.hops_taken += 1;
+                    }
+                    self.ws.out_stamp[out as usize] = stamp;
+                    // Dequeue from the input buffer and return its credit
+                    // upstream (network channels only — the injection
+                    // channel's upstream is the uncredit-managed source
+                    // queue).
+                    self.ws.in_buf[idx].pop_front();
+                    let in_ch = idx / self.v;
+                    self.ws.buf_occ[in_ch] -= 1;
+                    if in_ch < self.n_network {
+                        let due = ((self.now + self.ws.latency[in_ch] as u64)
+                            % self.ring_size as u64) as usize;
+                        self.ws.credit_ring[due].push(idx as u32);
+                    }
+                    // Forward.
+                    let p = &mut self.ws.packets[pi as usize];
+                    p.cur_chan = out;
+                    self.ws.staging[out as usize].push_back(pi);
+                    if !self.ws.in_busy[out as usize] {
+                        self.ws.in_busy[out as usize] = true;
+                        self.ws.busy_list.push(out);
+                    }
+                }
+            }
+            self.ws.rr[sw] = self.ws.rr[sw].wrapping_add(1);
+            // Compact the ready list.
+            let mut list = std::mem::take(&mut self.ws.ready[sw]);
+            list.retain(|&idx| {
+                if self.ws.in_buf[idx as usize].is_empty() {
+                    self.ws.in_ready[idx as usize] = false;
+                    false
+                } else {
+                    true
+                }
+            });
+            self.ws.ready[sw] = list;
+        }
+    }
+
+    /// Wire transmission: each busy channel moves at most one staged flit
+    /// per cycle onto the arrival calendar.
+    pub(crate) fn transmit(&mut self) {
+        let mut i = 0;
+        while i < self.ws.busy_list.len() {
+            let ch = self.ws.busy_list[i] as usize;
+            if self.now >= self.ws.next_free[ch] {
+                if let Some(pi) = self.ws.staging[ch].pop_front() {
+                    let arrive =
+                        ((self.now + self.ws.latency[ch] as u64) % self.ring_size as u64) as usize;
+                    self.ws.arrivals[arrive].push(pi);
+                    self.ws.next_free[ch] = self.now + 1;
+                    self.ws.chan_flits[ch] += 1;
+                }
+            }
+            if self.ws.staging[ch].is_empty() {
+                self.ws.in_busy[ch] = false;
+                self.ws.busy_list.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}

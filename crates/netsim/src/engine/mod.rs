@@ -1,0 +1,267 @@
+//! The cycle-driven simulation engine, layered into focused submodules:
+//!
+//! * [`state`] — flow-control state (packet pool, buffers, credits,
+//!   calendar rings) behind the reusable [`SimWorkspace`],
+//! * [`routing`] — the UGAL-L/G + PAR decision logic,
+//! * [`alloc`] — injection, switch allocation and wire transmission,
+//! * [`collect`] — statistics counters and [`SimResult`] finalization,
+//! * [`observer`] — the monomorphized [`SimObserver`] probe seam.
+//!
+//! The split is purely structural: the cycle loop below executes the exact
+//! phase order of the original monolithic engine (credit returns →
+//! arrivals → injection → switch allocation → wire transmission), and the
+//! golden fixtures in `tests/golden.rs` pin its results bit-for-bit.
+//!
+//! ## Routing
+//!
+//! Packets are source-routed: the UGAL decision (one MIN candidate versus
+//! one VLB candidate, drawn from the configured
+//! [`tugal_routing::PathProvider`]) runs when the packet reaches the head
+//! of its injection queue at the source switch.  PAR may revise a MIN
+//! decision once, at the second router inside the source group, switching
+//! to a fresh VLB path from that router (with the extra VC class the
+//! +1-VC configuration provides).
+
+mod alloc;
+mod collect;
+mod observer;
+mod routing;
+mod state;
+
+pub use observer::{NoopObserver, SimObserver};
+pub use state::{SimWorkspace, WorkspacePool};
+
+use crate::config::{Config, RoutingAlgorithm};
+use crate::stats::SimResult;
+use collect::Stats;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use state::Packet;
+use std::sync::Arc;
+use tugal_routing::PathProvider;
+use tugal_topology::Dragonfly;
+use tugal_traffic::TrafficPattern;
+
+/// Per-node cap on the source queue.  BookSim models infinite source
+/// queues; bounding them only matters beyond saturation (where the latency
+/// threshold has long fired) and keeps memory finite during deep-saturation
+/// sweep points.  Overflowing packets are dropped and counted as injected.
+const SOURCE_QUEUE_CAP: usize = 256;
+
+/// Early-exit guard: if more packets than this per node are in flight the
+/// run is declared saturated without finishing the window.
+const INFLIGHT_CAP_PER_NODE: usize = 64;
+
+pub(crate) const F_ROUTED: u8 = 1;
+pub(crate) const F_REVISABLE: u8 = 2;
+pub(crate) const F_VLB: u8 = 4;
+
+/// A configured simulation; [`Simulator::run`] executes it at one offered
+/// load.
+pub struct Simulator {
+    pub(crate) topo: Arc<Dragonfly>,
+    pub(crate) provider: Arc<dyn PathProvider>,
+    pub(crate) pattern: Arc<dyn TrafficPattern>,
+    pub(crate) routing: RoutingAlgorithm,
+    pub(crate) cfg: Config,
+}
+
+impl Simulator {
+    /// Builds a simulator.  `cfg.num_vcs` must cover the VC classes the
+    /// routing needs (use [`Config::for_routing`]).
+    pub fn new(
+        topo: Arc<Dragonfly>,
+        provider: Arc<dyn PathProvider>,
+        pattern: Arc<dyn TrafficPattern>,
+        routing: RoutingAlgorithm,
+        cfg: Config,
+    ) -> Self {
+        let required = tugal_routing::required_vcs(cfg.vc_scheme, routing.progressive());
+        assert!(
+            cfg.num_vcs >= required,
+            "{} under the {:?} scheme needs {} VCs, got {}",
+            routing.name(),
+            cfg.vc_scheme,
+            required,
+            cfg.num_vcs
+        );
+        Self {
+            topo,
+            provider,
+            pattern,
+            routing,
+            cfg,
+        }
+    }
+
+    /// Runs the configured warmup + measurement windows at `rate`
+    /// packets/cycle/node (`0 < rate ≤ 1`) in a freshly allocated
+    /// workspace.  Sweeps should prefer [`Simulator::run_with`] with a
+    /// reused [`SimWorkspace`].
+    pub fn run(&self, rate: f64) -> SimResult {
+        self.run_with(rate, &mut SimWorkspace::new())
+    }
+
+    /// Like [`Simulator::run`], but executes inside `ws`, reusing its
+    /// allocations.  The workspace is reset first, so results are
+    /// identical whether `ws` is fresh or previously used (for any
+    /// topology/config — shape changes reallocate transparently).
+    pub fn run_with(&self, rate: f64, ws: &mut SimWorkspace) -> SimResult {
+        self.run_observed(rate, ws, &mut NoopObserver)
+    }
+
+    /// Like [`Simulator::run_with`], with a [`SimObserver`] receiving
+    /// cycle-level events.  The engine is monomorphized per observer type;
+    /// the default [`NoopObserver`] compiles to the unobserved loop.
+    pub fn run_observed<O: SimObserver>(
+        &self,
+        rate: f64,
+        ws: &mut SimWorkspace,
+        obs: &mut O,
+    ) -> SimResult {
+        assert!(
+            rate > 0.0 && rate <= 1.0,
+            "injection rate {rate} out of (0,1]"
+        );
+        Engine::new(self, rate, ws, obs).run()
+    }
+}
+
+pub(crate) struct Engine<'a, O: SimObserver> {
+    pub(crate) sim: &'a Simulator,
+    pub(crate) ws: &'a mut SimWorkspace,
+    pub(crate) obs: &'a mut O,
+    pub(crate) rate: f64,
+    pub(crate) now: u64,
+    pub(crate) rng: SmallRng,
+    pub(crate) v: usize, // num VCs
+    pub(crate) in_flight: usize,
+    pub(crate) ring_size: usize,
+    /// Channels below this index are switch-to-switch (credit-managed on
+    /// both sides); injection channels return no upstream credit (their
+    /// upstream is the source queue).
+    pub(crate) n_network: usize,
+    pub(crate) stats: Stats,
+}
+
+impl<'a, O: SimObserver> Engine<'a, O> {
+    fn new(sim: &'a Simulator, rate: f64, ws: &'a mut SimWorkspace, obs: &'a mut O) -> Self {
+        let cfg = &sim.cfg;
+        ws.reset(&sim.topo, cfg);
+        Engine {
+            sim,
+            ws,
+            obs,
+            rate,
+            now: 0,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            v: cfg.num_vcs as usize,
+            in_flight: 0,
+            ring_size: SimWorkspace::ring_size_for(cfg),
+            n_network: sim.topo.num_network_channels(),
+            stats: Stats::new(),
+        }
+    }
+
+    pub(crate) fn alloc_packet(&mut self, p: Packet) -> u32 {
+        self.in_flight += 1;
+        if let Some(i) = self.ws.free.pop() {
+            self.ws.packets[i as usize] = p;
+            i
+        } else {
+            self.ws.packets.push(p);
+            (self.ws.packets.len() - 1) as u32
+        }
+    }
+
+    pub(crate) fn free_packet(&mut self, i: u32) {
+        self.in_flight -= 1;
+        self.ws.free.push(i);
+    }
+
+    fn run(mut self) -> SimResult {
+        let cfg = self.sim.cfg.clone();
+        let warmup = cfg.warmup_windows as u64 * cfg.window as u64;
+        let total = cfg.total_cycles();
+        let nodes = self.sim.topo.num_nodes();
+        let inflight_cap = nodes * INFLIGHT_CAP_PER_NODE;
+        let watchdog =
+            (cfg.window as u64).max(64 * (cfg.global_latency as u64 + cfg.local_latency as u64));
+
+        while self.now < total {
+            if self.now == warmup {
+                self.stats.open_window();
+                self.obs.on_measurement_start(self.now);
+            }
+            self.step();
+            if self.in_flight > inflight_cap {
+                self.stats.saturated_early = true;
+                break;
+            }
+            // Deadlock watchdog: with packets in flight, *something* must
+            // eject within a generous horizon; a correctly configured VC
+            // scheme guarantees it.  A trip marks the run instead of
+            // spinning to the end of the window.
+            if self.in_flight > 0 && self.now.saturating_sub(self.stats.last_delivery) > watchdog {
+                self.stats.deadlock_suspected = true;
+                self.stats.saturated_early = true;
+                break;
+            }
+            self.now += 1;
+        }
+
+        self.stats.finalize(
+            &cfg,
+            self.rate,
+            self.now,
+            nodes,
+            &self.ws.chan_flits,
+            &self.ws.is_global,
+            self.n_network,
+        )
+    }
+
+    fn step(&mut self) {
+        self.obs.on_cycle(self.now);
+        let slot = (self.now % self.ring_size as u64) as usize;
+
+        // 1. Credit returns.
+        let credits_due = std::mem::take(&mut self.ws.credit_ring[slot]);
+        for idx in credits_due {
+            self.ws.credits[idx as usize] += 1;
+            self.ws.cred_used[idx as usize / self.v] -= 1;
+        }
+
+        // 2. Arrivals.
+        let arrived = std::mem::take(&mut self.ws.arrivals[slot]);
+        for pi in arrived {
+            let p = &self.ws.packets[pi as usize];
+            let ch = p.cur_chan as usize;
+            let dst = self.ws.dst_switch[ch];
+            if dst == u32::MAX {
+                // Ejection: delivered.
+                let (birth, hops) = (p.birth, p.hops_taken);
+                self.stats.record_delivery(self.now, birth, hops);
+                self.obs.on_deliver(self.now, self.now - birth, hops);
+                self.free_packet(pi);
+            } else {
+                let idx = ch * self.v + p.cur_vc as usize;
+                self.ws.in_buf[idx].push_back(pi);
+                self.ws.buf_occ[ch] += 1;
+                if !self.ws.in_ready[idx] {
+                    self.ws.in_ready[idx] = true;
+                    self.ws.ready[dst as usize].push(idx as u32);
+                }
+            }
+        }
+
+        // 3. Injection.
+        self.inject();
+
+        // 4. Switch allocation.
+        self.allocate();
+
+        // 5. Wire transmission (1 flit/cycle/channel).
+        self.transmit();
+    }
+}

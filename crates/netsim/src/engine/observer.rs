@@ -1,0 +1,47 @@
+//! The observability seam of the engine.
+//!
+//! The engine is generic over a [`SimObserver`] and calls its hooks at the
+//! few events external instrumentation cares about.  The default
+//! [`NoopObserver`] has empty inline bodies, and the engine is
+//! monomorphized per observer type, so the hot loop pays nothing for the
+//! seam unless an observer actually does work.
+
+use tugal_topology::NodeId;
+
+/// Cycle-level probe interface; every hook has a no-op default body, so an
+/// observer implements only what it needs.
+///
+/// Observers must not assume hooks fire for *every* packet event — the
+/// seam covers the events the engine already computes (injection attempts,
+/// routing decisions, deliveries, cycle boundaries), not a full trace.
+#[allow(unused_variables)]
+pub trait SimObserver {
+    /// Start of each simulated cycle, before credit returns and arrivals.
+    #[inline(always)]
+    fn on_cycle(&mut self, now: u64) {}
+
+    /// The measurement window opened (warmup ended) at `now`.
+    #[inline(always)]
+    fn on_measurement_start(&mut self, now: u64) {}
+
+    /// A packet was created at `src` for `dst` (counted as injected even
+    /// if the source queue then drops it).
+    #[inline(always)]
+    fn on_inject(&mut self, now: u64, src: NodeId, dst: NodeId) {}
+
+    /// A routing decision ran; `used_vlb` tells whether the VLB candidate
+    /// won (PAR reroutes fire this a second time).
+    #[inline(always)]
+    fn on_route(&mut self, now: u64, used_vlb: bool) {}
+
+    /// A packet reached its destination node: `latency` cycles after
+    /// creation, over `hops` switch-to-switch hops.
+    #[inline(always)]
+    fn on_deliver(&mut self, now: u64, latency: u64, hops: u8) {}
+}
+
+/// The zero-cost default observer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopObserver;
+
+impl SimObserver for NoopObserver {}

@@ -1,0 +1,190 @@
+//! Routing decisions: the UGAL-L/G queue metrics, the MIN-vs-VLB choice at
+//! the source switch, and PAR's one-shot in-group revision.
+
+use super::observer::SimObserver;
+use super::{Engine, F_REVISABLE, F_ROUTED, F_VLB};
+use crate::config::RoutingAlgorithm;
+use tugal_routing::{vc_class, Path, PathProvider};
+use tugal_topology::NodeId;
+
+impl<O: SimObserver> Engine<'_, O> {
+    /// UGAL-L queue metric of an output channel at its source router:
+    /// consumed downstream credits plus flits staged on the wire slot.
+    #[inline]
+    pub(crate) fn q_local(&self, chan: u32) -> u64 {
+        self.ws.cred_used[chan as usize] as u64 + self.ws.staging[chan as usize].len() as u64
+    }
+
+    /// UGAL-G metric of a channel: downstream buffer occupancy plus staged
+    /// flits (a global snapshot an implementation could not cheaply have).
+    #[inline]
+    pub(crate) fn q_global(&self, chan: u32) -> u64 {
+        self.ws.buf_occ[chan as usize] as u64 + self.ws.staging[chan as usize].len() as u64
+    }
+
+    pub(crate) fn q_local_path(&self, path: &Path) -> u64 {
+        if path.hops() == 0 {
+            return 0;
+        }
+        let c = path.channel_at(&self.sim.topo, 0).0;
+        self.q_local(c) * path.hops() as u64
+    }
+
+    pub(crate) fn q_global_path(&self, path: &Path) -> u64 {
+        let topo = &self.sim.topo;
+        (0..path.hops())
+            .map(|i| self.q_global(path.channel_at(topo, i).0))
+            .sum()
+    }
+
+    /// Draws `cfg.vlb_candidates` VLB candidates and keeps the one with
+    /// the smallest queue metric (`global` selects the UGAL-G metric).
+    /// With the default of one candidate this is a single provider draw —
+    /// exactly the paper's UGAL.
+    fn best_vlb_candidate(
+        &mut self,
+        provider: &dyn PathProvider,
+        s: tugal_topology::SwitchId,
+        d: tugal_topology::SwitchId,
+        global: bool,
+    ) -> Path {
+        let k = self.sim.cfg.vlb_candidates.max(1);
+        let mut best = provider.sample_vlb(s, d, &mut self.rng);
+        if k == 1 {
+            return best;
+        }
+        let metric = |e: &Self, p: &Path| {
+            if global {
+                e.q_global_path(p)
+            } else {
+                e.q_local_path(p)
+            }
+        };
+        let mut best_q = metric(self, &best);
+        for _ in 1..k {
+            let cand = provider.sample_vlb(s, d, &mut self.rng);
+            let q = metric(self, &cand);
+            if q < best_q {
+                best = cand;
+                best_q = q;
+            }
+        }
+        best
+    }
+
+    /// The initial routing decision at the source switch.
+    pub(crate) fn route(&mut self, pi: u32) {
+        let topo = self.sim.topo.clone();
+        // Before routing, the placeholder path holds the source switch.
+        let (s, d) = {
+            let p = &self.ws.packets[pi as usize];
+            (p.path.src(), topo.switch_of_node(NodeId(p.dst_node)))
+        };
+        let provider = self.sim.provider.clone();
+        let (path, used_vlb, revisable) = match self.sim.routing {
+            RoutingAlgorithm::Min => (provider.sample_min(s, d, &mut self.rng), false, false),
+            RoutingAlgorithm::Vlb => {
+                let p = provider.sample_vlb(s, d, &mut self.rng);
+                let vlb = p.hops() > 0;
+                (p, vlb, false)
+            }
+            RoutingAlgorithm::UgalL | RoutingAlgorithm::Par => {
+                let min = provider.sample_min(s, d, &mut self.rng);
+                let vlb = self.best_vlb_candidate(&*provider, s, d, false);
+                if min == vlb || min.hops() == 0 {
+                    (min, false, false)
+                } else {
+                    let qm = self.q_local_path(&min) as i64;
+                    let qv = self.q_local_path(&vlb) as i64;
+                    if qm <= qv + self.sim.cfg.ugal_threshold {
+                        (min, false, self.sim.routing == RoutingAlgorithm::Par)
+                    } else {
+                        (vlb, true, false)
+                    }
+                }
+            }
+            RoutingAlgorithm::UgalG => {
+                let min = provider.sample_min(s, d, &mut self.rng);
+                let vlb = self.best_vlb_candidate(&*provider, s, d, true);
+                if min == vlb || min.hops() == 0 {
+                    (min, false, false)
+                } else {
+                    let qm = self.q_global_path(&min) as i64;
+                    let qv = self.q_global_path(&vlb) as i64;
+                    if qm <= qv + self.sim.cfg.ugal_threshold {
+                        (min, false, false)
+                    } else {
+                        (vlb, true, false)
+                    }
+                }
+            }
+        };
+        self.stats.record_route(used_vlb);
+        self.obs.on_route(self.now, used_vlb);
+        let p = &mut self.ws.packets[pi as usize];
+        p.path = path;
+        p.hop = 0;
+        p.flags |= F_ROUTED;
+        if used_vlb {
+            p.flags |= F_VLB;
+        }
+        if revisable {
+            p.flags |= F_REVISABLE;
+        }
+    }
+
+    /// PAR: possibly revise a MIN decision at the second router of the
+    /// source group.
+    pub(crate) fn par_revise(&mut self, pi: u32) {
+        let topo = self.sim.topo.clone();
+        let (cur, src_sw, dst_node, remaining) = {
+            let p = &self.ws.packets[pi as usize];
+            if p.flags & F_REVISABLE == 0 || p.hop != 1 {
+                return;
+            }
+            (p.path.switch(1), p.path.src(), p.dst_node, p.path.suffix(1))
+        };
+        // Only when the first hop stayed inside the source group.
+        if topo.group_of(cur) != topo.group_of(src_sw) {
+            self.ws.packets[pi as usize].flags &= !F_REVISABLE;
+            return;
+        }
+        let d = topo.switch_of_node(NodeId(dst_node));
+        let provider = self.sim.provider.clone();
+        let vlb = provider.sample_vlb(cur, d, &mut self.rng);
+        let q_min = self.q_local_path(&remaining) as i64;
+        let q_vlb = self.q_local_path(&vlb) as i64;
+        let p = &mut self.ws.packets[pi as usize];
+        p.flags &= !F_REVISABLE;
+        if q_min > q_vlb + self.sim.cfg.ugal_threshold && vlb.hops() > 0 {
+            // Reroute: the packet has taken one local hop already.
+            p.path = vlb;
+            p.hop = 0;
+            p.pre_local = 1;
+            p.flags |= F_VLB;
+            self.stats.vlb_chosen += 1;
+            self.obs.on_route(self.now, true);
+        }
+    }
+
+    /// Output channel and VC for the packet's next hop; `None` VC means no
+    /// credit tracking (ejection).
+    pub(crate) fn next_hop(&self, pi: u32) -> (u32, Option<u8>) {
+        let topo = &self.sim.topo;
+        let p = &self.ws.packets[pi as usize];
+        if p.hop as usize == p.path.hops() {
+            (topo.ejection_channel(NodeId(p.dst_node)).0, None)
+        } else {
+            let c = p.path.channel_at(topo, p.hop as usize);
+            let vc = vc_class(
+                self.sim.cfg.vc_scheme,
+                topo,
+                &p.path,
+                p.hop as usize,
+                p.pre_local,
+                0,
+            );
+            (c.0, Some(vc))
+        }
+    }
+}

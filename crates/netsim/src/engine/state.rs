@@ -1,0 +1,248 @@
+//! Flow-control state: the per-run allocations of the engine, owned by a
+//! reusable [`SimWorkspace`].
+//!
+//! All per-channel state lives in flat vectors indexed by
+//! [`tugal_topology::ChannelId`]:
+//!
+//! * `staging` — flits that won switch allocation and wait for their 1
+//!   flit/cycle slot on the wire (they already hold a downstream credit,
+//!   so backpressure is preserved),
+//! * `in_buf` — the downstream router's input buffer, one FIFO per VC,
+//! * `credits` — sender-side credit counters per VC; credit return takes
+//!   the channel latency, modelled with a calendar ring.
+//!
+//! In-flight flits sit in an arrival calendar ring rather than per-channel
+//! pipelines, so per-cycle cost is proportional to the number of flits in
+//! flight, not to topology size.  Each router keeps a *ready list* of
+//! non-empty input-buffer FIFOs; switch allocation visits only those.
+//!
+//! A workspace survives across runs: [`SimWorkspace::reset`] clears every
+//! structure *in place* (keeping the backing capacity) when the engine
+//! shape — channel count × VC count × switch count × calendar ring size —
+//! matches the previous run, and rebuilds from scratch only when it
+//! changes.  A reset workspace is indistinguishable from a fresh one, so
+//! reuse cannot perturb determinism (asserted by the golden fixtures and
+//! the workspace-reuse tests).
+
+use crate::config::Config;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use tugal_routing::Path;
+use tugal_topology::{ChannelKind, Dragonfly, Endpoint};
+
+/// A packet in flight (single-flit, as the paper uses).
+#[derive(Clone)]
+pub(crate) struct Packet {
+    pub(crate) dst_node: u32,
+    pub(crate) birth: u64,
+    pub(crate) path: Path,
+    /// Index of the next hop to take on `path`.
+    pub(crate) hop: u8,
+    /// VC the packet occupies on its current channel.
+    pub(crate) cur_vc: u8,
+    /// Channel currently carrying/buffering the packet.
+    pub(crate) cur_chan: u32,
+    /// Local/global hops taken before `path` started (PAR reroute).
+    pub(crate) pre_local: u8,
+    /// Network hops taken so far (for statistics).
+    pub(crate) hops_taken: u8,
+    pub(crate) flags: u8,
+}
+
+/// The engine shape a workspace is currently sized for.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct Shape {
+    n_chan: usize,
+    v: usize,
+    n_switches: usize,
+    ring_size: usize,
+    buf_size: u16,
+}
+
+/// Owns every per-run allocation of the engine — packet pool, input-buffer
+/// FIFOs, credit counters, calendar rings, ready lists — so consecutive
+/// runs can reuse the backing memory instead of reallocating it.
+///
+/// Create one with [`SimWorkspace::new`] and pass it to
+/// [`crate::Simulator::run_with`]; the sweep layer keeps one workspace per
+/// worker through a [`WorkspacePool`].
+#[derive(Default)]
+pub struct SimWorkspace {
+    shape: Option<Shape>,
+
+    // Packet pool.
+    pub(crate) packets: Vec<Packet>,
+    pub(crate) free: Vec<u32>,
+
+    // Per channel.
+    pub(crate) latency: Vec<u32>,
+    pub(crate) staging: Vec<VecDeque<u32>>,
+    pub(crate) next_free: Vec<u64>,
+    pub(crate) in_busy: Vec<bool>,
+    pub(crate) busy_list: Vec<u32>,
+    /// Credits available, per (channel * V + vc).
+    pub(crate) credits: Vec<u16>,
+    /// Downstream input buffers, per (channel * V + vc).
+    pub(crate) in_buf: Vec<VecDeque<u32>>,
+    /// Sum of in_buf occupancy over VCs, per channel (UGAL-G metric).
+    pub(crate) buf_occ: Vec<u32>,
+    /// Credits consumed, per channel (UGAL-L metric).
+    pub(crate) cred_used: Vec<u32>,
+    /// Destination switch of each network/injection channel (u32::MAX for
+    /// ejection).
+    pub(crate) dst_switch: Vec<u32>,
+    /// True for global channels (for utilization aggregation).
+    pub(crate) is_global: Vec<bool>,
+
+    // Per switch.
+    pub(crate) ready: Vec<Vec<u32>>, // buffer indices (chan * V + vc)
+    pub(crate) in_ready: Vec<bool>,  // per buffer index
+    pub(crate) rr: Vec<usize>,
+    pub(crate) out_stamp: Vec<u64>, // per channel: SA round stamp
+
+    // Calendars.
+    pub(crate) arrivals: Vec<Vec<u32>>, // ring by cycle: packet indices
+    pub(crate) credit_ring: Vec<Vec<u32>>, // ring by cycle: buffer indices
+
+    /// Flits sent per channel during the run (utilization statistic).
+    pub(crate) chan_flits: Vec<u32>,
+}
+
+impl SimWorkspace {
+    /// An empty workspace; the first [`reset`](Self::reset) sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Calendar ring size for a configuration.
+    pub(crate) fn ring_size_for(cfg: &Config) -> usize {
+        let max_lat = cfg
+            .local_latency
+            .max(cfg.global_latency)
+            .max(cfg.terminal_latency) as usize;
+        max_lat + 2
+    }
+
+    /// Prepares the workspace for a run of `topo` under `cfg`: same-shape
+    /// resets clear in place (keeping capacity), shape changes rebuild.
+    pub(crate) fn reset(&mut self, topo: &Dragonfly, cfg: &Config) {
+        let shape = Shape {
+            n_chan: topo.num_channels(),
+            v: cfg.num_vcs as usize,
+            n_switches: topo.num_switches(),
+            ring_size: Self::ring_size_for(cfg),
+            buf_size: cfg.buf_size,
+        };
+        if self.shape != Some(shape) {
+            self.resize(shape);
+        }
+        self.shape = Some(shape);
+
+        self.packets.clear();
+        self.free.clear();
+        self.busy_list.clear();
+        for q in &mut self.staging {
+            q.clear();
+        }
+        self.next_free.fill(0);
+        self.in_busy.fill(false);
+        self.credits.fill(shape.buf_size);
+        for q in &mut self.in_buf {
+            q.clear();
+        }
+        self.buf_occ.fill(0);
+        self.cred_used.fill(0);
+        for r in &mut self.ready {
+            r.clear();
+        }
+        self.in_ready.fill(false);
+        self.rr.fill(0);
+        self.out_stamp.fill(0);
+        for a in &mut self.arrivals {
+            a.clear();
+        }
+        for c in &mut self.credit_ring {
+            c.clear();
+        }
+        self.chan_flits.fill(0);
+
+        // Channel geometry is cheap to rederive and may differ between
+        // configs of the same shape (e.g. latencies), so refill it on every
+        // reset; the buffers above keep their capacity either way.
+        self.latency.clear();
+        self.dst_switch.clear();
+        self.is_global.clear();
+        for ch in topo.channels() {
+            self.latency.push(match ch.kind {
+                ChannelKind::Local => cfg.local_latency,
+                ChannelKind::Global => cfg.global_latency,
+                _ => cfg.terminal_latency,
+            });
+            self.dst_switch.push(match ch.dst {
+                Endpoint::Switch(s) => s.0,
+                Endpoint::Node(_) => u32::MAX,
+            });
+            self.is_global.push(ch.kind == ChannelKind::Global);
+        }
+    }
+
+    fn resize(&mut self, s: Shape) {
+        self.packets = Vec::new();
+        self.free = Vec::new();
+        self.latency = Vec::with_capacity(s.n_chan);
+        self.staging = vec![VecDeque::new(); s.n_chan];
+        self.next_free = vec![0; s.n_chan];
+        self.in_busy = vec![false; s.n_chan];
+        self.busy_list = Vec::new();
+        self.credits = vec![s.buf_size; s.n_chan * s.v];
+        self.in_buf = (0..s.n_chan * s.v).map(|_| VecDeque::new()).collect();
+        self.buf_occ = vec![0; s.n_chan];
+        self.cred_used = vec![0; s.n_chan];
+        self.dst_switch = Vec::with_capacity(s.n_chan);
+        self.is_global = Vec::with_capacity(s.n_chan);
+        self.ready = vec![Vec::new(); s.n_switches];
+        self.in_ready = vec![false; s.n_chan * s.v];
+        self.rr = vec![0; s.n_switches];
+        self.out_stamp = vec![0; s.n_chan];
+        self.arrivals = vec![Vec::new(); s.ring_size];
+        self.credit_ring = vec![Vec::new(); s.ring_size];
+        self.chan_flits = vec![0; s.n_chan];
+    }
+}
+
+/// A shared bag of [`SimWorkspace`]s for parallel sweeps: each job checks
+/// one out (creating it on first use), runs, and returns it, so a sweep
+/// allocates at most one workspace per concurrently running worker no
+/// matter how many (rate, seed) jobs it schedules.
+#[derive(Default)]
+pub struct WorkspacePool {
+    inner: Mutex<Vec<SimWorkspace>>,
+}
+
+impl WorkspacePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` with a pooled workspace (a fresh one when the pool is
+    /// empty), returning the workspace to the pool afterwards.
+    pub fn with<R>(&self, f: impl FnOnce(&mut SimWorkspace) -> R) -> R {
+        let mut ws = self
+            .inner
+            .lock()
+            .map(|mut v| v.pop())
+            .unwrap_or_default()
+            .unwrap_or_default();
+        let r = f(&mut ws);
+        if let Ok(mut v) = self.inner.lock() {
+            v.push(ws);
+        }
+        r
+    }
+
+    /// Number of workspaces currently parked in the pool.
+    pub fn idle(&self) -> usize {
+        self.inner.lock().map(|v| v.len()).unwrap_or(0)
+    }
+}

@@ -44,14 +44,15 @@
 #![warn(missing_docs)]
 
 mod config;
-mod sim;
+mod engine;
+pub mod runner;
 mod stats;
 mod sweep;
 
 pub use config::{Config, RoutingAlgorithm};
-pub use sim::Simulator;
+pub use engine::{NoopObserver, SimObserver, SimWorkspace, Simulator, WorkspacePool};
 pub use stats::SimResult;
-pub use sweep::{latency_curve, saturation_throughput, CurvePoint, SweepOptions};
+pub use sweep::{aggregate_runs, latency_curve, saturation_throughput, CurvePoint, SweepOptions};
 
 #[cfg(test)]
 mod tests;

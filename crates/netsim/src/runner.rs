@@ -1,0 +1,141 @@
+//! Unified experiment runner: one flat (series × rate × seed) job list.
+//!
+//! Figure-style experiments sweep several labelled series (provider ×
+//! routing × config) over a shared offered-load grid, replicated over
+//! seeds.  Running each series (or each rate) through its own nested
+//! parallel call leaves workers idle at every join point and reallocates
+//! engine state per run; the [`ExperimentRunner`] instead expands the full
+//! cartesian job list up front, schedules it through a *single* parallel
+//! batch over one [`WorkspacePool`], and aggregates per (series, rate)
+//! with [`aggregate_runs`] — recording per-job wall-clock so harnesses can
+//! report where the time went.
+
+use crate::config::{Config, RoutingAlgorithm};
+use crate::engine::WorkspacePool;
+use crate::stats::SimResult;
+use crate::sweep::{aggregate_runs, run_job, CurvePoint};
+use rayon::prelude::*;
+use std::sync::Arc;
+use tugal_routing::PathProvider;
+use tugal_topology::Dragonfly;
+use tugal_traffic::TrafficPattern;
+
+/// One labelled series of an experiment: which candidate provider, routing
+/// algorithm, traffic pattern and simulator configuration to sweep.
+pub struct SeriesSpec {
+    /// Legend label (matching the paper's figures).
+    pub label: String,
+    /// Candidate-path source.
+    pub provider: Arc<dyn PathProvider>,
+    /// Traffic pattern.
+    pub pattern: Arc<dyn TrafficPattern>,
+    /// Routing algorithm.
+    pub routing: RoutingAlgorithm,
+    /// Fully-specified simulator configuration (the per-job seed is
+    /// overridden from the runner's seed list).
+    pub cfg: Config,
+}
+
+/// One series' aggregated sweep, with timing.
+pub struct SeriesCurve {
+    /// Legend label, copied from the [`SeriesSpec`].
+    pub label: String,
+    /// One aggregated point per offered load, each carrying the wall-clock
+    /// its replications cost.
+    pub points: Vec<CurvePoint>,
+}
+
+impl SeriesCurve {
+    /// Total wall-clock of this series' jobs, in milliseconds.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.points.iter().map(|p| p.elapsed_ms).sum()
+    }
+}
+
+/// Owns the (series × rate × seed) job list of one experiment and runs it
+/// as a single flat parallel batch.
+pub struct ExperimentRunner {
+    topo: Arc<Dragonfly>,
+    series: Vec<SeriesSpec>,
+}
+
+impl ExperimentRunner {
+    /// A runner over `topo` with no series yet.
+    pub fn new(topo: Arc<Dragonfly>) -> Self {
+        ExperimentRunner {
+            topo,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds one labelled series.
+    pub fn series(mut self, spec: SeriesSpec) -> Self {
+        self.series.push(spec);
+        self
+    }
+
+    /// Number of jobs `run` would schedule.
+    pub fn job_count(&self, rates: &[f64], seeds: &[u64]) -> usize {
+        self.series.len() * rates.len() * seeds.len()
+    }
+
+    /// Expands the full job list, runs it through one parallel batch over
+    /// a shared workspace pool, and folds the per-seed results into one
+    /// [`CurvePoint`] per (series, rate) via [`aggregate_runs`].
+    pub fn run(&self, rates: &[f64], seeds: &[u64]) -> Vec<SeriesCurve> {
+        assert!(
+            !seeds.is_empty(),
+            "ExperimentRunner needs at least one seed"
+        );
+        let pool = WorkspacePool::new();
+        // Job order is series-major, then rate, then seed, so the flat
+        // result vector chunks back into (series, rate) groups directly
+        // (the parallel map preserves input order).
+        let jobs: Vec<(usize, f64, u64)> = self
+            .series
+            .iter()
+            .enumerate()
+            .flat_map(|(si, _)| {
+                rates
+                    .iter()
+                    .flat_map(move |&rate| seeds.iter().map(move |&seed| (si, rate, seed)))
+            })
+            .collect();
+        let outcomes: Vec<(SimResult, f64)> = jobs
+            .par_iter()
+            .map(|&(si, rate, seed)| {
+                let s = &self.series[si];
+                run_job(
+                    &pool,
+                    &self.topo,
+                    &s.provider,
+                    &s.pattern,
+                    s.routing,
+                    &s.cfg,
+                    rate,
+                    seed,
+                )
+            })
+            .collect();
+        let per_series = rates.len() * seeds.len();
+        self.series
+            .iter()
+            .zip(outcomes.chunks(per_series.max(1)))
+            .map(|(spec, chunk)| SeriesCurve {
+                label: spec.label.clone(),
+                points: chunk
+                    .chunks(seeds.len())
+                    .zip(rates)
+                    .map(|(group, &rate)| {
+                        let runs: Vec<SimResult> = group.iter().map(|(r, _)| r.clone()).collect();
+                        CurvePoint {
+                            rate,
+                            result: aggregate_runs(rate, &runs),
+                            elapsed_ms: group.iter().map(|(_, ms)| ms).sum(),
+                        }
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+}

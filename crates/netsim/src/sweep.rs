@@ -1,10 +1,17 @@
 //! Load sweeps: latency curves and saturation throughput.
+//!
+//! Both sweeps schedule their (rate × seed) replications as one flat job
+//! list over a shared [`WorkspacePool`], so engine state is allocated once
+//! per worker and reused across every point — the bisection in
+//! [`saturation_throughput`] keeps its pool across iterations for the same
+//! reason.
 
 use crate::config::{Config, RoutingAlgorithm};
-use crate::sim::Simulator;
+use crate::engine::{SimWorkspace, Simulator, WorkspacePool};
 use crate::stats::SimResult;
 use rayon::prelude::*;
 use std::sync::Arc;
+use std::time::Instant;
 use tugal_routing::PathProvider;
 use tugal_topology::Dragonfly;
 use tugal_traffic::TrafficPattern;
@@ -14,8 +21,11 @@ use tugal_traffic::TrafficPattern;
 pub struct CurvePoint {
     /// Offered load (packets/cycle/node).
     pub rate: f64,
-    /// Full measurement at this load.
+    /// Full measurement at this load (averaged over the sweep's seeds).
     pub result: SimResult,
+    /// Total wall-clock spent simulating this point, in milliseconds,
+    /// summed over its seed replications (they may run in parallel).
+    pub elapsed_ms: f64,
 }
 
 /// Sweep controls.
@@ -36,7 +46,66 @@ impl Default for SweepOptions {
     }
 }
 
+/// Finite-aware aggregation of replicated runs at one offered load: counts
+/// are summed, ratios averaged, and latency statistics (mean, p50, p99)
+/// averaged over *finite* values only, so a single zero-delivery run
+/// (infinite mean, NaN percentiles) cannot poison the aggregate.  A
+/// majority of saturated runs marks the point saturated.
+///
+/// Panics on an empty `runs` slice.
+pub fn aggregate_runs(rate: f64, runs: &[SimResult]) -> SimResult {
+    assert!(!runs.is_empty(), "aggregate_runs needs at least one run");
+    let n = runs.len() as f64;
+    let finite_mean = |value: fn(&SimResult) -> f64| -> f64 {
+        let vals: Vec<f64> = runs.iter().map(value).filter(|v| v.is_finite()).collect();
+        if vals.is_empty() {
+            f64::INFINITY
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    };
+    SimResult {
+        injection_rate: rate,
+        avg_latency: finite_mean(|r| r.avg_latency),
+        throughput: runs.iter().map(|r| r.throughput).sum::<f64>() / n,
+        avg_hops: runs.iter().map(|r| r.avg_hops).sum::<f64>() / n,
+        delivered: runs.iter().map(|r| r.delivered).sum(),
+        injected: runs.iter().map(|r| r.injected).sum(),
+        saturated: runs.iter().filter(|r| r.saturated).count() * 2 > runs.len(),
+        deadlock_suspected: runs.iter().any(|r| r.deadlock_suspected),
+        vlb_fraction: runs.iter().map(|r| r.vlb_fraction).sum::<f64>() / n,
+        latency_p50: finite_mean(|r| r.latency_p50),
+        latency_p99: finite_mean(|r| r.latency_p99),
+        max_channel_util: runs.iter().map(|r| r.max_channel_util).fold(0.0, f64::max),
+        mean_global_util: runs.iter().map(|r| r.mean_global_util).sum::<f64>() / n,
+        mean_local_util: runs.iter().map(|r| r.mean_local_util).sum::<f64>() / n,
+    }
+}
+
+/// One simulation job: a (rate, seed) replication run inside a pooled
+/// workspace, returning the result and its wall-clock in milliseconds.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_job(
+    pool: &WorkspacePool,
+    topo: &Arc<Dragonfly>,
+    provider: &Arc<dyn PathProvider>,
+    pattern: &Arc<dyn TrafficPattern>,
+    routing: RoutingAlgorithm,
+    cfg: &Config,
+    rate: f64,
+    seed: u64,
+) -> (SimResult, f64) {
+    let mut c = cfg.clone();
+    c.seed = seed;
+    let sim = Simulator::new(topo.clone(), provider.clone(), pattern.clone(), routing, c);
+    let start = Instant::now();
+    let result = pool.with(|ws: &mut SimWorkspace| sim.run_with(rate, ws));
+    (result, start.elapsed().as_secs_f64() * 1e3)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_averaged(
+    pool: &WorkspacePool,
     topo: &Arc<Dragonfly>,
     provider: &Arc<dyn PathProvider>,
     pattern: &Arc<dyn TrafficPattern>,
@@ -47,53 +116,16 @@ fn run_averaged(
 ) -> SimResult {
     let runs: Vec<SimResult> = seeds
         .par_iter()
-        .map(|&seed| {
-            let mut c = cfg.clone();
-            c.seed = seed;
-            Simulator::new(
-                topo.clone(),
-                provider.clone(),
-                pattern.clone(),
-                routing,
-                c,
-            )
-            .run(rate)
-        })
+        .map(|&seed| run_job(pool, topo, provider, pattern, routing, cfg, rate, seed).0)
         .collect();
-    let n = runs.len() as f64;
-    let delivered: u64 = runs.iter().map(|r| r.delivered).sum();
-    let finite: Vec<&SimResult> = runs.iter().filter(|r| r.avg_latency.is_finite()).collect();
-    let avg_latency = if finite.is_empty() {
-        f64::INFINITY
-    } else {
-        finite.iter().map(|r| r.avg_latency).sum::<f64>() / finite.len() as f64
-    };
-    SimResult {
-        injection_rate: rate,
-        avg_latency,
-        throughput: runs.iter().map(|r| r.throughput).sum::<f64>() / n,
-        avg_hops: runs.iter().map(|r| r.avg_hops).sum::<f64>() / n,
-        delivered,
-        injected: runs.iter().map(|r| r.injected).sum(),
-        saturated: runs.iter().filter(|r| r.saturated).count() * 2 > runs.len(),
-        deadlock_suspected: runs.iter().any(|r| r.deadlock_suspected),
-        vlb_fraction: runs.iter().map(|r| r.vlb_fraction).sum::<f64>() / n,
-        latency_p50: runs.iter().map(|r| r.latency_p50).sum::<f64>() / n,
-        latency_p99: runs.iter().map(|r| r.latency_p99).sum::<f64>() / n,
-        max_channel_util: runs
-            .iter()
-            .map(|r| r.max_channel_util)
-            .fold(0.0, f64::max),
-        mean_global_util: runs.iter().map(|r| r.mean_global_util).sum::<f64>() / n,
-        mean_local_util: runs.iter().map(|r| r.mean_local_util).sum::<f64>() / n,
-    }
+    aggregate_runs(rate, &runs)
 }
 
 /// Latency as the offered load increases — the x/y data of the paper's
-/// Figures 6–18.  Rates are simulated in parallel (and each rate over
-/// `opts.seeds` replications); saturated points report their (already
-/// meaningless) latencies so callers can draw the characteristic vertical
-/// asymptote.
+/// Figures 6–18.  All (rate × seed) jobs are scheduled as one flat
+/// parallel batch over a shared workspace pool; saturated points report
+/// their (already meaningless) latencies so callers can draw the
+/// characteristic vertical asymptote.
 pub fn latency_curve(
     topo: &Arc<Dragonfly>,
     provider: &Arc<dyn PathProvider>,
@@ -103,17 +135,37 @@ pub fn latency_curve(
     rates: &[f64],
     opts: &SweepOptions,
 ) -> Vec<CurvePoint> {
-    rates
+    assert!(
+        !opts.seeds.is_empty(),
+        "latency_curve needs at least one seed"
+    );
+    let pool = WorkspacePool::new();
+    let jobs: Vec<(f64, u64)> = rates
+        .iter()
+        .flat_map(|&rate| opts.seeds.iter().map(move |&seed| (rate, seed)))
+        .collect();
+    let outcomes: Vec<(SimResult, f64)> = jobs
         .par_iter()
-        .map(|&rate| CurvePoint {
-            rate,
-            result: run_averaged(topo, provider, pattern, routing, cfg, rate, &opts.seeds),
+        .map(|&(rate, seed)| run_job(&pool, topo, provider, pattern, routing, cfg, rate, seed))
+        .collect();
+    outcomes
+        .chunks(opts.seeds.len())
+        .zip(rates)
+        .map(|(chunk, &rate)| {
+            let runs: Vec<SimResult> = chunk.iter().map(|(r, _)| r.clone()).collect();
+            CurvePoint {
+                rate,
+                result: aggregate_runs(rate, &runs),
+                elapsed_ms: chunk.iter().map(|(_, ms)| ms).sum(),
+            }
         })
         .collect()
 }
 
 /// Saturation throughput: "the last injection rate before saturation
-/// happens" (§4.1.2), located by bisection to `opts.resolution`.
+/// happens" (§4.1.2), located by bisection to `opts.resolution`.  The
+/// workspace pool persists across bisection iterations, so only the first
+/// probe pays engine allocation.
 pub fn saturation_throughput(
     topo: &Arc<Dragonfly>,
     provider: &Arc<dyn PathProvider>,
@@ -122,8 +174,19 @@ pub fn saturation_throughput(
     cfg: &Config,
     opts: &SweepOptions,
 ) -> f64 {
+    let pool = WorkspacePool::new();
     let sat = |rate: f64| {
-        run_averaged(topo, provider, pattern, routing, cfg, rate, &opts.seeds).saturated
+        run_averaged(
+            &pool,
+            topo,
+            provider,
+            pattern,
+            routing,
+            cfg,
+            rate,
+            &opts.seeds,
+        )
+        .saturated
     };
     let mut lo = opts.resolution;
     let mut hi = 1.0;

@@ -73,9 +73,20 @@ fn min_routing_hop_counts_are_minimal() {
 fn vlb_routing_uses_longer_paths() {
     let t = topo(2, 4, 2, 9);
     let pattern: Arc<dyn TrafficPattern> = Arc::new(Uniform::new(&t));
-    let min = sim(&t, all_paths(&t), pattern.clone(), RoutingAlgorithm::Min, 0.05);
+    let min = sim(
+        &t,
+        all_paths(&t),
+        pattern.clone(),
+        RoutingAlgorithm::Min,
+        0.05,
+    );
     let vlb = sim(&t, all_paths(&t), pattern, RoutingAlgorithm::Vlb, 0.05);
-    assert!(vlb.avg_hops > min.avg_hops + 0.5, "{} vs {}", vlb.avg_hops, min.avg_hops);
+    assert!(
+        vlb.avg_hops > min.avg_hops + 0.5,
+        "{} vs {}",
+        vlb.avg_hops,
+        min.avg_hops
+    );
 }
 
 #[test]
@@ -84,8 +95,17 @@ fn min_saturates_on_adversarial_while_vlb_does_not() {
     // 1 global link (cap 0.125/node); VLB spreads over 7 groups.
     let t = topo(2, 4, 2, 9);
     let pattern: Arc<dyn TrafficPattern> = Arc::new(Shift::new(&t, 1, 0));
-    let min = sim(&t, all_paths(&t), pattern.clone(), RoutingAlgorithm::Min, 0.3);
-    assert!(min.saturated, "MIN should saturate at 0.3 on adversarial: {min:?}");
+    let min = sim(
+        &t,
+        all_paths(&t),
+        pattern.clone(),
+        RoutingAlgorithm::Min,
+        0.3,
+    );
+    assert!(
+        min.saturated,
+        "MIN should saturate at 0.3 on adversarial: {min:?}"
+    );
     let vlb = sim(&t, all_paths(&t), pattern, RoutingAlgorithm::Vlb, 0.3);
     assert!(!vlb.saturated, "VLB should survive 0.3: {vlb:?}");
 }
@@ -193,9 +213,20 @@ fn higher_load_means_higher_latency_under_min() {
     // low load — see `ugal_l_misroutes_at_low_load`.)
     let t = topo(2, 4, 2, 9);
     let pattern: Arc<dyn TrafficPattern> = Arc::new(Uniform::new(&t));
-    let lo = sim(&t, all_paths(&t), pattern.clone(), RoutingAlgorithm::Min, 0.05);
+    let lo = sim(
+        &t,
+        all_paths(&t),
+        pattern.clone(),
+        RoutingAlgorithm::Min,
+        0.05,
+    );
     let hi = sim(&t, all_paths(&t), pattern, RoutingAlgorithm::Min, 0.6);
-    assert!(hi.avg_latency > lo.avg_latency, "{} vs {}", hi.avg_latency, lo.avg_latency);
+    assert!(
+        hi.avg_latency > lo.avg_latency,
+        "{} vs {}",
+        hi.avg_latency,
+        lo.avg_latency
+    );
 }
 
 #[test]
@@ -207,7 +238,13 @@ fn ugal_l_misroutes_at_low_load() {
     // latency.  T-UGAL shortens exactly those paths (Figure 6).
     let t = topo(2, 4, 2, 9);
     let pattern: Arc<dyn TrafficPattern> = Arc::new(Uniform::new(&t));
-    let lo = sim(&t, all_paths(&t), pattern.clone(), RoutingAlgorithm::UgalL, 0.05);
+    let lo = sim(
+        &t,
+        all_paths(&t),
+        pattern.clone(),
+        RoutingAlgorithm::UgalL,
+        0.05,
+    );
     let mid = sim(&t, all_paths(&t), pattern, RoutingAlgorithm::UgalL, 0.4);
     assert!(
         lo.vlb_fraction > mid.vlb_fraction,
@@ -251,14 +288,7 @@ fn perhop_vc_scheme_runs() {
     let mut cfg = Config::quick();
     cfg.vc_scheme = tugal_routing::VcScheme::PerHop;
     cfg.num_vcs = 6;
-    let r = Simulator::new(
-        t.clone(),
-        all_paths(&t),
-        adv,
-        RoutingAlgorithm::UgalG,
-        cfg,
-    )
-    .run(0.2);
+    let r = Simulator::new(t.clone(), all_paths(&t), adv, RoutingAlgorithm::UgalG, cfg).run(0.2);
     assert!(r.delivered > 0);
     assert!(!r.saturated, "{r:?}");
 }
@@ -306,7 +336,8 @@ fn saturation_throughput_orders_min_below_vlb_on_adversarial() {
         resolution: 0.02,
     };
     let cfg_min = quick(RoutingAlgorithm::Min);
-    let min_sat = saturation_throughput(&t, &provider, &adv, RoutingAlgorithm::Min, &cfg_min, &opts);
+    let min_sat =
+        saturation_throughput(&t, &provider, &adv, RoutingAlgorithm::Min, &cfg_min, &opts);
     let cfg_u = quick(RoutingAlgorithm::UgalL);
     let ugal_sat =
         saturation_throughput(&t, &provider, &adv, RoutingAlgorithm::UgalL, &cfg_u, &opts);
@@ -344,7 +375,13 @@ fn ejection_bottleneck_saturates_hotspot_traffic() {
         target: tugal_topology::NodeId(0),
     });
     // 71 senders share one ejection channel: per-node capacity ~ 1/71.
-    let r = sim(&t, all_paths(&t), pattern.clone(), RoutingAlgorithm::Min, 0.1);
+    let r = sim(
+        &t,
+        all_paths(&t),
+        pattern.clone(),
+        RoutingAlgorithm::Min,
+        0.1,
+    );
     assert!(r.saturated, "hotspot at 0.1/node must saturate: {r:?}");
     let r = sim(&t, all_paths(&t), pattern, RoutingAlgorithm::Min, 0.01);
     assert!(!r.saturated, "hotspot at 0.01/node fits: {r:?}");
@@ -426,7 +463,13 @@ fn speedup_two_dominates_speedup_one() {
     };
     let s1 = run(1);
     let s2 = run(2);
-    let score = |r: &SimResult| if r.saturated { f64::INFINITY } else { r.avg_latency };
+    let score = |r: &SimResult| {
+        if r.saturated {
+            f64::INFINITY
+        } else {
+            r.avg_latency
+        }
+    };
     assert!(
         score(&s2) <= score(&s1) + 10.0,
         "speedup 2 {s2:?} should not lose to speedup 1 {s1:?}"
@@ -477,7 +520,13 @@ fn throughput_never_exceeds_offered_load() {
     let t = topo(2, 4, 2, 9);
     let pattern: Arc<dyn TrafficPattern> = Arc::new(Uniform::new(&t));
     for rate in [0.05, 0.3, 0.6] {
-        let r = sim(&t, all_paths(&t), pattern.clone(), RoutingAlgorithm::UgalL, rate);
+        let r = sim(
+            &t,
+            all_paths(&t),
+            pattern.clone(),
+            RoutingAlgorithm::UgalL,
+            rate,
+        );
         assert!(
             r.throughput <= rate * 1.05 + 0.01,
             "accepted {} offered {rate}",
@@ -507,7 +556,13 @@ fn more_vlb_candidates_help_adversarial_traffic() {
     };
     let one = run(1);
     let four = run(4);
-    let score = |r: &SimResult| if r.saturated { f64::INFINITY } else { r.avg_latency };
+    let score = |r: &SimResult| {
+        if r.saturated {
+            f64::INFINITY
+        } else {
+            r.avg_latency
+        }
+    };
     assert!(
         score(&four) <= score(&one) * 1.1 + 5.0,
         "4 candidates {four:?} should not lose to 1 {one:?}"
@@ -558,9 +613,20 @@ fn percentiles_bracket_the_mean() {
 fn channel_utilization_tracks_offered_load() {
     let t = topo(2, 4, 2, 9);
     let pattern: Arc<dyn TrafficPattern> = Arc::new(Uniform::new(&t));
-    let lo = sim(&t, all_paths(&t), pattern.clone(), RoutingAlgorithm::Min, 0.05);
+    let lo = sim(
+        &t,
+        all_paths(&t),
+        pattern.clone(),
+        RoutingAlgorithm::Min,
+        0.05,
+    );
     let hi = sim(&t, all_paths(&t), pattern, RoutingAlgorithm::Min, 0.4);
-    assert!(hi.mean_global_util > lo.mean_global_util * 3.0, "{} vs {}", hi.mean_global_util, lo.mean_global_util);
+    assert!(
+        hi.mean_global_util > lo.mean_global_util * 3.0,
+        "{} vs {}",
+        hi.mean_global_util,
+        lo.mean_global_util
+    );
     assert!(hi.max_channel_util <= 1.0 + 1e-9, "{}", hi.max_channel_util);
     assert!(lo.mean_local_util > 0.0);
 }

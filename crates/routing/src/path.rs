@@ -97,10 +97,7 @@ impl Path {
     #[inline]
     pub fn hop(&self, i: usize) -> (SwitchId, SwitchId) {
         debug_assert!(i < self.len as usize);
-        (
-            SwitchId(self.sw[i] as u32),
-            SwitchId(self.sw[i + 1] as u32),
-        )
+        (SwitchId(self.sw[i] as u32), SwitchId(self.sw[i + 1] as u32))
     }
 
     /// Appends a switch, extending the path by one hop.
@@ -229,7 +226,10 @@ mod tests {
         assert_eq!(p.dst(), sid(9));
         assert_eq!(p.hop(0), (sid(1), sid(2)));
         assert_eq!(p.hop(1), (sid(2), sid(9)));
-        assert_eq!(p.switches().collect::<Vec<_>>(), vec![sid(1), sid(2), sid(9)]);
+        assert_eq!(
+            p.switches().collect::<Vec<_>>(),
+            vec![sid(1), sid(2), sid(9)]
+        );
         assert_eq!(format!("{p:?}"), "[s1->s2->s9]");
     }
 
@@ -246,9 +246,15 @@ mod tests {
         let b = Path::from_switches(&[sid(1), sid(5), sid(6)]);
         let c = a.concat(&b);
         assert_eq!(c.hops(), 3);
-        assert_eq!(c.switches().collect::<Vec<_>>(), vec![sid(0), sid(1), sid(5), sid(6)]);
+        assert_eq!(
+            c.switches().collect::<Vec<_>>(),
+            vec![sid(0), sid(1), sid(5), sid(6)]
+        );
         let s = c.suffix(1);
-        assert_eq!(s.switches().collect::<Vec<_>>(), vec![sid(1), sid(5), sid(6)]);
+        assert_eq!(
+            s.switches().collect::<Vec<_>>(),
+            vec![sid(1), sid(5), sid(6)]
+        );
         let whole = c.suffix(0);
         assert_eq!(whole, c);
         let end = c.suffix(3);

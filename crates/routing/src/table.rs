@@ -221,8 +221,7 @@ impl PathTable {
         for _ in 0..n * n {
             let mut pp = PairPaths::default();
             for which in 0..2 {
-                let count =
-                    u32::from_le_bytes(take(&mut cur, 4)?.try_into().ok()?) as usize;
+                let count = u32::from_le_bytes(take(&mut cur, 4)?.try_into().ok()?) as usize;
                 let list = if which == 0 { &mut pp.min } else { &mut pp.vlb };
                 list.reserve(count);
                 for _ in 0..count {
@@ -232,8 +231,7 @@ impl PathTable {
                     }
                     let mut switches = Vec::with_capacity(len);
                     for _ in 0..len {
-                        let sw =
-                            u16::from_le_bytes(take(&mut cur, 2)?.try_into().ok()?);
+                        let sw = u16::from_le_bytes(take(&mut cur, 2)?.try_into().ok()?);
                         switches.push(tugal_topology::SwitchId(sw as u32));
                     }
                     list.push(Path::from_switches(&switches));

@@ -62,9 +62,8 @@ fn class_limit_rule_is_reproducible() {
     assert_eq!(a.pair(s, d).vlb, b.pair(s, d).vlb);
     // Different seed almost surely picks a different 5-hop subset somewhere.
     let same_everywhere = (0..t.num_switches() as u32).all(|s| {
-        (0..t.num_switches() as u32).all(|d| {
-            a.pair(SwitchId(s), SwitchId(d)).vlb == c.pair(SwitchId(s), SwitchId(d)).vlb
-        })
+        (0..t.num_switches() as u32)
+            .all(|d| a.pair(SwitchId(s), SwitchId(d)).vlb == c.pair(SwitchId(s), SwitchId(d)).vlb)
     });
     assert!(!same_everywhere);
 }

@@ -176,8 +176,7 @@ mod tests {
         }
 
         // Even spread across group pairs.
-        let mut per_pair =
-            std::collections::HashMap::<(u32, u32), u32>::with_capacity(links.len());
+        let mut per_pair = std::collections::HashMap::<(u32, u32), u32>::with_capacity(links.len());
         for &(u, v) in &links {
             let (ga, gb) = (u.0 / params.a, v.0 / params.a);
             let key = (ga.min(gb), ga.max(gb));

@@ -246,7 +246,11 @@ impl Dragonfly {
     #[inline]
     pub fn node_coords(&self, n: NodeId) -> (GroupId, u32, u32) {
         let s = n.0 / self.params.p;
-        (GroupId(s / self.params.a), s % self.params.a, n.0 % self.params.p)
+        (
+            GroupId(s / self.params.a),
+            s % self.params.a,
+            n.0 % self.params.p,
+        )
     }
 
     /// The directed local channel between two distinct switches of the same

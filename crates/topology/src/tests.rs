@@ -160,10 +160,13 @@ fn valid_params() -> impl Strategy<Value = DragonflyParams> {
     (1u32..4, 2u32..7, 1u32..4)
         .prop_flat_map(|(p, a, h)| {
             let max = a * h + 1;
-            let divisors: Vec<u32> = (2..=max)
-                .filter(|g| (a * h) % (g - 1) == 0)
-                .collect();
-            (Just(p), Just(a), Just(h), proptest::sample::select(divisors))
+            let divisors: Vec<u32> = (2..=max).filter(|g| (a * h) % (g - 1) == 0).collect();
+            (
+                Just(p),
+                Just(a),
+                Just(h),
+                proptest::sample::select(divisors),
+            )
         })
         .prop_map(|(p, a, h, g)| DragonflyParams::new(p, a, h, g))
 }

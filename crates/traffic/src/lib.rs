@@ -163,7 +163,10 @@ impl NodePermutation {
     pub fn from_vec(perm: Vec<NodeId>) -> Self {
         let mut seen = vec![false; perm.len()];
         for d in &perm {
-            assert!(!std::mem::replace(&mut seen[d.index()], true), "not a permutation");
+            assert!(
+                !std::mem::replace(&mut seen[d.index()], true),
+                "not a permutation"
+            );
         }
         Self { perm }
     }
@@ -374,7 +377,11 @@ pub fn adversarial(topo: &Arc<Dragonfly>, dg: u32) -> Shift {
 
 impl fmt::Debug for GroupPermutation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "GroupPermutation(seed={}, map={:?})", self.seed, self.group_map)
+        write!(
+            f,
+            "GroupPermutation(seed={}, map={:?})",
+            self.seed, self.group_map
+        )
     }
 }
 

@@ -65,11 +65,11 @@ fn adv_pattern_keeps_router_index() {
     for n in 0..t.num_nodes() as u32 {
         let n = NodeId(n);
         let d = s.map(n);
-        assert_eq!(t.local_index(t.switch_of_node(n)), t.local_index(t.switch_of_node(d)));
         assert_eq!(
-            (t.group_of_node(n).0 + 2) % 9,
-            t.group_of_node(d).0
+            t.local_index(t.switch_of_node(n)),
+            t.local_index(t.switch_of_node(d))
         );
+        assert_eq!((t.group_of_node(n).0 + 2) % 9, t.group_of_node(d).0);
     }
 }
 

@@ -47,13 +47,9 @@ fn main() {
         let mut n = 0;
         for dg in 1..g {
             let demands = Shift::new(&topo, dg, 0).demands().unwrap();
-            let th = modeled_throughput_multi(
-                &topo,
-                &demands,
-                &rules,
-                ModelVariant::DrawProportional,
-            )
-            .unwrap();
+            let th =
+                modeled_throughput_multi(&topo, &demands, &rules, ModelVariant::DrawProportional)
+                    .unwrap();
             for (s, v) in sums.iter_mut().zip(&th) {
                 *s += v;
             }

@@ -69,10 +69,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
     };
     let mut it = argv;
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "-t" | "--topology" => {
                 args.topo = Some(parse_topology(&value(&flag)?)?);
@@ -109,14 +106,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
     Ok((cmd, args))
 }
 
-
-
-
 /// Provider from `--rule`: a rule string, or a file written by `tvlb --out`.
-fn provider_from_rule(
-    rule: &str,
-    topo: &Arc<Dragonfly>,
-) -> Result<Arc<dyn PathProvider>, String> {
+fn provider_from_rule(rule: &str, topo: &Arc<Dragonfly>) -> Result<Arc<dyn PathProvider>, String> {
     if std::path::Path::new(rule).exists() {
         let bytes = std::fs::read(rule).map_err(|e| format!("reading {rule}: {e}"))?;
         let table =
@@ -162,8 +153,7 @@ fn run(cmd: &str, args: Args) -> Result<(), String> {
         }
         "paths" => {
             let (s, d) = (SwitchId(args.from), SwitchId(args.to));
-            if args.from as usize >= topo.num_switches()
-                || args.to as usize >= topo.num_switches()
+            if args.from as usize >= topo.num_switches() || args.to as usize >= topo.num_switches()
             {
                 return Err("switch id out of range".into());
             }
@@ -197,8 +187,7 @@ fn run(cmd: &str, args: Args) -> Result<(), String> {
                 "modeled throughput of {} under {rule}: {theta:.4} packets/cycle/node",
                 pattern.name()
             );
-            let (_, hot) =
-                modeled_bottlenecks(&topo, &demands, rule).map_err(|e| e.to_string())?;
+            let (_, hot) = modeled_bottlenecks(&topo, &demands, rule).map_err(|e| e.to_string())?;
             println!("binding links: {}", hot.len());
             for (c, price) in hot.iter().take(5) {
                 let ch = topo.channel(*c);
@@ -235,11 +224,7 @@ fn run(cmd: &str, args: Args) -> Result<(), String> {
                 }
                 let mut table = PathTable::build_with_rule(&topo, result.chosen, cfg.seed);
                 if !result.chosen.is_all() {
-                    tugal_suite::tugal::balance::adjust(
-                        &mut table,
-                        &topo,
-                        &cfg.balance,
-                    );
+                    tugal_suite::tugal::balance::adjust(&mut table, &topo, &cfg.balance);
                 }
                 std::fs::write(&out, table.to_bytes())
                     .map_err(|e| format!("writing {out}: {e}"))?;
@@ -262,7 +247,10 @@ fn run(cmd: &str, args: Args) -> Result<(), String> {
             println!("offered load      {:.3} packets/cycle/node", args.rate);
             println!("accepted          {:.3} packets/cycle/node", r.throughput);
             println!("avg latency       {:.1} cycles", r.avg_latency);
-            println!("p50 / p99 latency {:.0} / {:.0} cycles", r.latency_p50, r.latency_p99);
+            println!(
+                "p50 / p99 latency {:.0} / {:.0} cycles",
+                r.latency_p50, r.latency_p99
+            );
             println!("avg hops          {:.2}", r.avg_hops);
             println!("VLB fraction      {:.1}%", r.vlb_fraction * 100.0);
             println!(

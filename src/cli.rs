@@ -116,7 +116,12 @@ pub fn parse_pattern(s: &str, topo: &Arc<Dragonfly>) -> Result<Arc<dyn TrafficPa
             if v.len() != 2 || v[0] > 100 {
                 return Err(format!("mixed needs UR%,DG in '{s}'"));
             }
-            Ok(Arc::new(Mixed::new(topo, v[0], Shift::new(topo, v[1], 0), 7)))
+            Ok(Arc::new(Mixed::new(
+                topo,
+                v[0],
+                Shift::new(topo, v[1], 0),
+                7,
+            )))
         }
         "tmixed" => {
             let v = nums()?;

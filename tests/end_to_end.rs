@@ -97,8 +97,8 @@ fn all_routings_run_on_all_arrangement_sizes() {
             RoutingAlgorithm::Par,
         ] {
             let cfg = Config::quick().for_routing(routing);
-            let r = Simulator::new(t.clone(), provider.clone(), pattern.clone(), routing, cfg)
-                .run(0.1);
+            let r =
+                Simulator::new(t.clone(), provider.clone(), pattern.clone(), routing, cfg).run(0.1);
             assert!(
                 r.delivered > 0 && !r.saturated,
                 "{} on dfly({p},{a},{h},{g}): {r:?}",

@@ -2,9 +2,7 @@
 //! structure, pattern structure, VC budgets.
 
 use std::sync::Arc;
-use tugal_suite::routing::{
-    all_vlb_paths, min_paths, required_vcs, PathTable, VcScheme, VlbRule,
-};
+use tugal_suite::routing::{all_vlb_paths, min_paths, required_vcs, PathTable, VcScheme, VlbRule};
 use tugal_suite::topology::{Dragonfly, DragonflyParams, SwitchId};
 use tugal_suite::traffic::{type_1_set, TrafficPattern};
 
@@ -100,7 +98,9 @@ fn adversarial_demands_concentrate_on_one_group_pair() {
     // §3.1: shift patterns push an entire group's traffic at one other
     // group — the property that makes them the most demanding patterns.
     let t = Arc::new(Dragonfly::new(DragonflyParams::new(2, 4, 2, 9)).unwrap());
-    let demands = tugal_suite::traffic::Shift::new(&t, 1, 0).demands().unwrap();
+    let demands = tugal_suite::traffic::Shift::new(&t, 1, 0)
+        .demands()
+        .unwrap();
     for (s, d, _) in demands {
         assert_eq!((s / 4 + 1) % 9, d / 4);
     }

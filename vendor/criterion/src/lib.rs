@@ -155,8 +155,8 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut
             break;
         }
         // Aim for the target time, growing at most 8x per step.
-        let scale = (TARGET_SAMPLE_TIME.as_secs_f64() / took.as_secs_f64().max(1e-9))
-            .clamp(2.0, 8.0);
+        let scale =
+            (TARGET_SAMPLE_TIME.as_secs_f64() / took.as_secs_f64().max(1e-9)).clamp(2.0, 8.0);
         iters = ((iters as f64) * scale).ceil() as u64;
     }
 

@@ -169,7 +169,13 @@ mod tests {
         assert_eq!(ok.unwrap(), vec![1, 2, 3]);
         let err: Result<Vec<u32>, String> = items
             .par_iter()
-            .map(|&x| if x == 2 { Err("boom".to_string()) } else { Ok(x) })
+            .map(|&x| {
+                if x == 2 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
             .collect();
         assert_eq!(err.unwrap_err(), "boom");
     }

@@ -45,7 +45,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let def = parse_type(input);
-    gen_deserialize(&def).parse().expect("generated impl parses")
+    gen_deserialize(&def)
+        .parse()
+        .expect("generated impl parses")
 }
 
 fn parse_type(input: TokenStream) -> TypeDef {
@@ -233,9 +235,9 @@ fn gen_serialize(def: &TypeDef) -> String {
 fn ser_variant_arm(ty: &str, v: &Variant) -> String {
     let vn = &v.name;
     match &v.fields {
-        Fields::Unit => format!(
-            "{ty}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
-        ),
+        Fields::Unit => {
+            format!("{ty}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),")
+        }
         Fields::Tuple(n) => {
             let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
             let payload = if *n == 1 {
@@ -292,9 +294,9 @@ fn gen_deserialize(def: &TypeDef) -> String {
                 inits.join(", ")
             )
         }
-        Shape::Struct(Fields::Tuple(1)) => format!(
-            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
-        ),
+        Shape::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
         Shape::Struct(Fields::Tuple(n)) => {
             let inits: Vec<String> = (0..*n)
                 .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))

@@ -22,10 +22,7 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     let value = p.parse_value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::msg(format!(
-            "trailing characters at byte {}",
-            p.pos
-        )));
+        return Err(Error::msg(format!("trailing characters at byte {}", p.pos)));
     }
     T::from_value(&value)
 }
@@ -129,7 +126,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Value::Array(items));
                 }
-                _ => return Err(Error::msg(format!("expected `,` or `]` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -157,7 +159,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Value::Object(fields));
                 }
-                _ => return Err(Error::msg(format!("expected `,` or `}}` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
