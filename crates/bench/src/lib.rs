@@ -21,8 +21,9 @@ use std::collections::BTreeMap;
 use std::io::Write;
 use std::sync::{Arc, Mutex};
 use tugal::{compute_tvlb, conventional_provider, TUgalConfig};
-use tugal_netsim::runner::{ExperimentRunner, SeriesSpec};
+use tugal_netsim::runner::{ExperimentRunner, RunSummary, SeriesSpec};
 use tugal_netsim::{Config, CurvePoint, RoutingAlgorithm, SweepOptions};
+use tugal_obs::{MetricsConfig, MetricsObserver, MetricsReport};
 use tugal_routing::{PathProvider, RuleProvider, VlbRule};
 use tugal_topology::{Dragonfly, DragonflyParams};
 use tugal_traffic::TrafficPattern;
@@ -42,6 +43,65 @@ pub fn sim_config() -> Config {
     } else {
         Config::quick()
     }
+}
+
+/// Session-wide metrics override (set by harnesses like `fig_linkload`
+/// that always want telemetry, regardless of the environment).
+static METRICS_OVERRIDE: Mutex<Option<MetricsConfig>> = Mutex::new(None);
+
+/// Forces a metrics configuration for every subsequent sweep in this
+/// process, overriding the `TUGAL_METRICS*` environment variables.
+pub fn force_metrics(cfg: MetricsConfig) {
+    if let Ok(mut m) = METRICS_OVERRIDE.lock() {
+        *m = Some(cfg);
+    }
+}
+
+/// The metrics configuration for this process: a [`force_metrics`]
+/// override if set, else `TUGAL_METRICS=1` (with optional
+/// `TUGAL_METRICS_SAMPLE` / `TUGAL_METRICS_OCC` cycle cadences) from the
+/// environment, else disabled — the default, which keeps every harness
+/// running the un-instrumented engine.
+pub fn metrics_config() -> MetricsConfig {
+    if let Some(cfg) = METRICS_OVERRIDE.lock().ok().and_then(|m| m.clone()) {
+        return cfg;
+    }
+    let on = std::env::var("TUGAL_METRICS")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    if !on {
+        return MetricsConfig::default();
+    }
+    let cadence = |key: &str| {
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0)
+    };
+    MetricsConfig {
+        enabled: true,
+        sample_every: cadence("TUGAL_METRICS_SAMPLE"),
+        occupancy_every: cadence("TUGAL_METRICS_OCC"),
+        per_channel: true,
+    }
+}
+
+/// Accumulated run summary of every [`ExperimentRunner`] batch this
+/// process scheduled (the one-line report satellite).
+static RUN_SUMMARY: Mutex<Option<RunSummary>> = Mutex::new(None);
+
+fn record_run_summary(s: &RunSummary) {
+    if let Ok(mut m) = RUN_SUMMARY.lock() {
+        match &mut *m {
+            Some(acc) => acc.absorb(s),
+            None => *m = Some(s.clone()),
+        }
+    }
+}
+
+/// The accumulated batch summary, if any sweep ran through the runner.
+pub fn run_summary() -> Option<RunSummary> {
+    RUN_SUMMARY.lock().ok().and_then(|m| m.clone())
 }
 
 /// Sweep options (replication seeds, bisection resolution) for the mode.
@@ -178,6 +238,9 @@ pub struct Series {
     pub label: String,
     /// Curve points.
     pub points: Vec<CurvePoint>,
+    /// Seed-merged telemetry per point, parallel to `points` — empty
+    /// unless [`metrics_config`] enabled the metrics layer for this run.
+    pub metrics: Vec<MetricsReport>,
 }
 
 /// Runs the standard figure body: for each (label, provider, routing),
@@ -243,12 +306,49 @@ fn run_flat(
             cfg: cfg.clone(),
         });
     }
-    runner
-        .run(rates, &opts.seeds)
+    let mcfg = metrics_config();
+    if !mcfg.enabled {
+        let (curves, summary) = runner.run_with_summary(rates, &opts.seeds);
+        record_run_summary(&summary);
+        return curves
+            .into_iter()
+            .map(|curve| Series {
+                label: curve.label,
+                points: curve.points,
+                metrics: Vec::new(),
+            })
+            .collect();
+    }
+    // Instrumented path: one MetricsObserver per job, merged over seeds at
+    // each point; the merged latency histogram upgrades the point's scalar
+    // percentiles from the power-of-two estimate to exact values.
+    let (curves, summary) =
+        runner.run_observed(rates, &opts.seeds, |_job| MetricsObserver::new(topo, &mcfg));
+    record_run_summary(&summary);
+    curves
         .into_iter()
-        .map(|curve| Series {
-            label: curve.label,
-            points: curve.points,
+        .map(|curve| {
+            let mut points = Vec::with_capacity(curve.points.len());
+            let mut metrics = Vec::with_capacity(curve.points.len());
+            for observed in curve.points {
+                let mut seeds = observed.observers.into_iter();
+                let mut merged = seeds.next().expect("at least one seed per point");
+                for o in seeds {
+                    merged.merge(&o);
+                }
+                let rep = merged.report();
+                let mut point = observed.point;
+                point.result = point
+                    .result
+                    .with_exact_percentiles(rep.latency.p50, rep.latency.p99);
+                points.push(point);
+                metrics.push(rep);
+            }
+            Series {
+                label: curve.label,
+                points,
+                metrics,
+            }
         })
         .collect()
 }
@@ -296,6 +396,9 @@ pub fn print_figure(id: &str, title: &str, series: &[Series]) {
         let ms: f64 = s.points.iter().map(|p| p.elapsed_ms).sum();
         println!("# sim-time[{}] = {:.0} ms", s.label, ms);
     }
+    if let Some(summary) = run_summary() {
+        println!("# run: {}", summary.oneline());
+    }
     write_json(id, series);
 }
 
@@ -310,7 +413,9 @@ pub fn saturation_from_curve(points: &[CurvePoint]) -> f64 {
 }
 
 /// Writes the series to `results/<id>.json`, including the wall-clock each
-/// point cost and the T-VLB config digests behind any cached providers.
+/// point cost, the T-VLB config digests behind any cached providers, the
+/// batch run summary, and — when the metrics layer is on — one
+/// [`MetricsReport`] per point under a `metrics` section.
 fn write_json(id: &str, series: &[Series]) {
     #[derive(serde::Serialize)]
     struct Row {
@@ -320,8 +425,22 @@ fn write_json(id: &str, series: &[Series]) {
         saturated: bool,
         avg_hops: f64,
         vlb_fraction: f64,
+        /// Median packet latency — exact when metrics ran, else the
+        /// engine's power-of-two estimate.
+        latency_p50: f64,
+        /// 99th-percentile packet latency (same provenance as `p50`).
+        latency_p99: f64,
         /// Wall-clock of this point's simulations, ms (summed over seeds).
         elapsed_ms: f64,
+    }
+    #[derive(serde::Serialize)]
+    struct SummaryOut {
+        jobs: u64,
+        wall_ms: f64,
+        sim_ms: f64,
+        jobs_per_sec: f64,
+        /// `(series label, rate, seed, ms)` of the slowest job.
+        slowest: Option<(String, f64, u64, f64)>,
     }
     #[derive(serde::Serialize)]
     struct Out {
@@ -331,6 +450,11 @@ fn write_json(id: &str, series: &[Series]) {
         /// lookups while producing these series.
         tvlb_config_digests: BTreeMap<String, String>,
         series: Vec<(String, Vec<Row>)>,
+        /// Batch scheduling summary (satellite of the metrics layer).
+        run_summary: Option<SummaryOut>,
+        /// Per-series telemetry, parallel to `series` rows; empty when the
+        /// metrics layer was off.
+        metrics: Vec<(String, Vec<MetricsReport>)>,
     }
     let out = Out {
         id: id.to_string(),
@@ -350,11 +474,25 @@ fn write_json(id: &str, series: &[Series]) {
                             saturated: p.result.saturated,
                             avg_hops: p.result.avg_hops,
                             vlb_fraction: p.result.vlb_fraction,
+                            latency_p50: p.result.latency_p50,
+                            latency_p99: p.result.latency_p99,
                             elapsed_ms: p.elapsed_ms,
                         })
                         .collect(),
                 )
             })
+            .collect(),
+        run_summary: run_summary().map(|s| SummaryOut {
+            jobs: s.jobs as u64,
+            wall_ms: s.wall_ms,
+            sim_ms: s.sim_ms,
+            jobs_per_sec: s.jobs_per_sec,
+            slowest: s.slowest,
+        }),
+        metrics: series
+            .iter()
+            .filter(|s| !s.metrics.is_empty())
+            .map(|s| (s.label.clone(), s.metrics.clone()))
             .collect(),
     };
     if std::fs::create_dir_all("results").is_ok() {

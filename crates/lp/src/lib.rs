@@ -3,12 +3,12 @@
 //! The paper's Step-1 coarse-grain estimation solves linear programs with
 //! the proprietary IBM CPLEX optimizer.  This crate is the open substitute:
 //!
-//! * [`LinearProgram`] / [`simplex`] — a dense two-phase primal simplex
+//! * [`LinearProgram`] (the `simplex` module) — a dense two-phase primal simplex
 //!   solver supporting `≤`, `=`, `≥` constraints and non-negative
 //!   variables.  The throughput models this repository builds are
 //!   origin-feasible (`≤` rows with non-negative right-hand sides), for
 //!   which the solver skips phase 1 entirely.
-//! * [`mcf`] — a Garg–Könemann multiplicative-weights approximation for
+//! * [`ConcurrentFlow`] (the `mcf` module) — a Garg–Könemann multiplicative-weights approximation for
 //!   maximum concurrent flow, used to cross-validate the simplex on the
 //!   flow LPs this repository generates and as a fast fallback for very
 //!   large instances.

@@ -30,6 +30,7 @@ impl<O: SimObserver> Engine<'_, O> {
             // points keep finite memory (the latency threshold fires long
             // before the cap matters).
             if self.ws.staging[inj].len() + self.ws.buf_occ[inj] as usize >= SOURCE_QUEUE_CAP {
+                self.obs.on_drop(self.now, NodeId(n), dst);
                 continue; // dropped at an overflowing source queue
             }
             let pi = self.alloc_packet(Packet {
@@ -147,6 +148,10 @@ impl<O: SimObserver> Engine<'_, O> {
                     self.ws.arrivals[arrive].push(pi);
                     self.ws.next_free[ch] = self.now + 1;
                     self.ws.chan_flits[ch] += 1;
+                    if ch < self.n_network {
+                        self.obs
+                            .on_link_traverse(self.now, ch as u32, self.ws.is_global[ch]);
+                    }
                 }
             }
             if self.ws.staging[ch].is_empty() {

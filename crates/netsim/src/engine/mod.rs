@@ -210,6 +210,7 @@ impl<'a, O: SimObserver> Engine<'a, O> {
             self.now += 1;
         }
 
+        self.obs.on_run_end(self.now, self.in_flight as u64);
         self.stats.finalize(
             &cfg,
             self.rate,
@@ -223,6 +224,21 @@ impl<'a, O: SimObserver> Engine<'a, O> {
 
     fn step(&mut self) {
         self.obs.on_cycle(self.now);
+
+        // Observer-driven occupancy sampling: a zero cadence (the
+        // `NoopObserver` default) lets monomorphization compile the whole
+        // block out of the hot loop.
+        let cadence = self.obs.occupancy_cadence();
+        if cadence != 0 && self.now.is_multiple_of(cadence) {
+            for ch in 0..self.n_network {
+                for vc in 0..self.v {
+                    let occ = self.ws.vc_occupancy(ch, self.v, vc);
+                    self.obs
+                        .on_vc_occupancy_sample(self.now, ch as u32, vc as u8, occ);
+                }
+            }
+        }
+
         let slot = (self.now % self.ring_size as u64) as usize;
 
         // 1. Credit returns.

@@ -120,7 +120,7 @@ impl<O: SimObserver> Engine<'_, O> {
             }
         };
         self.stats.record_route(used_vlb);
-        self.obs.on_route(self.now, used_vlb);
+        self.obs.on_route(self.now, s, d, used_vlb, false);
         let p = &mut self.ws.packets[pi as usize];
         p.path = path;
         p.hop = 0;
@@ -163,7 +163,7 @@ impl<O: SimObserver> Engine<'_, O> {
             p.pre_local = 1;
             p.flags |= F_VLB;
             self.stats.vlb_chosen += 1;
-            self.obs.on_route(self.now, true);
+            self.obs.on_route(self.now, src_sw, d, true, true);
         }
     }
 

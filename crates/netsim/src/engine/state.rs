@@ -109,9 +109,18 @@ pub struct SimWorkspace {
 }
 
 impl SimWorkspace {
-    /// An empty workspace; the first [`reset`](Self::reset) sizes it.
+    /// An empty workspace; the first (crate-internal) `reset` sizes it.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Occupancy (in flits) of the downstream input buffer of channel
+    /// `chan`, VC `vc`, for an engine with `v` VCs per channel — the
+    /// quantity the observer seam samples through
+    /// [`super::SimObserver::on_vc_occupancy_sample`].
+    #[inline]
+    pub(crate) fn vc_occupancy(&self, chan: usize, v: usize, vc: usize) -> u32 {
+        self.in_buf[chan * v + vc].len() as u32
     }
 
     /// Calendar ring size for a configuration.

@@ -52,7 +52,10 @@ mod sweep;
 pub use config::{Config, RoutingAlgorithm};
 pub use engine::{NoopObserver, SimObserver, SimWorkspace, Simulator, WorkspacePool};
 pub use stats::SimResult;
-pub use sweep::{aggregate_runs, latency_curve, saturation_throughput, CurvePoint, SweepOptions};
+pub use sweep::{
+    aggregate_runs, latency_curve, run_job_observed, saturation_throughput, CurvePoint,
+    SweepOptions,
+};
 
 #[cfg(test)]
 mod tests;

@@ -9,13 +9,20 @@
 //! batch over one [`WorkspacePool`], and aggregates per (series, rate)
 //! with [`aggregate_runs`] — recording per-job wall-clock so harnesses can
 //! report where the time went.
+//!
+//! Instrumented experiments go through
+//! [`ExperimentRunner::run_observed`], which attaches one
+//! [`SimObserver`] per job (built by a caller-supplied factory) and
+//! returns the observers alongside the aggregated curves, so a metrics
+//! consumer can merge per-seed collections into per-point telemetry.
 
 use crate::config::{Config, RoutingAlgorithm};
-use crate::engine::WorkspacePool;
+use crate::engine::{NoopObserver, SimObserver, WorkspacePool};
 use crate::stats::SimResult;
-use crate::sweep::{aggregate_runs, run_job, CurvePoint};
+use crate::sweep::{aggregate_runs, run_job_observed, CurvePoint};
 use rayon::prelude::*;
 use std::sync::Arc;
+use std::time::Instant;
 use tugal_routing::PathProvider;
 use tugal_topology::Dragonfly;
 use tugal_traffic::TrafficPattern;
@@ -52,6 +59,89 @@ impl SeriesCurve {
     }
 }
 
+/// An aggregated (series, rate) point together with the observers its seed
+/// replications ran under, in seed order.
+pub struct ObservedPoint<O> {
+    /// The aggregated measurement and its wall-clock.
+    pub point: CurvePoint,
+    /// One observer per seed (whatever state each accumulated).
+    pub observers: Vec<O>,
+}
+
+/// One series of an instrumented experiment.
+pub struct ObservedCurve<O> {
+    /// Legend label, copied from the [`SeriesSpec`].
+    pub label: String,
+    /// One observed point per offered load.
+    pub points: Vec<ObservedPoint<O>>,
+}
+
+/// Identity of one scheduled job, handed to the observer factory of
+/// [`ExperimentRunner::run_observed`].
+pub struct JobInfo<'a> {
+    /// Label of the job's series.
+    pub label: &'a str,
+    /// Index of the series within the runner.
+    pub series: usize,
+    /// Offered load of this job.
+    pub rate: f64,
+    /// RNG seed of this replication.
+    pub seed: u64,
+}
+
+/// Whole-batch timing summary of one [`ExperimentRunner`] run: where the
+/// wall-clock went, aggregated from the per-job timings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Jobs scheduled (series × rates × seeds).
+    pub jobs: usize,
+    /// Wall-clock of the whole parallel batch, in milliseconds.
+    pub wall_ms: f64,
+    /// Sum of per-job simulation times, in milliseconds (exceeds
+    /// `wall_ms` under parallel execution).
+    pub sim_ms: f64,
+    /// Jobs completed per wall-clock second.
+    pub jobs_per_sec: f64,
+    /// `(series label, rate, seed, ms)` of the slowest job.
+    pub slowest: Option<(String, f64, u64, f64)>,
+}
+
+impl RunSummary {
+    /// One-line human-readable form (the run summary harnesses print).
+    pub fn oneline(&self) -> String {
+        let slowest = match &self.slowest {
+            Some((label, rate, seed, ms)) => {
+                format!(", slowest {label} @ rate {rate} seed {seed}: {ms:.0} ms")
+            }
+            None => String::new(),
+        };
+        format!(
+            "{} jobs in {:.0} ms wall ({:.1} jobs/s, {:.0} ms simulated){}",
+            self.jobs, self.wall_ms, self.jobs_per_sec, self.sim_ms, slowest
+        )
+    }
+
+    /// Folds another batch into this summary (totals summed, rates
+    /// recomputed, slowest kept) — harnesses that schedule several batches
+    /// report one combined line.
+    pub fn absorb(&mut self, other: &RunSummary) {
+        self.jobs += other.jobs;
+        self.wall_ms += other.wall_ms;
+        self.sim_ms += other.sim_ms;
+        self.jobs_per_sec = if self.wall_ms > 0.0 {
+            self.jobs as f64 / (self.wall_ms / 1e3)
+        } else {
+            0.0
+        };
+        let faster = |a: &Option<(String, f64, u64, f64)>, b: &Option<(String, f64, u64, f64)>| {
+            a.as_ref().map(|s| s.3).unwrap_or(0.0) >= b.as_ref().map(|s| s.3).unwrap_or(0.0)
+        };
+        if !faster(&self.slowest, &other.slowest) {
+            self.slowest = other.slowest.clone();
+        }
+    }
+}
+
 /// Owns the (series × rate × seed) job list of one experiment and runs it
 /// as a single flat parallel batch.
 pub struct ExperimentRunner {
@@ -83,6 +173,41 @@ impl ExperimentRunner {
     /// a shared workspace pool, and folds the per-seed results into one
     /// [`CurvePoint`] per (series, rate) via [`aggregate_runs`].
     pub fn run(&self, rates: &[f64], seeds: &[u64]) -> Vec<SeriesCurve> {
+        self.run_with_summary(rates, seeds).0
+    }
+
+    /// Like [`ExperimentRunner::run`], also returning the batch's
+    /// [`RunSummary`] (total wall-clock, jobs/sec, slowest job).
+    pub fn run_with_summary(&self, rates: &[f64], seeds: &[u64]) -> (Vec<SeriesCurve>, RunSummary) {
+        let (curves, summary) = self.run_observed(rates, seeds, |_| NoopObserver);
+        let curves = curves
+            .into_iter()
+            .map(|c| SeriesCurve {
+                label: c.label,
+                points: c.points.into_iter().map(|p| p.point).collect(),
+            })
+            .collect();
+        (curves, summary)
+    }
+
+    /// The instrumented schedule: every job gets its own observer from
+    /// `make` (receiving the job's [`JobInfo`]), the engine feeds it
+    /// cycle-level events, and the per-seed observers come back attached
+    /// to their aggregated [`ObservedPoint`].
+    ///
+    /// [`ExperimentRunner::run`] is this with a [`NoopObserver`] factory —
+    /// the monomorphized no-op engine — so observer-free runs cost
+    /// nothing.
+    pub fn run_observed<O, F>(
+        &self,
+        rates: &[f64],
+        seeds: &[u64],
+        make: F,
+    ) -> (Vec<ObservedCurve<O>>, RunSummary)
+    where
+        O: SimObserver + Send,
+        F: Fn(&JobInfo) -> O + Sync,
+    {
         assert!(
             !seeds.is_empty(),
             "ExperimentRunner needs at least one seed"
@@ -101,11 +226,18 @@ impl ExperimentRunner {
                     .flat_map(move |&rate| seeds.iter().map(move |&seed| (si, rate, seed)))
             })
             .collect();
-        let outcomes: Vec<(SimResult, f64)> = jobs
+        let batch_start = Instant::now();
+        let outcomes: Vec<(SimResult, f64, O)> = jobs
             .par_iter()
             .map(|&(si, rate, seed)| {
                 let s = &self.series[si];
-                run_job(
+                let mut obs = make(&JobInfo {
+                    label: &s.label,
+                    series: si,
+                    rate,
+                    seed,
+                });
+                let (result, ms) = run_job_observed(
                     &pool,
                     &self.topo,
                     &s.provider,
@@ -114,28 +246,58 @@ impl ExperimentRunner {
                     &s.cfg,
                     rate,
                     seed,
-                )
+                    &mut obs,
+                );
+                (result, ms, obs)
             })
             .collect();
-        let per_series = rates.len() * seeds.len();
-        self.series
+        let wall_ms = batch_start.elapsed().as_secs_f64() * 1e3;
+        let sim_ms: f64 = outcomes.iter().map(|(_, ms, _)| ms).sum();
+        let slowest = jobs
             .iter()
-            .zip(outcomes.chunks(per_series.max(1)))
-            .map(|(spec, chunk)| SeriesCurve {
+            .zip(&outcomes)
+            .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+            .map(|(&(si, rate, seed), (_, ms, _))| {
+                (self.series[si].label.clone(), rate, seed, *ms)
+            });
+        let summary = RunSummary {
+            jobs: jobs.len(),
+            wall_ms,
+            sim_ms,
+            jobs_per_sec: if wall_ms > 0.0 {
+                jobs.len() as f64 / (wall_ms / 1e3)
+            } else {
+                0.0
+            },
+            slowest,
+        };
+
+        let mut outcomes = outcomes.into_iter();
+        let curves = self
+            .series
+            .iter()
+            .map(|spec| ObservedCurve {
                 label: spec.label.clone(),
-                points: chunk
-                    .chunks(seeds.len())
-                    .zip(rates)
-                    .map(|(group, &rate)| {
-                        let runs: Vec<SimResult> = group.iter().map(|(r, _)| r.clone()).collect();
-                        CurvePoint {
-                            rate,
-                            result: aggregate_runs(rate, &runs),
-                            elapsed_ms: group.iter().map(|(_, ms)| ms).sum(),
+                points: rates
+                    .iter()
+                    .map(|&rate| {
+                        let group: Vec<(SimResult, f64, O)> =
+                            outcomes.by_ref().take(seeds.len()).collect();
+                        let runs: Vec<SimResult> =
+                            group.iter().map(|(r, _, _)| r.clone()).collect();
+                        let elapsed_ms = group.iter().map(|(_, ms, _)| ms).sum();
+                        ObservedPoint {
+                            point: CurvePoint {
+                                rate,
+                                result: aggregate_runs(rate, &runs),
+                                elapsed_ms,
+                            },
+                            observers: group.into_iter().map(|(_, _, o)| o).collect(),
                         }
                     })
                     .collect(),
             })
-            .collect()
+            .collect();
+        (curves, summary)
     }
 }

@@ -28,10 +28,14 @@ pub struct SimResult {
     /// Fraction of routed packets that took the VLB candidate (measured
     /// over the whole run; MIN/VLB-only routings report 0 or 1).
     pub vlb_fraction: f64,
-    /// Median packet latency (cycles), estimated from a power-of-two
-    /// histogram (geometric bucket midpoints).
+    /// Median packet latency (cycles).  Metrics-off runs estimate this
+    /// from the engine's power-of-two histogram (geometric bucket
+    /// midpoints); metrics-enabled harnesses overwrite it with the exact
+    /// value from the `tugal-obs` latency histogram via
+    /// [`SimResult::with_exact_percentiles`].
     pub latency_p50: f64,
-    /// 99th-percentile packet latency (cycles), same estimator.
+    /// 99th-percentile packet latency (cycles), same estimator/override
+    /// behaviour as [`SimResult::latency_p50`].
     pub latency_p99: f64,
     /// Highest per-channel utilization among switch-to-switch channels
     /// (flits per cycle over the measurement window).
@@ -40,4 +44,19 @@ pub struct SimResult {
     pub mean_global_util: f64,
     /// Mean utilization of local (intra-group) channels.
     pub mean_local_util: f64,
+}
+
+impl SimResult {
+    /// Replaces the estimated latency percentiles with exact values (from
+    /// the metrics layer's log-bucketed histogram).  Non-finite overrides
+    /// are ignored so a starved replication cannot erase a valid estimate.
+    pub fn with_exact_percentiles(mut self, p50: f64, p99: f64) -> Self {
+        if p50.is_finite() {
+            self.latency_p50 = p50;
+        }
+        if p99.is_finite() {
+            self.latency_p99 = p99;
+        }
+        self
+    }
 }

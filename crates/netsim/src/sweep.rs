@@ -95,11 +95,40 @@ pub(crate) fn run_job(
     rate: f64,
     seed: u64,
 ) -> (SimResult, f64) {
+    run_job_observed(
+        pool,
+        topo,
+        provider,
+        pattern,
+        routing,
+        cfg,
+        rate,
+        seed,
+        &mut crate::engine::NoopObserver,
+    )
+}
+
+/// Like the internal job runner, but feeding cycle-level events to `obs` —
+/// the entry point the metrics layer (`tugal-obs`) uses to instrument a
+/// single (rate, seed) replication.  The per-job seed overrides
+/// `cfg.seed`; timing is wall-clock milliseconds of the simulation alone.
+#[allow(clippy::too_many_arguments)]
+pub fn run_job_observed<O: crate::engine::SimObserver>(
+    pool: &WorkspacePool,
+    topo: &Arc<Dragonfly>,
+    provider: &Arc<dyn PathProvider>,
+    pattern: &Arc<dyn TrafficPattern>,
+    routing: RoutingAlgorithm,
+    cfg: &Config,
+    rate: f64,
+    seed: u64,
+    obs: &mut O,
+) -> (SimResult, f64) {
     let mut c = cfg.clone();
     c.seed = seed;
     let sim = Simulator::new(topo.clone(), provider.clone(), pattern.clone(), routing, c);
     let start = Instant::now();
-    let result = pool.with(|ws: &mut SimWorkspace| sim.run_with(rate, ws));
+    let result = pool.with(|ws: &mut SimWorkspace| sim.run_observed(rate, ws, obs));
     (result, start.elapsed().as_secs_f64() * 1e3)
 }
 

@@ -108,6 +108,22 @@ fn golden_results_bit_for_bit() {
 }
 
 #[test]
+fn golden_results_with_an_explicit_noop_observer() {
+    // The observer seam must be invisible: the monomorphized NoopObserver
+    // engine reproduces the pre-refactor fixtures bit-for-bit.
+    use tugal_netsim::NoopObserver;
+    let mut ws = SimWorkspace::new();
+    for (routing, adversarial, rate, expected) in CASES {
+        let r = simulator(routing, adversarial, 7).run_observed(rate, &mut ws, &mut NoopObserver);
+        assert_eq!(
+            format!("{r:?}"),
+            expected,
+            "noop-observer golden mismatch for ({routing:?}, adversarial={adversarial}, rate={rate})"
+        );
+    }
+}
+
+#[test]
 fn golden_results_through_a_reused_workspace() {
     // All ten cases back to back through ONE workspace: reuse (including
     // VC-count changes between PAR and the rest) must reproduce the same

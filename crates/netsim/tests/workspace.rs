@@ -220,7 +220,14 @@ impl SimObserver for Counter {
     fn on_inject(&mut self, _now: u64, _src: NodeId, _dst: NodeId) {
         self.injected += 1;
     }
-    fn on_route(&mut self, _now: u64, _used_vlb: bool) {
+    fn on_route(
+        &mut self,
+        _now: u64,
+        _src: tugal_topology::SwitchId,
+        _dst: tugal_topology::SwitchId,
+        _used_vlb: bool,
+        _reroute: bool,
+    ) {
         self.routed += 1;
     }
     fn on_deliver(&mut self, _now: u64, _latency: u64, _hops: u8) {

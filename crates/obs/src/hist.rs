@@ -1,0 +1,208 @@
+//! Log-bucketed (HDR-style) value histogram.
+//!
+//! Values below [`LINEAR_MAX`] are counted exactly, one bucket per value;
+//! larger values fall into power-of-two octaves subdivided into
+//! [`SUBBUCKETS`] linear sub-buckets each, bounding the relative
+//! quantization error by `1 / SUBBUCKETS`.  Packet latencies in this
+//! simulator are far below [`LINEAR_MAX`] whenever the run is worth
+//! measuring (the saturation rule fires at 500 cycles), so the p50/p99 the
+//! histogram reports are *exact* for every unsaturated run — which is what
+//! lets the metrics layer replace the coarse power-of-two estimator in
+//! `tugal_netsim::SimResult`.
+
+/// Values below this are recorded exactly (one bucket per value).
+pub const LINEAR_MAX: u64 = 4096;
+
+/// Sub-buckets per octave above the linear range (relative error ≤ 1/2048).
+pub const SUBBUCKETS: u64 = 2048;
+
+const LINEAR_BITS: u32 = LINEAR_MAX.trailing_zeros(); // 12
+const SUB_BITS: u32 = SUBBUCKETS.trailing_zeros(); // 11
+
+/// A growable log-bucketed histogram of `u64` values.
+#[derive(Debug, Clone, Default)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+/// Bucket index of a value.
+#[inline]
+fn index_of(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        v as usize
+    } else {
+        let octave = 63 - v.leading_zeros(); // ≥ LINEAR_BITS
+        let sub = (v >> (octave - SUB_BITS)) & (SUBBUCKETS - 1);
+        LINEAR_MAX as usize + (octave - LINEAR_BITS) as usize * SUBBUCKETS as usize + sub as usize
+    }
+}
+
+/// Representative value of a bucket (exact below the linear range, the
+/// sub-bucket midpoint above it).
+fn value_of(idx: usize) -> f64 {
+    if idx < LINEAR_MAX as usize {
+        idx as f64
+    } else {
+        let rel = idx - LINEAR_MAX as usize;
+        let octave = LINEAR_BITS + (rel / SUBBUCKETS as usize) as u32;
+        let sub = (rel % SUBBUCKETS as usize) as u64;
+        let width = 1u64 << (octave - SUB_BITS);
+        let lo = (SUBBUCKETS + sub) * width;
+        lo as f64 + width as f64 / 2.0
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        let idx = index_of(v);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded values (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `p`-quantile (`0 < p ≤ 1`) of the recorded values: exact for
+    /// values below [`LINEAR_MAX`], within `1/SUBBUCKETS` relative error
+    /// above.  `NaN` when empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let target = (p * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return value_of(i);
+            }
+        }
+        self.max as f64
+    }
+
+    /// Adds every recorded value of `other` into `self`.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, &b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Clears the histogram, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.max = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_linear_range() {
+        let mut h = LogHistogram::new();
+        for v in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            h.record(v);
+        }
+        // Exact order statistics: p50 over 10 values is the 5th (ceil).
+        assert_eq!(h.percentile(0.50), 50.0);
+        assert_eq!(h.percentile(0.99), 100.0);
+        assert_eq!(h.percentile(0.10), 10.0);
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.mean(), 55.0);
+    }
+
+    #[test]
+    fn duplicates_and_zero() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(7);
+        h.record(7);
+        h.record(7);
+        assert_eq!(h.percentile(0.25), 0.0);
+        assert_eq!(h.percentile(0.5), 7.0);
+        assert_eq!(h.percentile(1.0), 7.0);
+    }
+
+    #[test]
+    fn bounded_relative_error_above_linear_range() {
+        let mut h = LogHistogram::new();
+        for v in [5_000u64, 70_000, 1_000_000, u64::from(u32::MAX)] {
+            h.clear();
+            h.record(v);
+            let got = h.percentile(0.5);
+            let rel = (got - v as f64).abs() / v as f64;
+            assert!(rel <= 1.0 / SUBBUCKETS as f64, "value {v}: got {got}");
+        }
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let (mut a, mut b, mut c) = (
+            LogHistogram::new(),
+            LogHistogram::new(),
+            LogHistogram::new(),
+        );
+        for v in 0..500u64 {
+            a.record(v * 3);
+            c.record(v * 3);
+        }
+        for v in 0..300u64 {
+            b.record(v * 7 + 10_000);
+            c.record(v * 7 + 10_000);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.max(), c.max());
+        for p in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.percentile(p), c.percentile(p));
+        }
+    }
+
+    #[test]
+    fn empty_is_nan() {
+        let h = LogHistogram::new();
+        assert!(h.percentile(0.5).is_nan());
+        assert!(h.mean().is_nan());
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -1,0 +1,404 @@
+//! The [`MetricsObserver`]: a [`SimObserver`] that turns the engine's
+//! event seam into the paper's §4 telemetry.
+
+use crate::hist::LogHistogram;
+use crate::report::{
+    ClassLoad, DecisionCounts, HopSummary, LatencySummary, LinkSummary, MetricsReport,
+    OccupancyClass, OccupancySummary, TimeSample,
+};
+use tugal_netsim::SimObserver;
+use tugal_topology::{ChannelKind, Dragonfly, NodeId, SwitchId};
+
+/// What the metrics layer should collect.  The default is fully disabled —
+/// harnesses behave exactly as before unless a config turns metrics on.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsConfig {
+    /// Master switch; when false no observer is attached at all.
+    pub enabled: bool,
+    /// Time-series cadence in cycles (0 disables the time series).
+    pub sample_every: u64,
+    /// Engine-driven input-buffer occupancy sampling cadence in cycles
+    /// (0 disables sampling and compiles the sampling loop out for the
+    /// plain observer path).
+    pub occupancy_every: u64,
+    /// Include per-channel load vectors in the report (the channel-load
+    /// profiles of the paper's figures; sized `O(channels)` per series ×
+    /// rate, so large-topology sweeps may want it off).
+    pub per_channel: bool,
+}
+
+impl MetricsConfig {
+    /// Metrics on with summary collection only: no time series, no
+    /// occupancy sampling, per-channel load vectors included.
+    pub fn summary() -> Self {
+        MetricsConfig {
+            enabled: true,
+            sample_every: 0,
+            occupancy_every: 0,
+            per_channel: true,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct OccAcc {
+    samples: u64,
+    sum: u64,
+    max: u32,
+}
+
+impl OccAcc {
+    fn add(&mut self, occ: u32) {
+        self.samples += 1;
+        self.sum += occ as u64;
+        self.max = self.max.max(occ);
+    }
+    fn merge(&mut self, o: &OccAcc) {
+        self.samples += o.samples;
+        self.sum += o.sum;
+        self.max = self.max.max(o.max);
+    }
+    fn summary(&self) -> OccupancyClass {
+        OccupancyClass {
+            samples: self.samples,
+            mean: if self.samples == 0 {
+                0.0
+            } else {
+                self.sum as f64 / self.samples as f64
+            },
+            max: self.max,
+        }
+    }
+}
+
+/// Per-interval accumulators behind the time series.
+#[derive(Debug, Clone, Copy, Default)]
+struct TsWindow {
+    injected: u64,
+    delivered: u64,
+    dropped: u64,
+    local_flits: u64,
+    global_flits: u64,
+}
+
+/// Collects per-channel link loads, exact latency/hop histograms, the
+/// MIN/VLB decision mix and (optionally) time-series samples from one
+/// simulation run; [`MetricsObserver::merge`] folds seed replications
+/// together and [`MetricsObserver::report`] emits the serializable
+/// [`MetricsReport`].
+///
+/// Attaching the observer cannot change simulation results: every hook
+/// only reads the event arguments (pinned by the neutrality test in
+/// `tests/metrics.rs`).
+#[derive(Debug, Clone)]
+pub struct MetricsObserver {
+    cfg: MetricsConfig,
+    switches_per_group: u32,
+    /// Channel class of the first `n_network` dense channel ids.
+    is_global: Vec<bool>,
+
+    runs: u32,
+    /// `on_cycle` calls (executed cycles).
+    cycles: u64,
+    /// Engine-equivalent elapsed cycles (`end_now + 1`, summed over runs)
+    /// — the load normalizer, matching `SimResult`'s utilization fields.
+    elapsed: u64,
+    injected: u64,
+    delivered: u64,
+    dropped: u64,
+    in_flight_at_end: u64,
+    decisions: DecisionCounts,
+
+    /// Latency histogram; reset when the measurement window opens, so it
+    /// mirrors the engine's window/whole-run fallback.
+    latency: LogHistogram,
+    /// Hop histogram, window-aligned like `latency`.
+    hops: Vec<u64>,
+    hops_sum: u64,
+    hops_count: u64,
+
+    /// Flit traversals per network channel (whole run).
+    link_flits: Vec<u64>,
+
+    occ_local: OccAcc,
+    occ_global: OccAcc,
+
+    ts: Vec<TimeSample>,
+    ts_cur: TsWindow,
+    ts_last_flush: u64,
+}
+
+impl MetricsObserver {
+    /// An observer for runs over `topo` collecting what `cfg` asks for.
+    pub fn new(topo: &Dragonfly, cfg: &MetricsConfig) -> Self {
+        let n_network = topo.num_network_channels();
+        let is_global = topo.channels()[..n_network]
+            .iter()
+            .map(|c| c.kind == ChannelKind::Global)
+            .collect();
+        MetricsObserver {
+            cfg: cfg.clone(),
+            switches_per_group: (topo.num_switches() / topo.num_groups().max(1)).max(1) as u32,
+            is_global,
+            runs: 1,
+            cycles: 0,
+            elapsed: 0,
+            injected: 0,
+            delivered: 0,
+            dropped: 0,
+            in_flight_at_end: 0,
+            decisions: DecisionCounts::default(),
+            latency: LogHistogram::new(),
+            hops: Vec::new(),
+            hops_sum: 0,
+            hops_count: 0,
+            link_flits: vec![0; n_network],
+            occ_local: OccAcc::default(),
+            occ_global: OccAcc::default(),
+            ts: Vec::new(),
+            ts_cur: TsWindow::default(),
+            ts_last_flush: 0,
+        }
+    }
+
+    fn group_of(&self, s: SwitchId) -> u32 {
+        s.0 / self.switches_per_group
+    }
+
+    fn flush_timeseries(&mut self, cycle: u64) {
+        let w = std::mem::take(&mut self.ts_cur);
+        self.ts.push(TimeSample {
+            cycle,
+            injected: w.injected,
+            delivered: w.delivered,
+            dropped: w.dropped,
+            local_flits: w.local_flits,
+            global_flits: w.global_flits,
+        });
+        self.ts_last_flush = cycle;
+    }
+
+    /// Folds another replication's collections into this one.  Histograms
+    /// and counters add; time series add element-wise by sample index
+    /// (replications share a cadence, so indexes line up; a shorter
+    /// series — an early-saturated run — simply stops contributing).
+    pub fn merge(&mut self, other: &MetricsObserver) {
+        self.runs += other.runs;
+        self.cycles += other.cycles;
+        self.elapsed += other.elapsed;
+        self.injected += other.injected;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.in_flight_at_end += other.in_flight_at_end;
+        self.decisions.min_intra += other.decisions.min_intra;
+        self.decisions.vlb_intra += other.decisions.vlb_intra;
+        self.decisions.min_inter += other.decisions.min_inter;
+        self.decisions.vlb_inter += other.decisions.vlb_inter;
+        self.decisions.par_reroutes += other.decisions.par_reroutes;
+        self.latency.merge(&other.latency);
+        if other.hops.len() > self.hops.len() {
+            self.hops.resize(other.hops.len(), 0);
+        }
+        for (a, &b) in self.hops.iter_mut().zip(&other.hops) {
+            *a += b;
+        }
+        self.hops_sum += other.hops_sum;
+        self.hops_count += other.hops_count;
+        for (a, &b) in self.link_flits.iter_mut().zip(&other.link_flits) {
+            *a += b;
+        }
+        self.occ_local.merge(&other.occ_local);
+        self.occ_global.merge(&other.occ_global);
+        if other.ts.len() > self.ts.len() {
+            self.ts.resize(other.ts.len(), TimeSample::default());
+            for (a, b) in self.ts.iter_mut().zip(&other.ts) {
+                a.cycle = b.cycle;
+            }
+        }
+        for (a, b) in self.ts.iter_mut().zip(&other.ts) {
+            a.injected += b.injected;
+            a.delivered += b.delivered;
+            a.dropped += b.dropped;
+            a.local_flits += b.local_flits;
+            a.global_flits += b.global_flits;
+        }
+    }
+
+    /// Exact median latency (cycles) — `NaN` when nothing was delivered.
+    pub fn latency_p50(&self) -> f64 {
+        self.latency.percentile(0.50)
+    }
+
+    /// Exact 99th-percentile latency (cycles).
+    pub fn latency_p99(&self) -> f64 {
+        self.latency.percentile(0.99)
+    }
+
+    /// Summarizes everything collected so far into the serializable
+    /// report.
+    pub fn report(&self) -> MetricsReport {
+        let elapsed = self.elapsed.max(self.cycles).max(1) as f64;
+        let class = |global: bool| -> (ClassLoad, Vec<f64>) {
+            let mut load = ClassLoad::default();
+            let mut per = Vec::new();
+            let mut sum = 0.0f64;
+            for (ch, &flits) in self.link_flits.iter().enumerate() {
+                if self.is_global[ch] != global {
+                    continue;
+                }
+                let l = flits as f64 / elapsed;
+                load.channels += 1;
+                load.flits += flits;
+                load.max_load = load.max_load.max(l);
+                sum += l;
+                if self.cfg.per_channel {
+                    per.push(l);
+                }
+            }
+            if load.channels > 0 {
+                load.mean_load = sum / load.channels as f64;
+            }
+            (load, per)
+        };
+        let (local, per_local_load) = class(false);
+        let (global, per_global_load) = class(true);
+        MetricsReport {
+            runs: self.runs,
+            cycles: self.cycles,
+            injected: self.injected,
+            delivered: self.delivered,
+            dropped: self.dropped,
+            in_flight_at_end: self.in_flight_at_end,
+            decisions: self.decisions.clone(),
+            latency: LatencySummary {
+                count: self.latency.count(),
+                mean: self.latency.mean(),
+                max: self.latency.max(),
+                p50: self.latency.percentile(0.50),
+                p90: self.latency.percentile(0.90),
+                p99: self.latency.percentile(0.99),
+                p999: self.latency.percentile(0.999),
+            },
+            hops: HopSummary {
+                mean: if self.hops_count == 0 {
+                    0.0
+                } else {
+                    self.hops_sum as f64 / self.hops_count as f64
+                },
+                p50: hop_percentile(&self.hops, self.hops_count, 0.50),
+                p99: hop_percentile(&self.hops, self.hops_count, 0.99),
+                counts: self.hops.clone(),
+            },
+            links: LinkSummary {
+                local,
+                global,
+                per_local_load,
+                per_global_load,
+            },
+            occupancy: OccupancySummary {
+                local: self.occ_local.summary(),
+                global: self.occ_global.summary(),
+            },
+            timeseries: self.ts.clone(),
+        }
+    }
+}
+
+fn hop_percentile(counts: &[u64], total: u64, p: f64) -> f64 {
+    if total == 0 {
+        return f64::NAN;
+    }
+    let target = (p * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (h, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= target {
+            return h as f64;
+        }
+    }
+    (counts.len().saturating_sub(1)) as f64
+}
+
+impl SimObserver for MetricsObserver {
+    fn on_cycle(&mut self, now: u64) {
+        self.cycles += 1;
+        if self.cfg.sample_every != 0 && now != 0 && now.is_multiple_of(self.cfg.sample_every) {
+            self.flush_timeseries(now);
+        }
+    }
+
+    fn on_measurement_start(&mut self, _now: u64) {
+        // Mirror the engine: window statistics restart when the
+        // measurement window opens, whole-run collections keep going.
+        self.latency.clear();
+        self.hops.iter_mut().for_each(|c| *c = 0);
+        self.hops_sum = 0;
+        self.hops_count = 0;
+    }
+
+    fn on_inject(&mut self, _now: u64, _src: NodeId, _dst: NodeId) {
+        self.injected += 1;
+        self.ts_cur.injected += 1;
+    }
+
+    fn on_drop(&mut self, _now: u64, _src: NodeId, _dst: NodeId) {
+        self.dropped += 1;
+        self.ts_cur.dropped += 1;
+    }
+
+    fn on_route(&mut self, _now: u64, src: SwitchId, dst: SwitchId, used_vlb: bool, reroute: bool) {
+        if reroute {
+            self.decisions.par_reroutes += 1;
+            return;
+        }
+        let intra = self.group_of(src) == self.group_of(dst);
+        match (intra, used_vlb) {
+            (true, false) => self.decisions.min_intra += 1,
+            (true, true) => self.decisions.vlb_intra += 1,
+            (false, false) => self.decisions.min_inter += 1,
+            (false, true) => self.decisions.vlb_inter += 1,
+        }
+    }
+
+    fn on_link_traverse(&mut self, _now: u64, chan: u32, global: bool) {
+        self.link_flits[chan as usize] += 1;
+        if global {
+            self.ts_cur.global_flits += 1;
+        } else {
+            self.ts_cur.local_flits += 1;
+        }
+    }
+
+    fn occupancy_cadence(&self) -> u64 {
+        self.cfg.occupancy_every
+    }
+
+    fn on_vc_occupancy_sample(&mut self, _now: u64, chan: u32, _vc: u8, occupancy: u32) {
+        if self.is_global[chan as usize] {
+            self.occ_global.add(occupancy);
+        } else {
+            self.occ_local.add(occupancy);
+        }
+    }
+
+    fn on_deliver(&mut self, _now: u64, latency: u64, hops: u8) {
+        self.delivered += 1;
+        self.ts_cur.delivered += 1;
+        self.latency.record(latency);
+        let h = hops as usize;
+        if h >= self.hops.len() {
+            self.hops.resize(h + 1, 0);
+        }
+        self.hops[h] += 1;
+        self.hops_sum += hops as u64;
+        self.hops_count += 1;
+    }
+
+    fn on_run_end(&mut self, now: u64, in_flight: u64) {
+        self.in_flight_at_end += in_flight;
+        self.elapsed += now + 1;
+        if self.cfg.sample_every != 0 && now > self.ts_last_flush {
+            self.flush_timeseries(now);
+        }
+    }
+}

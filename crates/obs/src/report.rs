@@ -1,0 +1,190 @@
+//! The serializable summary a [`crate::MetricsObserver`] produces — the
+//! `metrics` section of `results/*.json`.
+//!
+//! ## JSON schema
+//!
+//! ```text
+//! {
+//!   "runs": u32,                 // merged seed replications
+//!   "cycles": u64,               // executed cycles, summed over runs
+//!   "injected": u64, "delivered": u64, "dropped": u64, "in_flight_at_end": u64,
+//!   "decisions": { "min_intra", "vlb_intra", "min_inter", "vlb_inter", "par_reroutes" },
+//!   "latency":   { "count", "mean", "max", "p50", "p90", "p99", "p999" },
+//!   "hops":      { "mean", "p50", "p99", "counts": [u64; max_hops+1] },
+//!   "links": {
+//!     "local":  { "channels", "flits", "mean_load", "max_load" },
+//!     "global": { "channels", "flits", "mean_load", "max_load" },
+//!     "per_local_load":  [f64],  // flits/cycle per channel; empty unless per_channel
+//!     "per_global_load": [f64]
+//!   },
+//!   "occupancy": { "local": { "samples", "mean", "max" }, "global": {...} },
+//!   "timeseries": [ { "cycle", "injected", "delivered", "dropped",
+//!                     "local_flits", "global_flits" } ]  // per-interval deltas
+//! }
+//! ```
+//!
+//! Latency and hop statistics cover the measurement window when it opened
+//! (whole run otherwise — the same fallback the engine's scalar statistics
+//! use); link loads and the time series cover the whole run.
+
+use serde::Serialize;
+
+/// MIN/VLB decision mix, split by whether source and destination switch
+/// share a dragonfly group, plus PAR's one-shot revisions.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct DecisionCounts {
+    /// MIN chosen for an intra-group destination.
+    pub min_intra: u64,
+    /// VLB chosen for an intra-group destination.
+    pub vlb_intra: u64,
+    /// MIN chosen for an inter-group destination.
+    pub min_inter: u64,
+    /// VLB chosen for an inter-group destination.
+    pub vlb_inter: u64,
+    /// PAR reroutes (a MIN decision revised to VLB in the source group).
+    pub par_reroutes: u64,
+}
+
+impl DecisionCounts {
+    /// Initial routing decisions (excludes reroutes).
+    pub fn routed(&self) -> u64 {
+        self.min_intra + self.vlb_intra + self.min_inter + self.vlb_inter
+    }
+
+    /// VLB share including reroutes — the quantity
+    /// `tugal_netsim::SimResult::vlb_fraction` reports.
+    pub fn vlb_fraction(&self) -> f64 {
+        let routed = self.routed();
+        if routed == 0 {
+            0.0
+        } else {
+            (self.vlb_intra + self.vlb_inter + self.par_reroutes) as f64 / routed as f64
+        }
+    }
+}
+
+/// Summary of a latency histogram (cycles).
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencySummary {
+    /// Recorded deliveries.
+    pub count: u64,
+    /// Mean latency (`NaN` serializes as `null` when nothing delivered).
+    pub mean: f64,
+    /// Largest recorded latency.
+    pub max: u64,
+    /// Exact median (see [`crate::hist::LogHistogram::percentile`]).
+    pub p50: f64,
+    /// Exact 90th percentile.
+    pub p90: f64,
+    /// Exact 99th percentile.
+    pub p99: f64,
+    /// Exact 99.9th percentile.
+    pub p999: f64,
+}
+
+/// Summary of the hop-count histogram.
+#[derive(Debug, Clone, Serialize)]
+pub struct HopSummary {
+    /// Mean switch-to-switch hops per delivered packet.
+    pub mean: f64,
+    /// Exact median hop count.
+    pub p50: f64,
+    /// Exact 99th-percentile hop count.
+    pub p99: f64,
+    /// Deliveries per hop count (index = hops).
+    pub counts: Vec<u64>,
+}
+
+/// Aggregate load of one channel class (local or global).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ClassLoad {
+    /// Directed channels of this class.
+    pub channels: u32,
+    /// Flit traversals summed over the class.
+    pub flits: u64,
+    /// Mean per-channel load, flits/cycle.
+    pub mean_load: f64,
+    /// Highest per-channel load, flits/cycle.
+    pub max_load: f64,
+}
+
+/// Per-class and (optionally) per-channel link loads.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct LinkSummary {
+    /// Intra-group channels.
+    pub local: ClassLoad,
+    /// Inter-group channels.
+    pub global: ClassLoad,
+    /// Per-channel load (flits/cycle) of every local channel, in dense
+    /// channel order; empty unless `MetricsConfig::per_channel`.
+    pub per_local_load: Vec<f64>,
+    /// Per-channel load of every global channel, in dense channel order.
+    pub per_global_load: Vec<f64>,
+}
+
+/// Input-buffer occupancy statistics of one channel class.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct OccupancyClass {
+    /// (channel, VC) samples taken.
+    pub samples: u64,
+    /// Mean sampled occupancy, flits.
+    pub mean: f64,
+    /// Highest sampled occupancy, flits.
+    pub max: u32,
+}
+
+/// Occupancy sampling summary (all zeros when the cadence was 0).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct OccupancySummary {
+    /// Local channels.
+    pub local: OccupancyClass,
+    /// Global channels.
+    pub global: OccupancyClass,
+}
+
+/// One time-series sample: event counts in the interval ending at `cycle`.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct TimeSample {
+    /// Cycle the interval ended at.
+    pub cycle: u64,
+    /// Packets injected during the interval.
+    pub injected: u64,
+    /// Packets delivered during the interval.
+    pub delivered: u64,
+    /// Packets dropped at source queues during the interval.
+    pub dropped: u64,
+    /// Flits sent on local channels during the interval.
+    pub local_flits: u64,
+    /// Flits sent on global channels during the interval.
+    pub global_flits: u64,
+}
+
+/// Everything one (or several merged) instrumented runs measured.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsReport {
+    /// Merged seed replications behind these numbers.
+    pub runs: u32,
+    /// Executed cycles, summed over the merged runs (the normalizer for
+    /// every load in [`MetricsReport::links`]).
+    pub cycles: u64,
+    /// Packets created (includes dropped ones).
+    pub injected: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Packets dropped at overflowing source queues.
+    pub dropped: u64,
+    /// Packets still in the network when the runs ended.
+    pub in_flight_at_end: u64,
+    /// MIN/VLB/PAR-reroute decision mix per traffic class.
+    pub decisions: DecisionCounts,
+    /// Exact-percentile latency summary.
+    pub latency: LatencySummary,
+    /// Exact-percentile hop summary.
+    pub hops: HopSummary,
+    /// Per-class (and optional per-channel) link loads.
+    pub links: LinkSummary,
+    /// Input-buffer occupancy sampling summary.
+    pub occupancy: OccupancySummary,
+    /// Per-interval event counts (empty when `sample_every` was 0).
+    pub timeseries: Vec<TimeSample>,
+}
