@@ -1,0 +1,211 @@
+//! Fault sweep: UGAL-L vs T-UGAL-L on degraded dragonflies.
+//!
+//! The paper evaluates topology-custom VLB on pristine dragonflies; this
+//! harness probes how the comparison degrades when global links fail.  A
+//! seeded fraction of global cables (0–10%) is removed, the candidate
+//! tables are re-derived on the degraded view (with T-VLB regeneration for
+//! pairs whose custom subset died), the engine runs with the corresponding
+//! fault schedule, and the coarse-grain LP throughput of the degraded
+//! topology is printed next to the simulated curves.
+//!
+//! Differential anchors built into the run:
+//!
+//! * the 0%-failure point is executed through the full fault machinery
+//!   (empty `FaultSet`, degraded tables, attached schedule) and asserted
+//!   bit-for-bit equal to a pristine run without any of it;
+//! * every non-zero fraction must still deliver traffic under both
+//!   routings (a drop-everything regression cannot pass).
+//!
+//! `TUGAL_FAULTS_TINY=1` swaps in `dfly(2,4,2,5)` for CI smoke runs.
+
+use std::sync::Arc;
+use tugal_bench::*;
+use tugal_model::{modeled_throughput_degraded, ModelVariant};
+use tugal_netsim::{FaultSchedule, RoutingAlgorithm};
+use tugal_routing::{PathProvider, PathTable, TableProvider, VlbRule};
+use tugal_topology::{Dragonfly, FaultSet};
+use tugal_traffic::{Shift, TrafficPattern, Uniform};
+
+/// Seed of the failure samples: every fraction draws from the same shuffle,
+/// so larger fractions are supersets of smaller ones.
+const FAULT_SEED: u64 = 0xFA17;
+
+/// Table seed of the T-VLB construction (matching `tvlb_provider`).
+const TVLB_TABLE_SEED: u64 = 0x7065;
+
+fn tiny() -> bool {
+    std::env::var("TUGAL_FAULTS_TINY")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Clones a pristine table, filters it against the degraded view and wraps
+/// it as a provider, printing the reachability report.
+fn degraded_provider(
+    topo: &Arc<Dragonfly>,
+    pristine: &PathTable,
+    deg: &tugal_topology::Degraded,
+    rule: VlbRule,
+    seed: u64,
+    tag: &str,
+) -> Arc<dyn PathProvider> {
+    let mut table = pristine.clone();
+    let rep = table.degrade(topo, deg, rule, seed);
+    println!(
+        "#   reachability[{tag}]: {} pairs, removed {} MIN / {} VLB paths, \
+         regenerated {} pairs, unreachable {}",
+        rep.pairs, rep.removed_min, rep.removed_vlb, rep.regenerated_pairs, rep.unreachable_pairs
+    );
+    Arc::new(TableProvider::new(topo.clone(), table))
+}
+
+fn main() {
+    let topo = if tiny() {
+        dfly(2, 4, 2, 5)
+    } else {
+        dfly(4, 8, 4, 9)
+    };
+    let fractions = [0.0, 0.025, 0.05, 0.10];
+    let rates = if tiny() {
+        vec![0.1, 0.2]
+    } else {
+        vec![0.1, 0.2, 0.3]
+    };
+
+    // Pristine candidate tables, built once; each fraction degrades a copy.
+    let (_, chosen) = tvlb_provider(&topo);
+    println!("# T-VLB = {chosen}");
+    let ugal_table = PathTable::build_all(&topo);
+    let mut tvlb_table = PathTable::build_with_rule(&topo, chosen, TVLB_TABLE_SEED);
+    if !chosen.is_all() {
+        tugal::balance::adjust(&mut tvlb_table, &topo, &tugal::BalanceOptions::default());
+    }
+
+    let patterns: Vec<(&str, Arc<dyn TrafficPattern>)> = vec![
+        ("UR", Arc::new(Uniform::new(&topo))),
+        ("SHIFT", Arc::new(Shift::new(&topo, 1, 0))),
+    ];
+
+    let mut all_series = Vec::new();
+    for (ptag, pattern) in &patterns {
+        // Pristine baseline: no fault machinery anywhere.
+        let baseline = run_series_faulted(
+            &topo,
+            pattern,
+            &[
+                (
+                    "UGAL-L",
+                    Arc::new(TableProvider::new(topo.clone(), ugal_table.clone()))
+                        as Arc<dyn PathProvider>,
+                    RoutingAlgorithm::UgalL,
+                ),
+                (
+                    "T-UGAL-L",
+                    Arc::new(TableProvider::new(topo.clone(), tvlb_table.clone()))
+                        as Arc<dyn PathProvider>,
+                    RoutingAlgorithm::UgalL,
+                ),
+            ],
+            &rates,
+            None,
+            None,
+        );
+
+        for &f in &fractions {
+            let faults = if f == 0.0 {
+                FaultSet::empty()
+            } else {
+                FaultSet::sample_global_links(&topo, f, FAULT_SEED)
+            };
+            let deg = topo.degrade(&faults);
+            println!(
+                "# {ptag} f={:.1}%: {} dead channels, {} failed cables",
+                100.0 * f,
+                deg.num_dead_channels(),
+                faults.global_links().len()
+            );
+            let ugal = degraded_provider(&topo, &ugal_table, &deg, VlbRule::All, 0, "UGAL-L");
+            let tvlb = degraded_provider(
+                &topo,
+                &tvlb_table,
+                &deg,
+                chosen,
+                TVLB_TABLE_SEED,
+                "T-UGAL-L",
+            );
+            let schedule = Arc::new(FaultSchedule::immediate(faults.clone()));
+            let label_u = format!("{ptag} UGAL f={:.1}%", 100.0 * f);
+            let label_t = format!("{ptag} T-UGAL f={:.1}%", 100.0 * f);
+            let series = run_series_faulted(
+                &topo,
+                pattern,
+                &[
+                    (&label_u, ugal, RoutingAlgorithm::UgalL),
+                    (&label_t, tvlb, RoutingAlgorithm::UgalL),
+                ],
+                &rates,
+                None,
+                Some(schedule),
+            );
+
+            if f == 0.0 {
+                // Differential anchor: the zero-failure point ran through
+                // empty degraded tables plus an attached (empty) schedule
+                // and must reproduce the pristine run exactly.
+                for (faulted, pristine) in series.iter().zip(&baseline) {
+                    for (a, b) in faulted.points.iter().zip(&pristine.points) {
+                        assert_eq!(
+                            a.result, b.result,
+                            "{}: zero-failure run diverged from the pristine baseline",
+                            faulted.label
+                        );
+                    }
+                }
+                println!("# {ptag}: zero-failure sweep matches the pristine baseline");
+            } else {
+                // Degraded runs must still deliver under both routings.
+                for s in &series {
+                    assert!(
+                        s.points.iter().any(|p| p.result.delivered > 0),
+                        "{}: no packets delivered on the degraded topology",
+                        s.label
+                    );
+                }
+            }
+
+            // Coarse-grain LP throughput of the degraded topology
+            // (deterministic patterns only — UR has no demand matrix).
+            if let Some(demands) = pattern.demands() {
+                for (tag, rule) in [("UGAL", VlbRule::All), ("T-UGAL", chosen)] {
+                    match modeled_throughput_degraded(
+                        &topo,
+                        &deg,
+                        &demands,
+                        rule,
+                        ModelVariant::DrawProportional,
+                    ) {
+                        Ok(m) => println!(
+                            "# model[{ptag} {tag} f={:.1}%]: Γ = {:.4} \
+                             ({} reachable pairs, {} unreachable)",
+                            100.0 * f,
+                            m.theta,
+                            m.reachable_pairs,
+                            m.unreachable_pairs
+                        ),
+                        Err(e) => {
+                            println!("# model[{ptag} {tag} f={:.1}%]: failed ({e})", 100.0 * f)
+                        }
+                    }
+                }
+            }
+
+            all_series.extend(series);
+        }
+    }
+
+    print_figure(
+        "fig_faults",
+        "failure sweep (global-link faults), UGAL-L vs T-UGAL-L, UR + shift(1,0)",
+        &all_series,
+    );
+}

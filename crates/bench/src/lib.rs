@@ -22,7 +22,7 @@ use std::io::Write;
 use std::sync::{Arc, Mutex};
 use tugal::{compute_tvlb, conventional_provider, TUgalConfig};
 use tugal_netsim::runner::{ExperimentRunner, RunSummary, SeriesSpec};
-use tugal_netsim::{Config, CurvePoint, RoutingAlgorithm, SweepOptions};
+use tugal_netsim::{Config, CurvePoint, FaultSchedule, RoutingAlgorithm, SweepOptions};
 use tugal_obs::{MetricsConfig, MetricsObserver, MetricsReport};
 use tugal_routing::{PathProvider, RuleProvider, VlbRule};
 use tugal_topology::{Dragonfly, DragonflyParams};
@@ -272,7 +272,33 @@ pub fn run_series(
             (label.to_string(), provider.clone(), *routing, cfg)
         })
         .collect();
-    run_flat(topo, pattern, &specs, rates, &opts)
+    run_flat(topo, pattern, &specs, rates, &opts, None)
+}
+
+/// Like [`run_series`], with a fault schedule applied to every series in
+/// the batch — the entry point of the `fig_faults` harness.  `None`
+/// behaves exactly like [`run_series`] (the engine stays on its pristine
+/// fast path).
+#[allow(clippy::type_complexity)]
+pub fn run_series_faulted(
+    topo: &Arc<Dragonfly>,
+    pattern: &Arc<dyn TrafficPattern>,
+    entries: &[(&str, Arc<dyn PathProvider>, RoutingAlgorithm)],
+    rates: &[f64],
+    vcs_override: Option<u8>,
+    faults: Option<Arc<FaultSchedule>>,
+) -> Vec<Series> {
+    let specs: Vec<(String, Arc<dyn PathProvider>, RoutingAlgorithm, Config)> = entries
+        .iter()
+        .map(|(label, provider, routing)| {
+            let mut cfg = sim_config().for_routing(*routing);
+            if let Some(v) = vcs_override {
+                cfg.num_vcs = cfg.num_vcs.max(v);
+            }
+            (label.to_string(), provider.clone(), *routing, cfg)
+        })
+        .collect();
+    run_flat(topo, pattern, &specs, rates, &sweep_options(), faults)
 }
 
 /// Like [`run_series`], but each entry carries its own fully-specified
@@ -285,7 +311,7 @@ pub fn run_series_cfg(
     entries: &[(String, Arc<dyn PathProvider>, RoutingAlgorithm, Config)],
     rates: &[f64],
 ) -> Vec<Series> {
-    run_flat(topo, pattern, entries, rates, &sweep_options())
+    run_flat(topo, pattern, entries, rates, &sweep_options(), None)
 }
 
 #[allow(clippy::type_complexity)]
@@ -295,6 +321,7 @@ fn run_flat(
     entries: &[(String, Arc<dyn PathProvider>, RoutingAlgorithm, Config)],
     rates: &[f64],
     opts: &SweepOptions,
+    faults: Option<Arc<FaultSchedule>>,
 ) -> Vec<Series> {
     let mut runner = ExperimentRunner::new(topo.clone());
     for (label, provider, routing, cfg) in entries {
@@ -304,6 +331,7 @@ fn run_flat(
             pattern: pattern.clone(),
             routing: *routing,
             cfg: cfg.clone(),
+            faults: faults.clone(),
         });
     }
     let mcfg = metrics_config();

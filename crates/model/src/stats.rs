@@ -1,7 +1,7 @@
 //! Per-pair path-class statistics, computed without enumerating paths.
 
 use std::collections::HashMap;
-use tugal_topology::{ChannelId, Dragonfly, GroupId, SwitchId};
+use tugal_topology::{ChannelId, Degraded, Dragonfly, GroupId, SwitchId};
 
 /// Statistics of one MIN segment length class: how many (intermediate,
 /// gateway) realizations produce it and how often each channel appears.
@@ -36,18 +36,51 @@ pub struct PairStats {
 impl PairStats {
     /// Computes the statistics for the ordered pair `(s, d)`, `s != d`.
     pub fn compute(topo: &Dragonfly, s: SwitchId, d: SwitchId) -> Self {
+        Self::compute_inner(topo, None, s, d)
+    }
+
+    /// [`PairStats::compute`] over a degraded view: dead channels,
+    /// switches and gateways contribute nothing.  A pair with a dead
+    /// endpoint has all-zero statistics.  With a pristine view the result
+    /// equals `compute` exactly (same accumulation order).
+    pub fn compute_degraded(topo: &Dragonfly, deg: &Degraded, s: SwitchId, d: SwitchId) -> Self {
+        Self::compute_inner(topo, Some(deg), s, d)
+    }
+
+    fn compute_inner(topo: &Dragonfly, deg: Option<&Degraded>, s: SwitchId, d: SwitchId) -> Self {
         assert_ne!(s, d);
+        let dead_chan = |c: ChannelId| deg.is_some_and(|dg| dg.channel_dead(c));
+        let dead_switch = |sw: SwitchId| deg.is_some_and(|dg| dg.switch_dead(sw));
+        if dead_switch(s) || dead_switch(d) {
+            return PairStats {
+                min_count: 0.0,
+                min_usage: Vec::new(),
+                combo_count: [[0.0; 4]; 4],
+                combo_usage: Default::default(),
+            };
+        }
         // MIN candidates.
         let mut min_usage: HashMap<u32, f64> = HashMap::new();
         let (gs, gd) = (topo.group_of(s), topo.group_of(d));
-        let min_count;
+        let mut min_count = 0.0;
         if gs == gd {
-            min_count = 1.0;
-            *min_usage.entry(topo.local_channel(s, d).0).or_default() += 1.0;
+            if !dead_chan(topo.local_channel(s, d)) {
+                min_count = 1.0;
+                *min_usage.entry(topo.local_channel(s, d).0).or_default() += 1.0;
+            }
         } else {
-            let gws = topo.gateways(gs, gd);
-            min_count = gws.len() as f64;
+            let gws = match deg {
+                Some(dg) => dg.gateways(gs, gd),
+                None => topo.gateways(gs, gd),
+            };
             for &(u, v, c) in gws {
+                if u != s && dead_chan(topo.local_channel(s, u)) {
+                    continue;
+                }
+                if v != d && dead_chan(topo.local_channel(v, d)) {
+                    continue;
+                }
+                min_count += 1.0;
                 if u != s {
                     *min_usage.entry(topo.local_channel(s, u).0).or_default() += 1.0;
                 }
@@ -67,8 +100,11 @@ impl PairStats {
                 continue;
             }
             for i in topo.switches_in_group(gi) {
-                let seg1 = seg_classes(topo, s, i, gs, gi);
-                let seg2 = seg_classes(topo, i, d, gi, gd);
+                if dead_switch(i) {
+                    continue;
+                }
+                let seg1 = seg_classes(topo, deg, s, i, gs, gi);
+                let seg2 = seg_classes(topo, deg, i, d, gi, gd);
                 for (c1, s1) in seg1.iter().enumerate() {
                     if s1.count == 0.0 {
                         continue;
@@ -140,8 +176,10 @@ impl PairStats {
 
 /// Length-class statistics of the MIN segments from `a` to `b`
 /// (`ga = group(a)`, `gb = group(b)`), indexed by hop count 1..=3.
+/// Degraded views contribute only fully surviving segments.
 fn seg_classes(
     topo: &Dragonfly,
+    deg: Option<&Degraded>,
     a: SwitchId,
     b: SwitchId,
     ga: GroupId,
@@ -149,17 +187,30 @@ fn seg_classes(
 ) -> [SegClass; 4] {
     let mut out: [SegClass; 4] = Default::default();
     debug_assert_ne!(ga, gb);
-    for &(u, v, c) in topo.gateways(ga, gb) {
+    let dead_chan = |c: ChannelId| deg.is_some_and(|dg| dg.channel_dead(c));
+    let gws = match deg {
+        Some(dg) => dg.gateways(ga, gb),
+        None => topo.gateways(ga, gb),
+    };
+    for &(u, v, c) in gws {
         let mut hops = 1usize;
         let mut chans = [c.0, 0, 0];
         let mut n = 1usize;
         if u != a {
-            chans[n] = topo.local_channel(a, u).0;
+            let lc = topo.local_channel(a, u);
+            if dead_chan(lc) {
+                continue;
+            }
+            chans[n] = lc.0;
             n += 1;
             hops += 1;
         }
         if v != b {
-            chans[n] = topo.local_channel(v, b).0;
+            let lc = topo.local_channel(v, b);
+            if dead_chan(lc) {
+                continue;
+            }
+            chans[n] = lc.0;
             n += 1;
             hops += 1;
         }

@@ -252,3 +252,171 @@ fn bottleneck_throughput_matches_plain_solve() {
     let (theta, _) = crate::modeled_bottlenecks(&t, &d, VlbRule::All).unwrap();
     assert!((plain - theta).abs() < 1e-9);
 }
+
+// ---------------------------------------------------------------------------
+// Degraded-topology model: differential anchors against the pristine model
+// and against the Garg–Könemann concurrent-flow approximation.
+
+#[test]
+fn degraded_stats_with_empty_faults_match_pristine() {
+    use tugal_topology::{FaultSet, SwitchId};
+    let t = topo(2, 4, 2, 5);
+    let deg = t.degrade(&FaultSet::empty());
+    for s in 0..t.num_switches() as u32 {
+        for d in 0..t.num_switches() as u32 {
+            if s == d {
+                continue;
+            }
+            let a = PairStats::compute(&t, SwitchId(s), SwitchId(d));
+            let b = PairStats::compute_degraded(&t, &deg, SwitchId(s), SwitchId(d));
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "{s}->{d}");
+        }
+    }
+}
+
+#[test]
+fn degraded_model_with_empty_faults_matches_pristine() {
+    use tugal_topology::FaultSet;
+    let t = topo(2, 4, 2, 5);
+    let deg = t.degrade(&FaultSet::empty());
+    let dem = shift_demands(&t, 1, 0);
+    for rule in [
+        VlbRule::All,
+        VlbRule::ClassLimit {
+            max_hops: 3,
+            frac_next: 0.0,
+        },
+    ] {
+        for variant in [
+            ModelVariant::DrawProportional,
+            ModelVariant::MonotoneClasses,
+        ] {
+            let pristine = modeled_throughput(&t, &dem, rule, variant).unwrap();
+            let m = modeled_throughput_degraded(&t, &deg, &dem, rule, variant).unwrap();
+            assert_eq!(m.theta, pristine, "{rule:?}/{variant:?}");
+            assert_eq!(m.unreachable_pairs, 0);
+            assert_eq!(m.reachable_pairs, dem.len());
+        }
+    }
+}
+
+#[test]
+fn fault_sweep_thetas_degrade_and_stay_positive() {
+    // The fig_faults fault seed and fractions: Γ under growing failure must
+    // never exceed the pristine value and must stay well above zero (the
+    // draw-proportional variant is not superset-monotone in general, but on
+    // this sweep the loss of capacity dominates — pinned here so the figure
+    // keeps its shape).
+    use tugal_topology::FaultSet;
+    let t = topo(2, 4, 2, 5);
+    let dem = shift_demands(&t, 1, 0);
+    let pristine =
+        modeled_throughput(&t, &dem, VlbRule::All, ModelVariant::DrawProportional).unwrap();
+    for frac in [0.025, 0.05, 0.10] {
+        let deg = t.degrade(&FaultSet::sample_global_links(&t, frac, 0xFA17));
+        let m = modeled_throughput_degraded(
+            &t,
+            &deg,
+            &dem,
+            VlbRule::All,
+            ModelVariant::DrawProportional,
+        )
+        .unwrap();
+        assert!(
+            m.theta <= pristine + 1e-9,
+            "f={frac}: {} > pristine {pristine}",
+            m.theta
+        );
+        assert!(m.theta > 0.3, "f={frac}: collapsed to {}", m.theta);
+        assert_eq!(m.unreachable_pairs, 0, "10% faults cannot partition this");
+    }
+}
+
+#[test]
+fn simplex_and_mcf_agree_on_degraded_instances() {
+    // Free-split maximum concurrent flow over the surviving candidate
+    // paths, solved two ways: the exact dense simplex and the
+    // Garg–Könemann approximation.  The approximation is a guaranteed
+    // lower bound and must land within its accuracy band.
+    use std::collections::HashMap;
+    use tugal_lp::{ConcurrentFlow, FlowPath, LinearProgram, Relation, VarId};
+    use tugal_routing::PathTable;
+    use tugal_topology::{FaultSet, SwitchId};
+
+    let t = topo(2, 4, 2, 5);
+    let mut faults = FaultSet::sample_global_links(&t, 0.10, 0xBEEF);
+    faults.fail_switch(SwitchId(5));
+    let deg = t.degrade(&faults);
+    let table = PathTable::build_all_degraded(&t, &deg);
+    let dem = shift_demands(&t, 1, 0);
+
+    let mut cf = ConcurrentFlow::new(vec![1.0; t.num_network_channels()]);
+    let mut lp = LinearProgram::new();
+    let theta = lp.add_var(1.0);
+    lp.add_constraint(&[(theta, 1.0)], Relation::Le, 1.0);
+    let mut edge_rows: HashMap<usize, Vec<(VarId, f64)>> = HashMap::new();
+    let mut commodities = 0;
+    for &(s, d, flows) in &dem {
+        let (s, d) = (SwitchId(s), SwitchId(d));
+        if deg.switch_dead(s) || deg.switch_dead(d) {
+            continue;
+        }
+        let pp = table.pair(s, d);
+        let paths: Vec<&tugal_routing::Path> = pp.min.iter().chain(&pp.vlb).collect();
+        assert!(!paths.is_empty(), "{s}->{d} lost all candidates");
+        let flow_paths: Vec<FlowPath> = paths
+            .iter()
+            .map(|p| FlowPath::new((0..p.hops()).map(|i| p.channel_at(&t, i).index()).collect()))
+            .collect();
+        cf.add_commodity(flows as f64, flow_paths.clone());
+        commodities += 1;
+        let vars: Vec<VarId> = paths.iter().map(|_| lp.add_var(0.0)).collect();
+        // θ·demand − Σ f_p ≤ 0  (the commodity must be fully served).
+        let mut terms: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, -1.0)).collect();
+        terms.push((theta, flows as f64));
+        lp.add_constraint(&terms, Relation::Le, 0.0);
+        for (v, fp) in vars.iter().zip(&flow_paths) {
+            for &e in &fp.edges {
+                edge_rows.entry(e).or_default().push((*v, 1.0));
+            }
+        }
+    }
+    assert!(commodities > 0);
+    let mut edges: Vec<usize> = edge_rows.keys().copied().collect();
+    edges.sort_unstable();
+    for e in edges {
+        lp.add_constraint(&edge_rows[&e], Relation::Le, 1.0);
+    }
+    lp.set_max_iterations(400_000);
+    let exact = lp.solve().unwrap().value(theta);
+    let approx = cf.solve(0.03).throughput;
+    assert!(exact > 0.0 && exact <= 1.0 + 1e-9, "{exact}");
+    assert!(
+        approx <= exact + 1e-6,
+        "MCF {approx} must lower-bound the simplex optimum {exact}"
+    );
+    assert!(
+        approx >= 0.85 * exact,
+        "MCF {approx} fell outside the accuracy band of the simplex {exact}"
+    );
+}
+
+#[test]
+fn disconnected_pairs_are_excluded_and_reported() {
+    // Killing a whole switch disconnects exactly the demands that touch
+    // it; the model must drop them, report them, and still solve.
+    use tugal_topology::{FaultSet, SwitchId};
+    let t = topo(2, 4, 2, 5);
+    let dem = shift_demands(&t, 1, 0);
+    let mut faults = FaultSet::empty();
+    faults.fail_switch(SwitchId(0));
+    let deg = t.degrade(&faults);
+    let touching = dem.iter().filter(|&&(s, d, _)| s == 0 || d == 0).count();
+    assert!(touching > 0);
+    let m =
+        modeled_throughput_degraded(&t, &deg, &dem, VlbRule::All, ModelVariant::DrawProportional)
+            .unwrap();
+    assert_eq!(m.unreachable_pairs, touching);
+    assert_eq!(m.reachable_pairs, dem.len() - touching);
+    assert!(m.theta > 0.0);
+}

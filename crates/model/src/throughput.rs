@@ -5,7 +5,7 @@ use rayon::prelude::*;
 use std::collections::HashMap;
 use tugal_lp::{LinearProgram, Relation, SolveError};
 use tugal_routing::VlbRule;
-use tugal_topology::{ChannelId, Dragonfly, SwitchId};
+use tugal_topology::{ChannelId, Degraded, Dragonfly, SwitchId};
 
 /// Which reconstruction of the UGAL allocation behaviour to solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,6 +140,72 @@ pub fn modeled_throughput_multi(
         .collect()
 }
 
+/// Outcome of a degraded-topology throughput solve: the modeled saturation
+/// rate of the pairs that remain reachable, plus accounting of the pairs
+/// the failures disconnected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedThroughput {
+    /// Modeled saturation throughput (flits/cycle/node) over the reachable
+    /// pairs.
+    pub theta: f64,
+    /// Demand pairs left without any surviving candidate path (excluded
+    /// from the LP — the simulator drops their packets).
+    pub unreachable_pairs: usize,
+    /// Demand pairs that kept at least one surviving candidate.
+    pub reachable_pairs: usize,
+}
+
+/// [`modeled_throughput`] on a degraded view of the topology: per-pair
+/// statistics count only surviving candidates ([`PairStats::compute_degraded`]),
+/// disconnected pairs are excluded (and reported), and a pair whose MIN
+/// candidates all died has its MIN rate pinned to zero so the optimizer
+/// cannot credit it with phantom minimal capacity.
+///
+/// With a pristine `deg` (no failures) this reduces exactly to
+/// [`modeled_throughput`]: the statistics are identical, no pair is
+/// excluded, and no guard row is added.
+pub fn modeled_throughput_degraded(
+    topo: &Dragonfly,
+    deg: &Degraded,
+    pattern_demands: &[(u32, u32, u32)],
+    rule: VlbRule,
+    variant: ModelVariant,
+) -> Result<DegradedThroughput, ModelError> {
+    if pattern_demands.is_empty() {
+        return Err(ModelError::EmptyPattern);
+    }
+    let stats: Vec<PairStats> = pattern_demands
+        .par_iter()
+        .map(|&(s, d, _)| PairStats::compute_degraded(topo, deg, SwitchId(s), SwitchId(d)))
+        .collect();
+    // Pairs whose entire candidate set died cannot constrain θ; the
+    // simulator counts their packets as drops, and the model mirrors that
+    // by solving over the survivors only.
+    let mut demands = Vec::new();
+    let mut kept = Vec::new();
+    for (&dm, st) in pattern_demands.iter().zip(&stats) {
+        if st.min_count == 0.0 && st.total_count() == 0.0 {
+            continue;
+        }
+        demands.push(dm);
+        kept.push(st.clone());
+    }
+    let unreachable_pairs = pattern_demands.len() - demands.len();
+    if demands.is_empty() {
+        return Ok(DegradedThroughput {
+            theta: 0.0,
+            unreachable_pairs,
+            reachable_pairs: 0,
+        });
+    }
+    let theta = solve_one(topo, &demands, &kept, rule, variant)?;
+    Ok(DegradedThroughput {
+        theta,
+        unreachable_pairs,
+        reachable_pairs: demands.len(),
+    })
+}
+
 fn solve_one(
     topo: &Dragonfly,
     demands: &[(u32, u32, u32)],
@@ -233,6 +299,14 @@ fn solve_draw_proportional(
             .flat_map(|c1| (1..=3).map(move |c2| (c1, c2)))
             .map(|(c1, c2)| w[c1][c2] * st.combo_count[c1][c2])
             .sum();
+
+        // A pair with no surviving MIN candidate (degraded topologies
+        // only — pristine pairs always have one) must not carry a MIN
+        // rate: its `m` has no usage rows, so leaving it free would let
+        // the optimizer subtract VLB load without paying for it anywhere.
+        if st.min_count == 0.0 {
+            lp.add_constraint(&[(m, 1.0)], Relation::Le, 0.0);
+        }
 
         // MIN usage: rate m spread over the MIN candidates.
         for &(ch, u) in &st.min_usage {
@@ -333,6 +407,15 @@ fn solve_monotone(
         let mut terms: Vec<(tugal_lp::VarId, f64)> = vs.iter().map(|&v| (v, 1.0)).collect();
         terms.push((theta, -d));
         lp.add_constraint(&terms, Relation::Le, 0.0);
+
+        // No surviving MIN candidate (degraded topologies only): the
+        // residual θ·d − Σ v_c would ride nothing, so force the VLB rates
+        // to carry the whole demand (Σ v_c ≥ θ·d, i.e. equality).
+        if st.min_count == 0.0 {
+            let mut lb: Vec<(tugal_lp::VarId, f64)> = vs.iter().map(|&v| (v, -1.0)).collect();
+            lb.push((theta, d));
+            lp.add_constraint(&lb, Relation::Le, 0.0);
+        }
 
         // Monotonicity between consecutive present classes.
         for k in 1..classes.len() {

@@ -25,6 +25,16 @@ impl<O: SimObserver> Engine<'_, O> {
             self.stats.record_injection();
             self.obs.on_inject(self.now, NodeId(n), dst);
             let inj = topo.injection_channel(NodeId(n)).0 as usize;
+            // A dead source switch cannot accept traffic and a dead
+            // destination switch can never eject it; either way the packet
+            // counts as injected and is dropped on the floor.
+            if self.fault_on
+                && (self.ws.switch_dead[topo.switch_of_node(NodeId(n)).index()]
+                    || self.ws.switch_dead[topo.switch_of_node(dst).index()])
+            {
+                self.obs.on_drop(self.now, NodeId(n), dst);
+                continue;
+            }
             // The injection channel's downstream buffer plays the role of
             // BookSim's infinite source queue; cap it so deep-saturation
             // points keep finite memory (the latency threshold fires long
@@ -35,12 +45,14 @@ impl<O: SimObserver> Engine<'_, O> {
             }
             let pi = self.alloc_packet(Packet {
                 dst_node: dst.0,
+                src_node: n,
                 birth: self.now,
                 path: Path::single(topo.switch_of_node(NodeId(n))),
                 hop: 0,
                 cur_vc: 0,
                 cur_chan: inj as u32,
                 pre_local: 0,
+                pre_global: 0,
                 hops_taken: 0,
                 flags: 0,
             });
@@ -80,6 +92,23 @@ impl<O: SimObserver> Engine<'_, O> {
                         self.route(pi);
                     } else if self.ws.packets[pi as usize].flags & F_REVISABLE != 0 {
                         self.par_revise(pi);
+                    }
+                    // Under faults the decided path may lead into dead
+                    // hardware: reroute from here or drop (dequeuing
+                    // exactly as a forwarded packet would, so the input
+                    // buffer's credit still returns upstream).
+                    if self.fault_on && !self.fault_check(pi) {
+                        self.ws.in_buf[idx].pop_front();
+                        let in_ch = idx / self.v;
+                        self.ws.buf_occ[in_ch] -= 1;
+                        if in_ch < self.n_network {
+                            let due = ((self.now + self.ws.latency[in_ch] as u64)
+                                % self.ring_size as u64)
+                                as usize;
+                            self.ws.credit_ring[due].push(idx as u32);
+                        }
+                        self.drop_in_network(pi);
+                        continue;
                     }
                     let (out, vc) = self.next_hop(pi);
                     if self.ws.out_stamp[out as usize] == stamp {

@@ -24,6 +24,7 @@
 
 mod alloc;
 mod collect;
+mod fault;
 mod observer;
 mod routing;
 mod state;
@@ -32,6 +33,7 @@ pub use observer::{NoopObserver, SimObserver};
 pub use state::{SimWorkspace, WorkspacePool};
 
 use crate::config::{Config, RoutingAlgorithm};
+use crate::fault::FaultSchedule;
 use crate::stats::SimResult;
 use collect::Stats;
 use rand::rngs::SmallRng;
@@ -64,6 +66,7 @@ pub struct Simulator {
     pub(crate) pattern: Arc<dyn TrafficPattern>,
     pub(crate) routing: RoutingAlgorithm,
     pub(crate) cfg: Config,
+    pub(crate) faults: Option<Arc<FaultSchedule>>,
 }
 
 impl Simulator {
@@ -91,7 +94,23 @@ impl Simulator {
             pattern,
             routing,
             cfg,
+            faults: None,
         }
+    }
+
+    /// Attaches a fault schedule: the components it names die at their
+    /// configured cycles (see the `fault` module).  An empty schedule
+    /// leaves the engine on the pristine fast path — results are
+    /// bit-identical to a simulator without one.
+    pub fn with_faults(self, schedule: FaultSchedule) -> Self {
+        self.with_fault_schedule(Arc::new(schedule))
+    }
+
+    /// [`Simulator::with_faults`] for an already-shared schedule (sweeps
+    /// reuse one schedule across many jobs).
+    pub fn with_fault_schedule(mut self, schedule: Arc<FaultSchedule>) -> Self {
+        self.faults = Some(schedule);
+        self
     }
 
     /// Runs the configured warmup + measurement windows at `rate`
@@ -142,6 +161,11 @@ pub(crate) struct Engine<'a, O: SimObserver> {
     /// upstream is the source queue).
     pub(crate) n_network: usize,
     pub(crate) stats: Stats,
+    /// True when a non-empty fault schedule is attached; every fault code
+    /// path is behind this flag, so fault-free runs stay bit-identical.
+    pub(crate) fault_on: bool,
+    /// Next unapplied event of the fault schedule.
+    next_event: usize,
 }
 
 impl<'a, O: SimObserver> Engine<'a, O> {
@@ -160,6 +184,8 @@ impl<'a, O: SimObserver> Engine<'a, O> {
             ring_size: SimWorkspace::ring_size_for(cfg),
             n_network: sim.topo.num_network_channels(),
             stats: Stats::new(),
+            fault_on: sim.faults.as_ref().is_some_and(|f| !f.is_empty()),
+            next_event: 0,
         }
     }
 
@@ -188,7 +214,22 @@ impl<'a, O: SimObserver> Engine<'a, O> {
         let watchdog =
             (cfg.window as u64).max(64 * (cfg.global_latency as u64 + cfg.local_latency as u64));
 
+        // The schedule is applied lazily as the clock reaches each event
+        // (an event at cycle 0 degrades the network before any traffic).
+        let sched = if self.fault_on {
+            self.sim.faults.clone()
+        } else {
+            None
+        };
+
         while self.now < total {
+            if let Some(sched) = &sched {
+                let events = sched.events();
+                while self.next_event < events.len() && events[self.next_event].cycle <= self.now {
+                    self.apply_faults(&events[self.next_event].faults);
+                    self.next_event += 1;
+                }
+            }
             if self.now == warmup {
                 self.stats.open_window();
                 self.obs.on_measurement_start(self.now);
@@ -253,6 +294,7 @@ impl<'a, O: SimObserver> Engine<'a, O> {
         for pi in arrived {
             let p = &self.ws.packets[pi as usize];
             let ch = p.cur_chan as usize;
+            let cur_vc = p.cur_vc;
             let dst = self.ws.dst_switch[ch];
             if dst == u32::MAX {
                 // Ejection: delivered.
@@ -260,8 +302,12 @@ impl<'a, O: SimObserver> Engine<'a, O> {
                 self.stats.record_delivery(self.now, birth, hops);
                 self.obs.on_deliver(self.now, self.now - birth, hops);
                 self.free_packet(pi);
+            } else if self.fault_on && self.ws.switch_dead[dst as usize] {
+                // The flit was already on the wire when its downstream
+                // switch died; it arrives at a dead router and is lost.
+                self.drop_in_network(pi);
             } else {
-                let idx = ch * self.v + p.cur_vc as usize;
+                let idx = ch * self.v + cur_vc as usize;
                 self.ws.in_buf[idx].push_back(pi);
                 self.ws.buf_occ[ch] += 1;
                 if !self.ws.in_ready[idx] {

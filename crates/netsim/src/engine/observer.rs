@@ -44,9 +44,11 @@ pub trait SimObserver {
     #[inline(always)]
     fn on_inject(&mut self, now: u64, src: NodeId, dst: NodeId) {}
 
-    /// A freshly injected packet was dropped at an overflowing source
-    /// queue (deep saturation only; dropped packets still count as
-    /// injected).
+    /// A packet was dropped: at an overflowing source queue (deep
+    /// saturation), or — when a fault schedule is attached — because a
+    /// failure made it undeliverable (buffered in a dead switch, staged on
+    /// a dead channel, arriving into a dead router, or stuck with no
+    /// surviving path).  Dropped packets still count as injected.
     #[inline(always)]
     fn on_drop(&mut self, now: u64, src: NodeId, dst: NodeId) {}
 
@@ -78,6 +80,14 @@ pub trait SimObserver {
     /// from [`occupancy_cadence`](Self::occupancy_cadence) divides `now`.
     #[inline(always)]
     fn on_vc_occupancy_sample(&mut self, now: u64, chan: u32, vc: u8, occupancy: u32) {}
+
+    /// A fault check found the packet's next hop dead and successfully
+    /// re-routed it from switch `at` onto a surviving path.  Fires only
+    /// when a fault schedule is attached, at or after the first fault
+    /// event's cycle.  Packets the check could *not* save are reported
+    /// through [`on_drop`](Self::on_drop) instead.
+    #[inline(always)]
+    fn on_fault_reroute(&mut self, now: u64, at: SwitchId) {}
 
     /// A packet reached its destination node: `latency` cycles after
     /// creation, over `hops` switch-to-switch hops.

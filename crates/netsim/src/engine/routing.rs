@@ -176,14 +176,21 @@ impl<O: SimObserver> Engine<'_, O> {
             (topo.ejection_channel(NodeId(p.dst_node)).0, None)
         } else {
             let c = p.path.channel_at(topo, p.hop as usize);
+            // Fault reroutes can push the class past the configured VC
+            // count (the scheme sizes VCs for PAR's worst case, not for
+            // arbitrarily re-spliced routes); clamping to the top VC keeps
+            // the index valid, at the cost of the formal deadlock-freedom
+            // argument — the watchdog covers that residual risk.  Without
+            // faults `pre_global` is 0 and the clamp never binds.
             let vc = vc_class(
                 self.sim.cfg.vc_scheme,
                 topo,
                 &p.path,
                 p.hop as usize,
                 p.pre_local,
-                0,
-            );
+                p.pre_global,
+            )
+            .min(self.v as u8 - 1);
             (c.0, Some(vc))
         }
     }

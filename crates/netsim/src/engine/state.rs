@@ -34,6 +34,9 @@ use tugal_topology::{ChannelKind, Dragonfly, Endpoint};
 #[derive(Clone)]
 pub(crate) struct Packet {
     pub(crate) dst_node: u32,
+    /// Source node (reported to the observer when a fault drops the
+    /// packet mid-network).
+    pub(crate) src_node: u32,
     pub(crate) birth: u64,
     pub(crate) path: Path,
     /// Index of the next hop to take on `path`.
@@ -42,8 +45,11 @@ pub(crate) struct Packet {
     pub(crate) cur_vc: u8,
     /// Channel currently carrying/buffering the packet.
     pub(crate) cur_chan: u32,
-    /// Local/global hops taken before `path` started (PAR reroute).
+    /// Local hops taken before `path` started (PAR or fault reroute).
     pub(crate) pre_local: u8,
+    /// Global hops taken before `path` started (fault reroute only; PAR
+    /// revises before the first global hop).
+    pub(crate) pre_global: u8,
     /// Network hops taken so far (for statistics).
     pub(crate) hops_taken: u8,
     pub(crate) flags: u8,
@@ -106,6 +112,12 @@ pub struct SimWorkspace {
 
     /// Flits sent per channel during the run (utilization statistic).
     pub(crate) chan_flits: Vec<u32>,
+
+    // Fault state (all false unless a fault schedule is configured).
+    /// Channels killed by applied fault events, per channel.
+    pub(crate) chan_dead: Vec<bool>,
+    /// Switches killed by applied fault events, per switch.
+    pub(crate) switch_dead: Vec<bool>,
 }
 
 impl SimWorkspace {
@@ -174,6 +186,8 @@ impl SimWorkspace {
             c.clear();
         }
         self.chan_flits.fill(0);
+        self.chan_dead.fill(false);
+        self.switch_dead.fill(false);
 
         // Channel geometry is cheap to rederive and may differ between
         // configs of the same shape (e.g. latencies), so refill it on every
@@ -216,6 +230,8 @@ impl SimWorkspace {
         self.arrivals = vec![Vec::new(); s.ring_size];
         self.credit_ring = vec![Vec::new(); s.ring_size];
         self.chan_flits = vec![0; s.n_chan];
+        self.chan_dead = vec![false; s.n_chan];
+        self.switch_dead = vec![false; s.n_switches];
     }
 }
 

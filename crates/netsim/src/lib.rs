@@ -45,12 +45,14 @@
 
 mod config;
 mod engine;
+mod fault;
 pub mod runner;
 mod stats;
 mod sweep;
 
 pub use config::{Config, RoutingAlgorithm};
 pub use engine::{NoopObserver, SimObserver, SimWorkspace, Simulator, WorkspacePool};
+pub use fault::{FaultEvent, FaultSchedule};
 pub use stats::SimResult;
 pub use sweep::{
     aggregate_runs, latency_curve, run_job_observed, saturation_throughput, CurvePoint,

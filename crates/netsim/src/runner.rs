@@ -41,6 +41,10 @@ pub struct SeriesSpec {
     /// Fully-specified simulator configuration (the per-job seed is
     /// overridden from the runner's seed list).
     pub cfg: Config,
+    /// Optional fault schedule applied to every job of the series
+    /// (`None` — the common case — leaves the engine on its pristine fast
+    /// path).
+    pub faults: Option<Arc<crate::fault::FaultSchedule>>,
 }
 
 /// One series' aggregated sweep, with timing.
@@ -246,6 +250,7 @@ impl ExperimentRunner {
                     &s.cfg,
                     rate,
                     seed,
+                    s.faults.as_ref(),
                     &mut obs,
                 );
                 (result, ms, obs)

@@ -104,6 +104,7 @@ pub(crate) fn run_job(
         cfg,
         rate,
         seed,
+        None,
         &mut crate::engine::NoopObserver,
     )
 }
@@ -111,7 +112,8 @@ pub(crate) fn run_job(
 /// Like the internal job runner, but feeding cycle-level events to `obs` —
 /// the entry point the metrics layer (`tugal-obs`) uses to instrument a
 /// single (rate, seed) replication.  The per-job seed overrides
-/// `cfg.seed`; timing is wall-clock milliseconds of the simulation alone.
+/// `cfg.seed`; a fault schedule (shared across the sweep's jobs) may be
+/// attached; timing is wall-clock milliseconds of the simulation alone.
 #[allow(clippy::too_many_arguments)]
 pub fn run_job_observed<O: crate::engine::SimObserver>(
     pool: &WorkspacePool,
@@ -122,11 +124,15 @@ pub fn run_job_observed<O: crate::engine::SimObserver>(
     cfg: &Config,
     rate: f64,
     seed: u64,
+    faults: Option<&Arc<crate::fault::FaultSchedule>>,
     obs: &mut O,
 ) -> (SimResult, f64) {
     let mut c = cfg.clone();
     c.seed = seed;
-    let sim = Simulator::new(topo.clone(), provider.clone(), pattern.clone(), routing, c);
+    let mut sim = Simulator::new(topo.clone(), provider.clone(), pattern.clone(), routing, c);
+    if let Some(f) = faults {
+        sim = sim.with_fault_schedule(f.clone());
+    }
     let start = Instant::now();
     let result = pool.with(|ws: &mut SimWorkspace| sim.run_observed(rate, ws, obs));
     (result, start.elapsed().as_secs_f64() * 1e3)

@@ -1,0 +1,104 @@
+// Shared golden-fixture scaffolding, spliced into the golden test crates
+// with `include!` (subdirectories of `tests/` are not compiled as test
+// crates, so this file exists only through its includers — which also
+// means no `//!` inner doc comments here).
+//
+// The fixtures pin exact `SimResult` values captured from the
+// pre-refactor engine on `dfly(2,4,2,5)`, seed 7, `Config::quick()`.
+// Comparison goes through `Debug` formatting, which for `f64` is
+// round-trip exact, so a string match is a bit-for-bit match.
+
+use std::sync::Arc;
+use tugal_netsim::{Config, RoutingAlgorithm, SimResult, SimWorkspace, Simulator};
+use tugal_routing::TableProvider;
+use tugal_topology::{Dragonfly, DragonflyParams};
+use tugal_traffic::{Shift, TrafficPattern, Uniform};
+
+fn golden_topo() -> Arc<Dragonfly> {
+    Arc::new(Dragonfly::new(DragonflyParams::new(2, 4, 2, 5)).unwrap())
+}
+
+fn simulator(routing: RoutingAlgorithm, adversarial: bool, seed: u64) -> Simulator {
+    let topo = golden_topo();
+    let provider = Arc::new(TableProvider::all_paths(topo.clone()));
+    let pattern: Arc<dyn TrafficPattern> = if adversarial {
+        Arc::new(Shift::new(&topo, 1, 0))
+    } else {
+        Arc::new(Uniform::new(&topo))
+    };
+    let mut cfg = Config::quick().for_routing(routing);
+    cfg.seed = seed;
+    Simulator::new(topo, provider, pattern, routing, cfg)
+}
+
+// Not every includer uses the plain-run helper (golden_faults.rs builds
+// its simulators through `with_faults` instead).
+#[allow(dead_code)]
+fn run(routing: RoutingAlgorithm, adversarial: bool, seed: u64, rate: f64) -> SimResult {
+    simulator(routing, adversarial, seed).run(rate)
+}
+
+/// (routing, adversarial pattern, rate, expected result) — uniform at a
+/// moderate load and shift(1,0) at a low one, seed 7, dfly(2,4,2,5).
+const CASES: [(RoutingAlgorithm, bool, f64, &str); 10] = [
+    (
+        RoutingAlgorithm::Min,
+        false,
+        0.3,
+        "SimResult { injection_rate: 0.3, avg_latency: 28.676411794102947, throughput: 0.30015, avg_hops: 2.2086040313176745, delivered: 24012, injected: 24002, saturated: false, deadlock_suspected: false, vlb_fraction: 0.0, latency_p50: 22.627416997969522, latency_p99: 45.254833995939045, max_channel_util: 0.28817795551112224, mean_global_util: 0.24500124968757814, mean_local_util: 0.27568107973006745 }",
+    ),
+    (
+        RoutingAlgorithm::Min,
+        true,
+        0.15,
+        "SimResult { injection_rate: 0.15, avg_latency: 32.767312789927104, throughput: 0.1509, avg_hops: 2.499502982107356, delivered: 12072, injected: 12076, saturated: false, deadlock_suspected: false, vlb_fraction: 0.0, latency_p50: 45.254833995939045, latency_p99: 45.254833995939045, max_channel_util: 0.6133466633341664, mean_global_util: 0.14937515621094727, mean_local_util: 0.14935016245938515 }",
+    ),
+    (
+        RoutingAlgorithm::Vlb,
+        false,
+        0.3,
+        "SimResult { injection_rate: 0.3, avg_latency: 64.88711417192167, throughput: 0.3013, avg_hops: 4.984981745768337, delivered: 24104, injected: 24030, saturated: false, deadlock_suspected: false, vlb_fraction: 0.9745338885517588, latency_p50: 90.50966799187809, latency_p99: 90.50966799187809, max_channel_util: 0.6345913521619595, mean_global_util: 0.5787303174206448, mean_local_util: 0.6012871782054486 }",
+    ),
+    (
+        RoutingAlgorithm::Vlb,
+        true,
+        0.15,
+        "SimResult { injection_rate: 0.15, avg_latency: 64.32541783882178, throughput: 0.151075, avg_hops: 5.111864967731259, delivered: 12086, injected: 12076, saturated: false, deadlock_suspected: false, vlb_fraction: 1.0, latency_p50: 90.50966799187809, latency_p99: 90.50966799187809, max_channel_util: 0.435391152211947, mean_global_util: 0.2976193451637091, mean_local_util: 0.30912688494543017 }",
+    ),
+    (
+        RoutingAlgorithm::UgalL,
+        false,
+        0.3,
+        "SimResult { injection_rate: 0.3, avg_latency: 30.588378231178517, throughput: 0.2983625, avg_hops: 2.3604256567095394, delivered: 23869, injected: 23942, saturated: false, deadlock_suspected: false, vlb_fraction: 0.07183566105091752, latency_p50: 22.627416997969522, latency_p99: 90.50966799187809, max_channel_util: 0.30417395651087226, mean_global_util: 0.26629592601849544, mean_local_util: 0.2919853369990835 }",
+    ),
+    (
+        RoutingAlgorithm::UgalL,
+        true,
+        0.15,
+        "SimResult { injection_rate: 0.15, avg_latency: 41.24850547990701, throughput: 0.15055, avg_hops: 3.2298239787446033, delivered: 12044, injected: 12057, saturated: false, deadlock_suspected: false, vlb_fraction: 0.3050606440819741, latency_p50: 45.254833995939045, latency_p99: 90.50966799187809, max_channel_util: 0.45563609097725566, mean_global_util: 0.19427643089227692, mean_local_util: 0.1905481962842623 }",
+    ),
+    (
+        RoutingAlgorithm::UgalG,
+        false,
+        0.3,
+        "SimResult { injection_rate: 0.3, avg_latency: 32.343248663101605, throughput: 0.2992, avg_hops: 2.5023813502673797, delivered: 23936, injected: 23991, saturated: false, deadlock_suspected: false, vlb_fraction: 0.12870316281398647, latency_p50: 45.254833995939045, latency_p99: 90.50966799187809, max_channel_util: 0.32291927018245437, mean_global_util: 0.28435391152211953, mean_local_util: 0.30748979421811207 }",
+    ),
+    (
+        RoutingAlgorithm::UgalG,
+        true,
+        0.15,
+        "SimResult { injection_rate: 0.15, avg_latency: 42.01196510178646, throughput: 0.1504375, avg_hops: 3.2938097216452014, delivered: 12035, injected: 12057, saturated: false, deadlock_suspected: false, vlb_fraction: 0.3342116269343371, latency_p50: 45.254833995939045, latency_p99: 90.50966799187809, max_channel_util: 0.44363909022744313, mean_global_util: 0.1985691077230692, mean_local_util: 0.19292260268266254 }",
+    ),
+    (
+        RoutingAlgorithm::Par,
+        false,
+        0.3,
+        "SimResult { injection_rate: 0.3, avg_latency: 31.50336046754331, throughput: 0.2994375, avg_hops: 2.435024003339595, delivered: 23955, injected: 23946, saturated: false, deadlock_suspected: false, vlb_fraction: 0.09975587873223861, latency_p50: 22.627416997969522, latency_p99: 90.50966799187809, max_channel_util: 0.3164208947763059, mean_global_util: 0.2745376155961009, mean_local_util: 0.3020911438806966 }",
+    ),
+    (
+        RoutingAlgorithm::Par,
+        true,
+        0.15,
+        "SimResult { injection_rate: 0.15, avg_latency: 45.42481484563535, throughput: 0.1502125, avg_hops: 3.5840892069568113, delivered: 12017, injected: 12004, saturated: false, deadlock_suspected: false, vlb_fraction: 0.4357763663713856, latency_p50: 45.254833995939045, latency_p99: 90.50966799187809, max_channel_util: 0.35616095976005996, mean_global_util: 0.2137903024243939, mean_local_util: 0.21440056652503536 }",
+    ),
+];

@@ -8,12 +8,17 @@
 //!   (second call flagged `reroute`) when PAR revises a MIN decision;
 //! * the observer-visible decision stream reproduces the engine's
 //!   `vlb_fraction` exactly;
-//! * `on_link_traverse` covers switch-to-switch channels only.
+//! * `on_link_traverse` covers switch-to-switch channels only;
+//! * under mid-run failures, conservation still balances at drain, and
+//!   fault reroutes / fault drops appear only at or after the failure
+//!   cycle — never in a pristine run.
 
 use std::sync::Arc;
-use tugal_netsim::{Config, RoutingAlgorithm, SimObserver, SimResult, SimWorkspace, Simulator};
+use tugal_netsim::{
+    Config, FaultSchedule, RoutingAlgorithm, SimObserver, SimResult, SimWorkspace, Simulator,
+};
 use tugal_routing::TableProvider;
-use tugal_topology::{Dragonfly, DragonflyParams, NodeId, SwitchId};
+use tugal_topology::{Dragonfly, DragonflyParams, FaultSet, NodeId, SwitchId};
 use tugal_traffic::{Shift, TrafficPattern, Uniform};
 
 fn topo() -> Arc<Dragonfly> {
@@ -46,14 +51,22 @@ struct Ledger {
     run_ended: bool,
     in_flight_at_end: u64,
     end_cycle: u64,
+    fault_reroutes: u64,
+    first_fault_reroute: Option<u64>,
+    first_drop: Option<u64>,
 }
 
 impl SimObserver for Ledger {
     fn on_inject(&mut self, _now: u64, _src: NodeId, _dst: NodeId) {
         self.injected += 1;
     }
-    fn on_drop(&mut self, _now: u64, _src: NodeId, _dst: NodeId) {
+    fn on_drop(&mut self, now: u64, _src: NodeId, _dst: NodeId) {
         self.dropped += 1;
+        self.first_drop.get_or_insert(now);
+    }
+    fn on_fault_reroute(&mut self, now: u64, _at: SwitchId) {
+        self.fault_reroutes += 1;
+        self.first_fault_reroute.get_or_insert(now);
     }
     fn on_route(
         &mut self,
@@ -110,6 +123,10 @@ fn injected_equals_delivered_plus_dropped_plus_in_flight() {
             l.injected,
             l.delivered + l.dropped + l.in_flight_at_end,
             "{routing:?}: packet conservation at drain"
+        );
+        assert_eq!(
+            l.fault_reroutes, 0,
+            "{routing:?}: a pristine run never fault-reroutes"
         );
     }
 }
@@ -187,4 +204,71 @@ fn link_traversals_stay_on_network_channels() {
     // destination share a switch; traversals also cover undelivered flits,
     // so the count dominates deliveries minus same-switch pairs.
     assert!(l.traversals >= result.delivered / 2);
+}
+
+/// The failure cycle for the mid-run scenarios: inside the measurement
+/// window of `Config::quick()` (warmup ends at 2000, run ends at 4000).
+const FAIL_AT: u64 = 2500;
+
+/// A fault set that reliably bites on dfly(2,4,2,5): a fifth of the
+/// global cables plus one whole switch.
+fn midrun_schedule(t: &Dragonfly) -> FaultSchedule {
+    let mut faults = FaultSet::sample_global_links(t, 0.20, 0xFA17);
+    faults.fail_switch(SwitchId(6));
+    FaultSchedule::at(FAIL_AT, faults)
+}
+
+fn run_ledger_faulted(routing: RoutingAlgorithm, rate: f64) -> (SimResult, Ledger) {
+    let t = topo();
+    let schedule = midrun_schedule(&t);
+    let sim = simulator(&t, routing, false).with_faults(schedule);
+    let mut ledger = Ledger::default();
+    let result = sim.run_observed(rate, &mut SimWorkspace::new(), &mut ledger);
+    (result, ledger)
+}
+
+#[test]
+fn conservation_holds_under_midrun_failures() {
+    // Killing a switch mid-run drains its buffered flits through on_drop
+    // and severed cables force en-route reroutes — the inject / deliver /
+    // drop / in-flight ledger must still balance exactly at drain.
+    for routing in [
+        RoutingAlgorithm::Min,
+        RoutingAlgorithm::UgalL,
+        RoutingAlgorithm::Par,
+    ] {
+        let (result, l) = run_ledger_faulted(routing, 0.25);
+        assert!(l.run_ended, "{routing:?}");
+        assert_eq!(
+            l.injected,
+            l.delivered + l.dropped + l.in_flight_at_end,
+            "{routing:?}: conservation must survive mid-run failures"
+        );
+        assert!(
+            l.dropped > 0,
+            "{routing:?}: the dead switch must drop flits"
+        );
+        assert!(result.delivered > 0, "{routing:?}: traffic keeps flowing");
+    }
+}
+
+#[test]
+fn fault_events_fire_only_at_or_after_the_failure_cycle() {
+    let (_, l) = run_ledger_faulted(RoutingAlgorithm::UgalL, 0.25);
+    assert!(
+        l.fault_reroutes > 0,
+        "20% dead cables plus a dead switch must force reroutes"
+    );
+    assert!(
+        l.first_fault_reroute.unwrap() >= FAIL_AT,
+        "fault reroutes cannot precede the failure (first at {:?})",
+        l.first_fault_reroute
+    );
+    // The run is far from saturation, so every drop is fault-induced and
+    // must postdate the failure as well.
+    assert!(
+        l.first_drop.unwrap() >= FAIL_AT,
+        "drops cannot precede the failure (first at {:?})",
+        l.first_drop
+    );
 }

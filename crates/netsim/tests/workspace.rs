@@ -159,6 +159,7 @@ fn runner_matches_per_series_curves() {
             pattern: pattern.clone(),
             routing,
             cfg: Config::quick().for_routing(routing),
+            faults: None,
         });
     }
     assert_eq!(runner.job_count(&rates, &seeds), 2 * 2 * 2);

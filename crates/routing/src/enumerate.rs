@@ -2,7 +2,7 @@
 
 use crate::path::Path;
 use std::collections::HashSet;
-use tugal_topology::{Dragonfly, GroupId, SwitchId};
+use tugal_topology::{Degraded, Dragonfly, GroupId, SwitchId};
 
 /// Problems detected by [`validate_path`](crate::enumerate::validate_path).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,6 +88,138 @@ pub fn all_vlb_paths(topo: &Dragonfly, s: SwitchId, d: SwitchId) -> Vec<Path> {
         }
         for i in topo.switches_in_group(gi) {
             for p in vlb_paths_via(topo, s, d, i) {
+                if seen.insert(p) {
+                    out.push(p);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// True when every switch and every hop channel of `p` survives in the
+/// degraded view (the path can still carry traffic).
+///
+/// A zero-hop path is alive iff its single switch is.  Channel death is
+/// cable-level, so checking the forward direction of each hop suffices.
+pub fn path_alive(topo: &Dragonfly, deg: &Degraded, p: &Path) -> bool {
+    if deg.switch_dead(p.src()) {
+        return false;
+    }
+    for i in 0..p.hops() {
+        let (u, v) = p.hop(i);
+        if deg.switch_dead(v) {
+            return false;
+        }
+        match topo.channel_between(u, v) {
+            Some(c) if !deg.channel_dead(c) => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// [`min_paths`] restricted to channels alive in `deg`: dead gateways,
+/// dead endpoint-local hops, and dead endpoint switches are skipped.
+///
+/// Candidates appear in the same order as the surviving subsequence of the
+/// pristine enumeration, so `min_paths_degraded` with a pristine view is
+/// byte-identical to `min_paths` (pinned by the differential tests).
+pub fn min_paths_degraded(topo: &Dragonfly, deg: &Degraded, s: SwitchId, d: SwitchId) -> Vec<Path> {
+    if deg.switch_dead(s) || deg.switch_dead(d) {
+        return Vec::new();
+    }
+    if s == d {
+        return vec![Path::single(s)];
+    }
+    let (gs, gd) = (topo.group_of(s), topo.group_of(d));
+    let local_alive = |u: SwitchId, v: SwitchId| {
+        topo.channel_between(u, v)
+            .is_some_and(|c| !deg.channel_dead(c))
+    };
+    if gs == gd {
+        return if local_alive(s, d) {
+            vec![Path::from_switches(&[s, d])]
+        } else {
+            Vec::new()
+        };
+    }
+    // `deg.gateways` already excludes dead cables and dead gateway
+    // switches; only the endpoint-local hops remain to check.
+    let gws = deg.gateways(gs, gd);
+    let mut out = Vec::with_capacity(gws.len());
+    for &(u, v, _) in gws {
+        if u != s && !local_alive(s, u) {
+            continue;
+        }
+        if v != d && !local_alive(v, d) {
+            continue;
+        }
+        let mut p = Path::single(s);
+        if u != s {
+            p.push(u);
+        }
+        p.push(v);
+        if v != d {
+            p.push(d);
+        }
+        out.push(p);
+    }
+    out
+}
+
+/// [`vlb_paths_via`] over the degraded view: every combination of a
+/// surviving MIN path `s → i` and a surviving MIN path `i → d`.
+pub fn vlb_paths_via_degraded(
+    topo: &Dragonfly,
+    deg: &Degraded,
+    s: SwitchId,
+    d: SwitchId,
+    i: SwitchId,
+) -> Vec<Path> {
+    debug_assert_ne!(topo.group_of(i), topo.group_of(s));
+    debug_assert_ne!(topo.group_of(i), topo.group_of(d));
+    let first = min_paths_degraded(topo, deg, s, i);
+    let second = min_paths_degraded(topo, deg, i, d);
+    let mut out = Vec::with_capacity(first.len() * second.len());
+    for a in &first {
+        for b in &second {
+            out.push(a.concat(b));
+        }
+    }
+    out
+}
+
+/// [`all_vlb_paths`] over the degraded view: dead intermediates are
+/// skipped and both MIN segments must survive.
+///
+/// The result equals `all_vlb_paths` filtered by [`path_alive`], in the
+/// same order: a surviving composite contains every switch and channel
+/// that generated it, so it is (re)produced at exactly the surviving
+/// generation points and first-occurrence deduplication picks the same
+/// representatives.
+pub fn all_vlb_paths_degraded(
+    topo: &Dragonfly,
+    deg: &Degraded,
+    s: SwitchId,
+    d: SwitchId,
+) -> Vec<Path> {
+    if deg.switch_dead(s) || deg.switch_dead(d) {
+        return Vec::new();
+    }
+    let (gs, gd) = (topo.group_of(s), topo.group_of(d));
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for gi in 0..topo.num_groups() as u32 {
+        let gi = GroupId(gi);
+        if gi == gs || gi == gd {
+            continue;
+        }
+        for i in topo.switches_in_group(gi) {
+            if deg.switch_dead(i) {
+                continue;
+            }
+            for p in vlb_paths_via_degraded(topo, deg, s, d, i) {
                 if seen.insert(p) {
                     out.push(p);
                 }

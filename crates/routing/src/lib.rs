@@ -32,12 +32,13 @@ mod table;
 mod vc;
 
 pub use enumerate::{
-    all_vlb_paths, min_paths, split_lengths, validate_path, vlb_paths_via, ValidationError,
+    all_vlb_paths, all_vlb_paths_degraded, min_paths, min_paths_degraded, path_alive,
+    split_lengths, validate_path, vlb_paths_via, vlb_paths_via_degraded, ValidationError,
 };
 pub use path::{Path, MAX_HOPS};
 pub use provider::{PathProvider, RuleProvider, TableProvider};
 pub use rule::VlbRule;
-pub use table::{PairPaths, PathTable};
+pub use table::{PairPaths, PathTable, ReachabilityReport};
 pub use vc::{required_vcs, vc_class, VcScheme};
 
 #[cfg(test)]

@@ -70,8 +70,19 @@ impl PathProvider for TableProvider {
         if s == d {
             return Path::single(s);
         }
-        let min = &self.table.pair(s, d).min;
-        min[rng.gen_range(0..min.len())]
+        let pp = self.table.pair(s, d);
+        // A degraded table can lose every MIN candidate of a pair; fall
+        // back to VLB, or to the zero-hop unreachable sentinel (dst != d,
+        // which the engine drops) when the pair has no candidates at all.
+        // Pristine tables never hit these branches, so the RNG draw
+        // sequence of fault-free runs is unchanged.
+        if pp.min.is_empty() {
+            if pp.vlb.is_empty() {
+                return Path::single(s);
+            }
+            return pp.vlb[rng.gen_range(0..pp.vlb.len())];
+        }
+        pp.min[rng.gen_range(0..pp.min.len())]
     }
 
     fn sample_vlb(&self, s: SwitchId, d: SwitchId, rng: &mut SmallRng) -> Path {
@@ -80,6 +91,10 @@ impl PathProvider for TableProvider {
         }
         let pp = self.table.pair(s, d);
         if pp.vlb.is_empty() {
+            if pp.min.is_empty() {
+                // Unreachable pair of a degraded table (see `sample_min`).
+                return Path::single(s);
+            }
             return pp.min[rng.gen_range(0..pp.min.len())];
         }
         pp.vlb[rng.gen_range(0..pp.vlb.len())]

@@ -1,12 +1,14 @@
 //! Explicit per-switch-pair path tables.
 
-use crate::enumerate::{all_vlb_paths, min_paths, split_lengths};
+use crate::enumerate::{
+    all_vlb_paths, all_vlb_paths_degraded, min_paths, min_paths_degraded, path_alive, split_lengths,
+};
 use crate::path::Path;
 use crate::rule::VlbRule;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use tugal_topology::{Dragonfly, SwitchId};
+use tugal_topology::{Degraded, Dragonfly, SwitchId};
 
 /// The candidate paths of one (source switch, destination switch) pair.
 #[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
@@ -16,6 +18,82 @@ pub struct PairPaths {
     /// VLB candidates — all of them for conventional UGAL, a topology-custom
     /// subset (T-VLB) for T-UGAL.
     pub vlb: Vec<Path>,
+}
+
+/// Summary of how a fault set reshaped a [`PathTable`], produced by
+/// [`PathTable::degrade`].
+///
+/// "Unreachable" counts ordered pairs left with *no* candidate of either
+/// kind — including pairs whose endpoint switch died (those can never be
+/// served and the simulator drops their traffic at injection).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReachabilityReport {
+    /// Ordered switch pairs examined (`n·(n-1)`).
+    pub pairs: usize,
+    /// MIN candidates removed because a hop died.
+    pub removed_min: usize,
+    /// VLB candidates removed because a hop died.
+    pub removed_vlb: usize,
+    /// Pairs whose emptied VLB set was refilled from the degraded
+    /// enumeration (T-VLB regeneration).
+    pub regenerated_pairs: usize,
+    /// Pairs left with no MIN candidate.
+    pub pairs_without_min: usize,
+    /// Pairs left with no VLB candidate (after regeneration).
+    pub pairs_without_vlb: usize,
+    /// Pairs left with no candidate at all.
+    pub unreachable_pairs: usize,
+}
+
+/// Applies `rule` to one pair's VLB set; `pair_idx` must be the pair's
+/// row-major index so the per-pair RNG stream matches
+/// [`PathTable::apply_rule`].
+fn apply_rule_pair(
+    topo: &Dragonfly,
+    pp: &mut PairPaths,
+    rule: VlbRule,
+    seed: u64,
+    pair_idx: usize,
+) {
+    match rule {
+        VlbRule::All => {}
+        VlbRule::ClassLimit {
+            max_hops,
+            frac_next,
+        } => {
+            let mut keep: Vec<Path> = Vec::with_capacity(pp.vlb.len());
+            let mut next: Vec<Path> = Vec::new();
+            for &p in &pp.vlb {
+                if p.hops() <= max_hops as usize {
+                    keep.push(p);
+                } else if p.hops() == max_hops as usize + 1 {
+                    next.push(p);
+                }
+            }
+            if frac_next > 0.0 && !next.is_empty() {
+                // Independent, reproducible stream per pair.
+                let mut rng = SmallRng::seed_from_u64(
+                    seed ^ (pair_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                next.shuffle(&mut rng);
+                let take = ((next.len() as f64) * frac_next).round() as usize;
+                keep.extend_from_slice(&next[..take.min(next.len())]);
+            }
+            // Never leave a pair without VLB candidates: keep the
+            // shortest class if the cutoff removed everything.
+            if keep.is_empty() && !pp.vlb.is_empty() {
+                let shortest = pp.vlb.iter().map(|p| p.hops()).min().unwrap();
+                keep.extend(pp.vlb.iter().copied().filter(|p| p.hops() == shortest));
+            }
+            pp.vlb = keep;
+        }
+        VlbRule::Strategic { first_seg } => {
+            pp.vlb.retain(|p| {
+                p.hops() <= 4
+                    || (p.hops() == 5 && split_lengths(topo, p).contains(&(first_seg as usize)))
+            });
+        }
+    }
 }
 
 impl PairPaths {
@@ -43,7 +121,7 @@ pub struct PathTable {
 impl PathTable {
     /// Builds the conventional-UGAL table: all MIN and all VLB paths.
     pub fn build_all(topo: &Dragonfly) -> Self {
-        Self::build_filtered(topo, |_, _, _| true)
+        Self::build_filtered(topo, None, |_, _, _| true)
     }
 
     /// Builds a table whose VLB sets satisfy `rule`.
@@ -57,7 +135,30 @@ impl PathTable {
         t
     }
 
-    fn build_filtered(topo: &Dragonfly, keep: impl Fn(&Dragonfly, &Path, usize) -> bool) -> Self {
+    /// [`PathTable::build_all`] over a degraded view: every candidate
+    /// survives the fault set.  With a pristine view the result is
+    /// byte-identical to `build_all` (pinned by the differential tests).
+    pub fn build_all_degraded(topo: &Dragonfly, deg: &Degraded) -> Self {
+        Self::build_filtered(topo, Some(deg), |_, _, _| true)
+    }
+
+    /// [`PathTable::build_with_rule`] over a degraded view.
+    pub fn build_with_rule_degraded(
+        topo: &Dragonfly,
+        deg: &Degraded,
+        rule: VlbRule,
+        seed: u64,
+    ) -> Self {
+        let mut t = Self::build_all_degraded(topo, deg);
+        t.apply_rule(topo, rule, seed);
+        t
+    }
+
+    fn build_filtered(
+        topo: &Dragonfly,
+        deg: Option<&Degraded>,
+        keep: impl Fn(&Dragonfly, &Path, usize) -> bool,
+    ) -> Self {
         let n = topo.num_switches();
         let mut pairs = Vec::with_capacity(n * n);
         for s in 0..n as u32 {
@@ -67,11 +168,17 @@ impl PathTable {
                     pairs.push(PairPaths::default());
                     continue;
                 }
-                let min = min_paths(topo, s, d);
-                let vlb = all_vlb_paths(topo, s, d)
-                    .into_iter()
-                    .filter(|p| keep(topo, p, p.hops()))
-                    .collect();
+                let min = match deg {
+                    Some(dg) => min_paths_degraded(topo, dg, s, d),
+                    None => min_paths(topo, s, d),
+                };
+                let vlb = match deg {
+                    Some(dg) => all_vlb_paths_degraded(topo, dg, s, d),
+                    None => all_vlb_paths(topo, s, d),
+                }
+                .into_iter()
+                .filter(|p| keep(topo, p, p.hops()))
+                .collect();
                 pairs.push(PairPaths { min, vlb });
             }
         }
@@ -110,48 +217,70 @@ impl PathTable {
             return;
         }
         for (i, pp) in self.pairs.iter_mut().enumerate() {
-            match rule {
-                VlbRule::All => {}
-                VlbRule::ClassLimit {
-                    max_hops,
-                    frac_next,
-                } => {
-                    let mut keep: Vec<Path> = Vec::with_capacity(pp.vlb.len());
-                    let mut next: Vec<Path> = Vec::new();
-                    for &p in &pp.vlb {
-                        if p.hops() <= max_hops as usize {
-                            keep.push(p);
-                        } else if p.hops() == max_hops as usize + 1 {
-                            next.push(p);
-                        }
-                    }
-                    if frac_next > 0.0 && !next.is_empty() {
-                        // Independent, reproducible stream per pair.
-                        let mut rng = SmallRng::seed_from_u64(
-                            seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                        );
-                        next.shuffle(&mut rng);
-                        let take = ((next.len() as f64) * frac_next).round() as usize;
-                        keep.extend_from_slice(&next[..take.min(next.len())]);
-                    }
-                    // Never leave a pair without VLB candidates: keep the
-                    // shortest class if the cutoff removed everything.
-                    if keep.is_empty() && !pp.vlb.is_empty() {
-                        let shortest = pp.vlb.iter().map(|p| p.hops()).min().unwrap();
-                        keep.extend(pp.vlb.iter().copied().filter(|p| p.hops() == shortest));
-                    }
-                    pp.vlb = keep;
+            apply_rule_pair(topo, pp, rule, seed, i);
+        }
+    }
+
+    /// Restricts this table to paths alive in `deg`, in place, and
+    /// regenerates T-VLB candidate sets that the faults emptied.
+    ///
+    /// Dead candidates are removed from every pair (preserving order, so a
+    /// pristine view leaves the table byte-identical).  When a pair's VLB
+    /// set empties but both endpoints are alive, fresh candidates are
+    /// enumerated from the degraded view and re-restricted with `rule`
+    /// under the same `seed` and pair index as the original construction —
+    /// this is the T-VLB regeneration path: a custom subset whose paths
+    /// all died falls back to the best surviving candidates rather than
+    /// losing adaptivity for that pair.
+    ///
+    /// Returns a [`ReachabilityReport`] summarizing what changed.
+    pub fn degrade(
+        &mut self,
+        topo: &Dragonfly,
+        deg: &Degraded,
+        rule: VlbRule,
+        seed: u64,
+    ) -> ReachabilityReport {
+        let mut rep = ReachabilityReport::default();
+        for s in 0..self.n as u32 {
+            for d in 0..self.n as u32 {
+                if s == d {
+                    continue;
                 }
-                VlbRule::Strategic { first_seg } => {
-                    let topo_ref = topo;
-                    pp.vlb.retain(|p| {
-                        p.hops() <= 4
-                            || (p.hops() == 5
-                                && split_lengths(topo_ref, p).contains(&(first_seg as usize)))
-                    });
+                let (s, d) = (SwitchId(s), SwitchId(d));
+                let i = self.idx(s, d);
+                let pp = &mut self.pairs[i];
+                rep.pairs += 1;
+                let before_min = pp.min.len();
+                let before_vlb = pp.vlb.len();
+                pp.min.retain(|p| path_alive(topo, deg, p));
+                pp.vlb.retain(|p| path_alive(topo, deg, p));
+                rep.removed_min += before_min - pp.min.len();
+                rep.removed_vlb += before_vlb - pp.vlb.len();
+                if pp.vlb.is_empty() && before_vlb > 0 && !deg.switch_dead(s) && !deg.switch_dead(d)
+                {
+                    let mut fresh = PairPaths {
+                        min: Vec::new(),
+                        vlb: all_vlb_paths_degraded(topo, deg, s, d),
+                    };
+                    apply_rule_pair(topo, &mut fresh, rule, seed, i);
+                    if !fresh.vlb.is_empty() {
+                        pp.vlb = fresh.vlb;
+                        rep.regenerated_pairs += 1;
+                    }
+                }
+                if pp.min.is_empty() {
+                    rep.pairs_without_min += 1;
+                }
+                if pp.vlb.is_empty() {
+                    rep.pairs_without_vlb += 1;
+                }
+                if pp.min.is_empty() && pp.vlb.is_empty() {
+                    rep.unreachable_pairs += 1;
                 }
             }
         }
+        rep
     }
 
     /// Average VLB hop count over all pairs with at least one VLB path.

@@ -36,6 +36,7 @@
 mod arrangement;
 mod channels;
 mod dragonfly;
+mod fault;
 mod ids;
 mod params;
 
@@ -44,6 +45,7 @@ pub use arrangement::{
 };
 pub use channels::{Channel, ChannelId, ChannelKind, Endpoint};
 pub use dragonfly::Dragonfly;
+pub use fault::{Degraded, FaultSet};
 pub use ids::{GroupId, NodeId, SwitchId};
 pub use params::{DragonflyParams, TopologyError};
 

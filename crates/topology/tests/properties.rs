@@ -1,0 +1,221 @@
+//! Property tests of the dragonfly structural invariants, checked over a
+//! grid of valid `(p,a,h,g)` shapes — and re-checked on degraded views,
+//! where the same invariants must hold minus exactly the failed channels.
+//!
+//! Seeded and exhaustive over the grid (no external fuzzing dependency):
+//! every run checks the same shapes and the same sampled fault sets.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tugal_topology::{ChannelKind, Dragonfly, DragonflyParams, FaultSet, SwitchId};
+
+/// Every valid dragonfly with p ≤ 3, a ≤ 6, h ≤ 4, g ≤ 9 — the validation
+/// rules (balanced global links, enough groups) prune the rest.
+fn valid_grid() -> Vec<Dragonfly> {
+    let mut out = Vec::new();
+    for p in 1..=3u32 {
+        for a in 1..=6u32 {
+            for h in 1..=4u32 {
+                for g in 2..=9u32 {
+                    if let Ok(t) = Dragonfly::new(DragonflyParams::new(p, a, h, g)) {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        out.len() >= 20,
+        "the grid must cover a real spread of shapes, got {}",
+        out.len()
+    );
+    out
+}
+
+/// Outgoing global channels of a switch.
+fn global_out(t: &Dragonfly, s: SwitchId) -> Vec<(SwitchId, tugal_topology::ChannelId)> {
+    t.channels()
+        .iter()
+        .filter(|c| c.kind == ChannelKind::Global && c.src_switch() == Some(s))
+        .map(|c| (c.dst_switch().unwrap(), c.id))
+        .collect()
+}
+
+#[test]
+fn pristine_invariants_hold_across_the_grid() {
+    for t in valid_grid() {
+        let p = t.params();
+        let (a, h, g) = (p.a, p.h, p.g);
+        for s in 0..t.num_switches() as u32 {
+            let s = SwitchId(s);
+            // Per-switch global-link budget: at most (here: exactly) h.
+            let out = global_out(&t, s);
+            assert!(out.len() <= h as usize, "{p}: switch {s} exceeds h");
+            assert_eq!(out.len(), h as usize, "{p}: unused global port on {s}");
+            for (peer, _ch) in out {
+                // Every global link is bidirectional (a cable, not an arc).
+                // Parallel cables between a pair are allowed, so only the
+                // pair-level lookup is pinned, not the channel identity.
+                assert_ne!(t.group_of(s), t.group_of(peer), "{p}: intra-group global");
+                assert!(t.global_channel(s, peer).is_some());
+                assert!(
+                    t.global_channel(peer, s).is_some(),
+                    "{p}: global {s}->{peer} has no reverse"
+                );
+            }
+            // Intra-group completeness: a local channel to every sibling.
+            for d in t.switches_in_group(t.group_of(s)) {
+                if d != s {
+                    let c = t
+                        .channel_between(s, d)
+                        .unwrap_or_else(|| panic!("{p}: missing local {s}->{d}"));
+                    assert_eq!(t.channel(c).kind, ChannelKind::Local);
+                }
+            }
+        }
+        // Global channel total: g·a·h directed channels.
+        let n_global = t
+            .channels()
+            .iter()
+            .filter(|c| c.kind == ChannelKind::Global)
+            .count();
+        assert_eq!(n_global, (g * a * h) as usize, "{p}");
+    }
+}
+
+#[test]
+fn degraded_views_keep_the_invariants_minus_the_failed_channels() {
+    for t in valid_grid() {
+        let p = t.params();
+        let mut rng = SmallRng::seed_from_u64(0xD1E);
+        for trial in 0..3u64 {
+            let frac = rng.gen_range(0.0..0.4);
+            let mut faults = FaultSet::sample_global_links(&t, frac, 0xFA17 + trial);
+            if t.num_switches() > 1 && trial == 2 {
+                faults.fail_switch(SwitchId(rng.gen_range(0..t.num_switches() as u32)));
+            }
+            let deg = t.degrade(&faults);
+
+            // The dead-channel count is exactly the number of dead flags.
+            let dead = (0..t.num_channels())
+                .filter(|&i| deg.channel_dead(tugal_topology::ChannelId(i as u32)))
+                .count();
+            assert_eq!(dead, deg.num_dead_channels(), "{p}");
+
+            for s in 0..t.num_switches() as u32 {
+                let s = SwitchId(s);
+                if deg.switch_dead(s) {
+                    // A dead switch keeps no live incident channel.
+                    for c in t.channels() {
+                        if c.src_switch() == Some(s) || c.dst_switch() == Some(s) {
+                            assert!(deg.channel_dead(c.id), "{p}: live channel on dead {s}");
+                        }
+                    }
+                    continue;
+                }
+                // Surviving global links stay bidirectional (cable
+                // semantics: both directions die together) and within the
+                // per-switch budget.
+                let alive_out: Vec<_> = global_out(&t, s)
+                    .into_iter()
+                    .filter(|&(_, ch)| !deg.channel_dead(ch))
+                    .collect();
+                assert!(alive_out.len() <= p.h as usize, "{p}");
+                for (peer, _) in alive_out {
+                    let rev = t.global_channel(peer, s).unwrap();
+                    assert!(
+                        !deg.channel_dead(rev),
+                        "{p}: cable {s}<->{peer} died in one direction only"
+                    );
+                }
+                // Intra-group completeness among alive siblings: only an
+                // explicit local-link failure may break it (none sampled
+                // here).
+                for d in t.switches_in_group(t.group_of(s)) {
+                    if d != s && !deg.switch_dead(d) {
+                        let c = t.channel_between(s, d).unwrap();
+                        assert!(!deg.channel_dead(c), "{p}: local {s}->{d} died spuriously");
+                    }
+                }
+            }
+
+            // Exactly the channels of the sampled pairs died (failures are
+            // pair-level: parallel cables between a pair die together).
+            if faults.switches().is_empty() {
+                let expected = t
+                    .channels()
+                    .iter()
+                    .filter(|c| c.kind == ChannelKind::Global)
+                    .filter(|c| {
+                        let (u, v) = (c.src_switch().unwrap(), c.dst_switch().unwrap());
+                        let pair = (SwitchId(u.0.min(v.0)), SwitchId(u.0.max(v.0)));
+                        faults.global_links().contains(&pair)
+                    })
+                    .count();
+                assert_eq!(deg.num_dead_channels(), expected, "{p}");
+            }
+        }
+    }
+}
+
+#[test]
+fn sampling_is_deterministic_and_nested() {
+    let t = Dragonfly::new(DragonflyParams::new(2, 4, 2, 5)).unwrap();
+    let a = FaultSet::sample_global_links(&t, 0.25, 7);
+    let b = FaultSet::sample_global_links(&t, 0.25, 7);
+    assert_eq!(a, b, "same seed and fraction must sample the same cables");
+    assert!(!a.is_empty());
+
+    // Same seed, growing fraction: supersets (one shuffled prefix).
+    let small = FaultSet::sample_global_links(&t, 0.1, 7);
+    let large = FaultSet::sample_global_links(&t, 0.3, 7);
+    for link in small.global_links() {
+        assert!(
+            large.global_links().contains(link),
+            "larger fraction must contain the smaller sample"
+        );
+    }
+
+    // A different seed picks a different set (for these parameters).
+    let other = FaultSet::sample_global_links(&t, 0.25, 8);
+    assert_ne!(a, other);
+}
+
+#[test]
+fn switch_failure_kills_exactly_the_incident_channels() {
+    let t = Dragonfly::new(DragonflyParams::new(2, 4, 2, 5)).unwrap();
+    let victim = SwitchId(3);
+    let mut faults = FaultSet::empty();
+    faults.fail_switch(victim);
+    let deg = t.degrade(&faults);
+    assert!(deg.switch_dead(victim));
+    assert_eq!(deg.num_dead_switches(), 1);
+    for c in t.channels() {
+        let incident = c.src_switch() == Some(victim)
+            || c.dst_switch() == Some(victim)
+            || match (c.src, c.dst) {
+                // Terminal channels of the victim's nodes.
+                (tugal_topology::Endpoint::Node(n), _) | (_, tugal_topology::Endpoint::Node(n)) => {
+                    t.switch_of_node(n) == victim
+                }
+                _ => false,
+            };
+        assert_eq!(deg.channel_dead(c.id), incident, "channel {:?}", c.id);
+    }
+}
+
+#[test]
+fn empty_faults_degrade_to_a_pristine_view() {
+    for t in valid_grid().into_iter().take(8) {
+        let deg = t.degrade(&FaultSet::empty());
+        assert!(deg.is_pristine());
+        assert_eq!(deg.num_dead_channels(), 0);
+        assert_eq!(deg.num_dead_switches(), 0);
+        for gs in 0..t.num_groups() as u32 {
+            for gd in 0..t.num_groups() as u32 {
+                let (gs, gd) = (tugal_topology::GroupId(gs), tugal_topology::GroupId(gd));
+                assert_eq!(deg.gateways(gs, gd), t.gateways(gs, gd));
+            }
+        }
+    }
+}
