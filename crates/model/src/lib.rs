@@ -49,8 +49,8 @@ mod throughput;
 
 pub use stats::PairStats;
 pub use throughput::{
-    modeled_bottlenecks, modeled_throughput, modeled_throughput_degraded, modeled_throughput_multi,
-    DegradedThroughput, ModelError, ModelVariant,
+    modeled_bottlenecks, modeled_primal, modeled_throughput, modeled_throughput_degraded,
+    modeled_throughput_multi, DegradedThroughput, ModelError, ModelPrimal, ModelVariant,
 };
 
 #[cfg(test)]

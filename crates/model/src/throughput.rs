@@ -219,6 +219,50 @@ fn solve_one(
     }
 }
 
+/// Primal-side view of a draw-proportional solve, for validation and
+/// diagnostics: the optimum, the per-pair MIN rates, and the load *every*
+/// used channel carries under the solved allocation — including channels
+/// whose capacity rows were pruned as provably redundant, so a feasibility
+/// check over this view also validates the pruning.
+#[derive(Debug, Clone)]
+pub struct ModelPrimal {
+    /// Modeled saturation throughput (flits/cycle/node).
+    pub theta: f64,
+    /// Per demand pair (in input order): the solved MIN rate `m`; the
+    /// pair's VLB rate is `θ·d − m`.
+    pub min_rates: Vec<f64>,
+    /// `(channel, load)` under the solved rates, for every channel any
+    /// candidate path touches.  Capacities are 1 (plus the documented
+    /// `≤ 1e-4` anti-degeneracy jitter), so feasibility means every load
+    /// is below ~1.0002.
+    pub channel_load: Vec<(ChannelId, f64)>,
+}
+
+/// [`modeled_throughput`] (draw-proportional variant) returning the primal
+/// solution alongside `θ` — see [`ModelPrimal`].
+pub fn modeled_primal(
+    topo: &Dragonfly,
+    pattern_demands: &[(u32, u32, u32)],
+    rule: VlbRule,
+) -> Result<ModelPrimal, ModelError> {
+    if pattern_demands.is_empty() {
+        return Err(ModelError::EmptyPattern);
+    }
+    let stats: Vec<PairStats> = pattern_demands
+        .par_iter()
+        .map(|&(s, d, _)| PairStats::compute(topo, SwitchId(s), SwitchId(d)))
+        .collect();
+    let mut primal = ModelPrimal {
+        theta: 0.0,
+        min_rates: Vec::new(),
+        channel_load: Vec::new(),
+    };
+    let theta =
+        solve_draw_proportional_full(topo, pattern_demands, &stats, rule, None, Some(&mut primal))?;
+    primal.theta = theta;
+    Ok(primal)
+}
+
 /// Modeled throughput plus the *bottleneck channels*: the capacity rows
 /// with positive shadow price at the optimum, sorted by how much an extra
 /// unit of their capacity would raise `θ`.  Draw-proportional variant
@@ -266,11 +310,22 @@ fn add_usage(
 /// * per channel: `Σ m·(pmin − pvlb) + θ·Σ d·pvlb ≤ 1`,
 /// * `θ ≤ 1`; maximize `θ`.
 fn solve_draw_proportional(
+    topo: &Dragonfly,
+    demands: &[(u32, u32, u32)],
+    stats: &[PairStats],
+    rule: VlbRule,
+    bottlenecks_out: Option<&mut Vec<(ChannelId, f64)>>,
+) -> Result<f64, ModelError> {
+    solve_draw_proportional_full(topo, demands, stats, rule, bottlenecks_out, None)
+}
+
+fn solve_draw_proportional_full(
     _topo: &Dragonfly,
     demands: &[(u32, u32, u32)],
     stats: &[PairStats],
     rule: VlbRule,
     bottlenecks_out: Option<&mut Vec<(ChannelId, f64)>>,
+    primal_out: Option<&mut ModelPrimal>,
 ) -> Result<f64, ModelError> {
     let mut lp = LinearProgram::new();
     let theta = lp.add_var(1.0);
@@ -279,9 +334,11 @@ fn solve_draw_proportional(
     let mut chan_rows: HashMap<u32, Vec<(tugal_lp::VarId, f64)>> = HashMap::new();
     let mut theta_load: HashMap<u32, f64> = HashMap::new();
 
+    let mut m_vars = Vec::with_capacity(demands.len());
     for (pair_idx, (&(_, _, flows), st)) in demands.iter().zip(stats).enumerate() {
         let d = flows as f64;
         let m = lp.add_var(0.0);
+        m_vars.push(m);
         // Tiny positive rhs perturbation keeps the origin vertex
         // non-degenerate (see `add_capacity_rows`).
         let h = (pair_idx as u64)
@@ -346,9 +403,34 @@ fn solve_draw_proportional(
         .iter()
         .map(|&(_, _, f)| f as f64)
         .fold(0.0, f64::max);
+    // Keep the full usage map around when the caller wants the primal
+    // loads: capacity-row assembly prunes and deduplicates, but the primal
+    // view reports every used channel.
+    let full_usage = primal_out
+        .as_ref()
+        .map(|_| (chan_rows.clone(), theta_load.clone()));
     let row_channels = add_capacity_rows(&mut lp, theta, chan_rows, theta_load, demand_bound);
     lp.set_max_iterations(400_000);
     let sol = lp.solve().map_err(ModelError::Lp)?;
+    if let Some(out) = primal_out {
+        let (rows, tload) = full_usage.unwrap();
+        out.min_rates = m_vars.iter().map(|&m| sol.value(m)).collect();
+        let mut channels: Vec<u32> = rows.keys().chain(tload.keys()).copied().collect();
+        channels.sort_unstable();
+        channels.dedup();
+        out.channel_load = channels
+            .into_iter()
+            .map(|ch| {
+                let mut load = tload.get(&ch).copied().unwrap_or(0.0) * sol.value(theta);
+                if let Some(terms) = rows.get(&ch) {
+                    for &(v, c) in terms {
+                        load += c * sol.value(v);
+                    }
+                }
+                (ChannelId(ch), load)
+            })
+            .collect();
+    }
     if let Some(out) = bottlenecks_out {
         let mut hot: Vec<(ChannelId, f64)> = row_channels
             .iter()

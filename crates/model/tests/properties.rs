@@ -1,0 +1,177 @@
+//! Properties of the throughput model, checked on seeded random
+//! instances: the solved allocation is *primal-feasible* (no channel over
+//! capacity, per-pair rates conserved), and the model respects the
+//! topology's symmetry (relabeling switches within groups moves `θ` by no
+//! more than the documented rhs-jitter noise).
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use tugal_model::{modeled_primal, modeled_throughput, ModelVariant};
+use tugal_routing::VlbRule;
+use tugal_topology::{Dragonfly, DragonflyParams};
+
+fn topo(p: u32, a: u32, h: u32, g: u32) -> Dragonfly {
+    Dragonfly::new(DragonflyParams::new(p, a, h, g)).unwrap()
+}
+
+/// A random multi-pair demand set: distinct cross-switch pairs with node
+/// flows in `1..=p`.
+fn random_demands(t: &Dragonfly, pairs: usize, rng: &mut SmallRng) -> Vec<(u32, u32, u32)> {
+    let n = t.num_switches() as u32;
+    let p = t.params().p;
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    while out.len() < pairs {
+        let s = rng.gen_range(0..n);
+        let d = rng.gen_range(0..n);
+        if s != d && seen.insert((s, d)) {
+            out.push((s, d, rng.gen_range(1..=p)));
+        }
+    }
+    out
+}
+
+/// Capacity of every channel is 1 plus the documented anti-degeneracy rhs
+/// jitter (`≤ 1e-4` relative) plus LP tolerance.
+const CAPACITY_TOL: f64 = 1.0002;
+
+/// The solved allocation of `modeled_throughput` is feasible: `θ ∈ (0,1]`,
+/// every per-pair MIN rate sits in `[0, θ·d]` (so the pair's VLB remainder
+/// is non-negative — demand conserved), and no channel — including the
+/// ones whose capacity rows the builder pruned as redundant — carries more
+/// than its capacity.
+#[test]
+fn random_instances_are_primal_feasible() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED);
+    let rules = [
+        VlbRule::All,
+        VlbRule::ClassLimit {
+            max_hops: 4,
+            frac_next: 0.6,
+        },
+        VlbRule::Strategic { first_seg: 2 },
+    ];
+    for (p, a, h, g) in [(2, 4, 2, 5), (1, 3, 2, 4), (4, 8, 4, 9)] {
+        let t = topo(p, a, h, g);
+        for _ in 0..3 {
+            let demands = random_demands(&t, 6, &mut rng);
+            let rule = *rules.choose(&mut rng).unwrap();
+            let sol = modeled_primal(&t, &demands, rule).unwrap();
+
+            assert!(
+                sol.theta > 0.0 && sol.theta <= 1.0001,
+                "θ = {} out of range on dfly({p},{a},{h},{g})",
+                sol.theta
+            );
+            assert_eq!(sol.min_rates.len(), demands.len());
+            for (&(s, d, flows), &m) in demands.iter().zip(&sol.min_rates) {
+                let cap = sol.theta * flows as f64;
+                assert!(
+                    (-1e-6..=cap + 1e-4).contains(&m),
+                    "pair {s}->{d}: MIN rate {m} outside [0, θ·d = {cap}]"
+                );
+            }
+            assert!(!sol.channel_load.is_empty());
+            for &(ch, load) in &sol.channel_load {
+                assert!(
+                    load <= CAPACITY_TOL,
+                    "channel {ch:?} over capacity: load {load} on dfly({p},{a},{h},{g})"
+                );
+                assert!(load >= -1e-5, "negative load {load} on {ch:?}");
+            }
+        }
+    }
+}
+
+/// `modeled_primal` and `modeled_throughput` are the same solve: identical
+/// `θ` for identical inputs.
+#[test]
+fn primal_view_matches_plain_throughput() {
+    let t = topo(2, 4, 2, 5);
+    let mut rng = SmallRng::seed_from_u64(7);
+    let demands = random_demands(&t, 8, &mut rng);
+    let sol = modeled_primal(&t, &demands, VlbRule::All).unwrap();
+    let th =
+        modeled_throughput(&t, &demands, VlbRule::All, ModelVariant::DrawProportional).unwrap();
+    assert_eq!(sol.theta, th);
+}
+
+/// Relabels switch `s` by permuting local indices within its group.
+fn relabel(t: &Dragonfly, perms: &[Vec<u32>], s: u32) -> u32 {
+    let a = t.params().a;
+    let (g, j) = (s / a, s % a);
+    g * a + perms[g as usize][j as usize]
+}
+
+/// Throughput is a property of the *pattern up to symmetry*, not of the
+/// switch labels: applying a random within-group relabeling to every
+/// demand endpoint changes `θ` by no more than the rhs-jitter noise.
+#[test]
+fn theta_is_invariant_under_within_group_relabeling() {
+    let mut rng = SmallRng::seed_from_u64(0xBEEF);
+    for (p, a, h, g) in [(2, 4, 2, 5), (1, 3, 2, 4)] {
+        let t = topo(p, a, h, g);
+        // Uniform all-to-all switch demands: as a *set* this pattern is
+        // fixed by any switch permutation, so any θ shift is pure solver
+        // noise (row ordering, rhs jitter).
+        let mut demands = Vec::new();
+        for s in 0..t.num_switches() as u32 {
+            for d in 0..t.num_switches() as u32 {
+                if s != d {
+                    demands.push((s, d, p));
+                }
+            }
+        }
+        let perms: Vec<Vec<u32>> = (0..g)
+            .map(|_| {
+                let mut m: Vec<u32> = (0..a).collect();
+                m.shuffle(&mut rng);
+                m
+            })
+            .collect();
+        let relabeled: Vec<(u32, u32, u32)> = demands
+            .iter()
+            .map(|&(s, d, f)| (relabel(&t, &perms, s), relabel(&t, &perms, d), f))
+            .collect();
+        let rule = VlbRule::ClassLimit {
+            max_hops: 4,
+            frac_next: 0.5,
+        };
+        let base = modeled_throughput(&t, &demands, rule, ModelVariant::DrawProportional).unwrap();
+        let moved =
+            modeled_throughput(&t, &relabeled, rule, ModelVariant::DrawProportional).unwrap();
+        assert!(
+            (base - moved).abs() <= 5e-3,
+            "θ moved under relabeling on dfly({p},{a},{h},{g}): {base} vs {moved}"
+        );
+    }
+}
+
+/// The adversarial shift family is also label-free: `shift(dg, ds)` for
+/// any `ds` is a within-group relabeling of `shift(dg, 0)`, so their
+/// modeled throughputs agree.
+#[test]
+fn shift_theta_is_independent_of_switch_shift() {
+    let t = topo(2, 4, 2, 5);
+    let mk = |ds: u32| {
+        let p = t.params();
+        let mut out = Vec::new();
+        for s in 0..t.num_switches() as u32 {
+            let (gi, sj) = (s / p.a, s % p.a);
+            let d = ((gi + 1) % p.g) * p.a + (sj + ds) % p.a;
+            out.push((s, d, p.p));
+        }
+        out
+    };
+    let base =
+        modeled_throughput(&t, &mk(0), VlbRule::All, ModelVariant::DrawProportional).unwrap();
+    for ds in 1..t.params().a {
+        let th =
+            modeled_throughput(&t, &mk(ds), VlbRule::All, ModelVariant::DrawProportional).unwrap();
+        assert!(
+            (base - th).abs() <= 5e-3,
+            "shift(1,{ds}) diverged: {th} vs shift(1,0) {base}"
+        );
+    }
+}

@@ -69,6 +69,14 @@ pub struct Config {
     pub sat_latency: f64,
     /// UGAL threshold `T` biasing the decision toward MIN (§2.2; the paper
     /// evaluates with `T = 0`).
+    ///
+    /// `i64::MAX` is a documented *force-MIN sentinel*: the UGAL-L/G (and
+    /// PAR) decision short-circuits to the MIN candidate **without drawing
+    /// the VLB candidate**, so such a run consumes the RNG exactly like
+    /// [`RoutingAlgorithm::Min`] and is flit-for-flit identical to it
+    /// (pinned by `tests/differential.rs`).  A merely huge *finite*
+    /// threshold cannot achieve this — it still draws (and thus consumes
+    /// randomness for) the VLB candidate, and `q_vlb + T` would overflow.
     pub ugal_threshold: i64,
     /// VLB candidates drawn per routing decision (the paper and the
     /// original UGAL use 1; Singh's thesis studies more).  The candidate

@@ -5,7 +5,7 @@ use super::observer::SimObserver;
 use super::state::Packet;
 use super::{Engine, F_REVISABLE, F_ROUTED, SOURCE_QUEUE_CAP};
 use rand::Rng;
-use tugal_routing::Path;
+use tugal_routing::{Path, PathRef};
 use tugal_topology::NodeId;
 
 impl<O: SimObserver> Engine<'_, O> {
@@ -13,13 +13,14 @@ impl<O: SimObserver> Engine<'_, O> {
     /// per cycle; new packets enter the (capped) source queue modelled by
     /// the injection channel's staging + downstream buffer.
     pub(crate) fn inject(&mut self) {
-        let topo = self.sim.topo.clone();
+        let sim = self.sim;
+        let topo = &*sim.topo;
         let nodes = topo.num_nodes() as u32;
         for n in 0..nodes {
             if !self.rng.gen_bool(self.rate) {
                 continue;
             }
-            let Some(dst) = self.sim.pattern.dest(NodeId(n), &mut self.rng) else {
+            let Some(dst) = sim.pattern.dest(NodeId(n), &mut self.rng) else {
                 continue;
             };
             self.stats.record_injection();
@@ -39,7 +40,7 @@ impl<O: SimObserver> Engine<'_, O> {
             // BookSim's infinite source queue; cap it so deep-saturation
             // points keep finite memory (the latency threshold fires long
             // before the cap matters).
-            if self.ws.staging[inj].len() + self.ws.buf_occ[inj] as usize >= SOURCE_QUEUE_CAP {
+            if (self.ws.stg_len[inj] + self.ws.buf_occ[inj]) as usize >= SOURCE_QUEUE_CAP {
                 self.obs.on_drop(self.now, NodeId(n), dst);
                 continue; // dropped at an overflowing source queue
             }
@@ -47,7 +48,7 @@ impl<O: SimObserver> Engine<'_, O> {
                 dst_node: dst.0,
                 src_node: n,
                 birth: self.now,
-                path: Path::single(topo.switch_of_node(NodeId(n))),
+                path_id: 0, // placeholder; set right below
                 hop: 0,
                 cur_vc: 0,
                 cur_chan: inj as u32,
@@ -55,8 +56,17 @@ impl<O: SimObserver> Engine<'_, O> {
                 pre_global: 0,
                 hops_taken: 0,
                 flags: 0,
+                out_chan: u32::MAX,
+                out_vc: u8::MAX,
             });
-            self.ws.staging[inj].push_back(pi);
+            // Pre-routing placeholder: the zero-hop path at the source
+            // switch (never read by the engine — `route` runs before any
+            // hop — but keeps `packet_path` total).
+            self.set_packet_path(
+                pi,
+                PathRef::Owned(Path::single(topo.switch_of_node(NodeId(n)))),
+            );
+            self.ws.stg_push(inj, pi);
             if !self.ws.in_busy[inj] {
                 self.ws.in_busy[inj] = true;
                 self.ws.busy_list.push(inj as u32);
@@ -80,13 +90,39 @@ impl<O: SimObserver> Engine<'_, O> {
                 if len == 0 {
                     break;
                 }
+                // A round that grants nothing is a fixed point: every head
+                // failed on credits (an ejection- or credit-eligible head
+                // always beats a fresh `out_stamp`), and credits never
+                // increase within a cycle — so later rounds would replay
+                // the same no-op scan.
+                let mut granted = false;
                 let start = self.ws.rr[sw] % len;
-                for k in 0..len {
-                    let pos = (start + k) % len;
+                // Wrap by increment, not `(start + k) % len`: the modulo is
+                // an integer division per scanned candidate, and this scan
+                // is the hottest loop in the engine.
+                let mut pos = start;
+                for _ in 0..len {
                     let idx = self.ws.ready[sw][pos] as usize;
-                    let Some(&pi) = self.ws.in_buf[idx].front() else {
+                    pos += 1;
+                    if pos == len {
+                        pos = 0;
+                    }
+                    // Credit-wait fast path (pristine runs only): a head
+                    // that found its credit counter empty cannot win until
+                    // a future cycle replenishes it, so skip the full
+                    // inspection with two loads.  Fault runs never set
+                    // `wait`, keeping `fault_check` on every head.
+                    let w = self.ws.wait[idx];
+                    if w != u32::MAX {
+                        if self.ws.credits[w as usize] == 0 {
+                            continue;
+                        }
+                        self.ws.wait[idx] = u32::MAX;
+                    }
+                    let pi = self.ws.inb_head[idx];
+                    if pi == u32::MAX {
                         continue;
-                    };
+                    }
                     // Route / revise at the head of the buffer.
                     if self.ws.packets[pi as usize].flags & F_ROUTED == 0 {
                         self.route(pi);
@@ -98,25 +134,43 @@ impl<O: SimObserver> Engine<'_, O> {
                     // exactly as a forwarded packet would, so the input
                     // buffer's credit still returns upstream).
                     if self.fault_on && !self.fault_check(pi) {
-                        self.ws.in_buf[idx].pop_front();
-                        let in_ch = idx / self.v;
+                        self.ws.inb_pop(idx);
+                        let in_ch = self.ws.chan_of_buf[idx] as usize;
                         self.ws.buf_occ[in_ch] -= 1;
                         if in_ch < self.n_network {
-                            let due = ((self.now + self.ws.latency[in_ch] as u64)
-                                % self.ring_size as u64)
+                            let due = ((self.now + self.ws.latency[in_ch] as u64) & self.ring_mask)
                                 as usize;
                             self.ws.credit_ring[due].push(idx as u32);
                         }
                         self.drop_in_network(pi);
                         continue;
                     }
-                    let (out, vc) = self.next_hop(pi);
+                    // Memoized next hop: a blocked head packet is retried
+                    // every round, but its next hop only changes when its
+                    // hop index or path does (every such site resets
+                    // `out_chan` to the not-computed sentinel).
+                    let (out, vc) = {
+                        let p = &self.ws.packets[pi as usize];
+                        if p.out_chan != u32::MAX {
+                            (p.out_chan, p.out_vc)
+                        } else {
+                            let (out, vc) = self.next_hop(pi);
+                            let vc = vc.unwrap_or(u8::MAX);
+                            let p = &mut self.ws.packets[pi as usize];
+                            p.out_chan = out;
+                            p.out_vc = vc;
+                            (out, vc)
+                        }
+                    };
                     if self.ws.out_stamp[out as usize] == stamp {
                         continue; // output taken this round
                     }
-                    if let Some(vc) = vc {
+                    if vc != u8::MAX {
                         let cidx = out as usize * self.v + vc as usize;
                         if self.ws.credits[cidx] == 0 {
+                            if !self.fault_on {
+                                self.ws.wait[idx] = cidx as u32;
+                            }
                             continue; // no downstream buffer space
                         }
                         self.ws.credits[cidx] -= 1;
@@ -125,35 +179,40 @@ impl<O: SimObserver> Engine<'_, O> {
                         p.cur_vc = vc;
                         p.hop += 1;
                         p.hops_taken += 1;
+                        p.out_chan = u32::MAX;
                     }
                     self.ws.out_stamp[out as usize] = stamp;
+                    granted = true;
                     // Dequeue from the input buffer and return its credit
                     // upstream (network channels only — the injection
                     // channel's upstream is the uncredit-managed source
                     // queue).
-                    self.ws.in_buf[idx].pop_front();
-                    let in_ch = idx / self.v;
+                    self.ws.inb_pop(idx);
+                    let in_ch = self.ws.chan_of_buf[idx] as usize;
                     self.ws.buf_occ[in_ch] -= 1;
                     if in_ch < self.n_network {
-                        let due = ((self.now + self.ws.latency[in_ch] as u64)
-                            % self.ring_size as u64) as usize;
+                        let due =
+                            ((self.now + self.ws.latency[in_ch] as u64) & self.ring_mask) as usize;
                         self.ws.credit_ring[due].push(idx as u32);
                     }
                     // Forward.
                     let p = &mut self.ws.packets[pi as usize];
                     p.cur_chan = out;
-                    self.ws.staging[out as usize].push_back(pi);
+                    self.ws.stg_push(out as usize, pi);
                     if !self.ws.in_busy[out as usize] {
                         self.ws.in_busy[out as usize] = true;
                         self.ws.busy_list.push(out);
                     }
+                }
+                if !granted {
+                    break;
                 }
             }
             self.ws.rr[sw] = self.ws.rr[sw].wrapping_add(1);
             // Compact the ready list.
             let mut list = std::mem::take(&mut self.ws.ready[sw]);
             list.retain(|&idx| {
-                if self.ws.in_buf[idx as usize].is_empty() {
+                if self.ws.inb_head[idx as usize] == u32::MAX {
                     self.ws.in_ready[idx as usize] = false;
                     false
                 } else {
@@ -171,9 +230,9 @@ impl<O: SimObserver> Engine<'_, O> {
         while i < self.ws.busy_list.len() {
             let ch = self.ws.busy_list[i] as usize;
             if self.now >= self.ws.next_free[ch] {
-                if let Some(pi) = self.ws.staging[ch].pop_front() {
+                if let Some(pi) = self.ws.stg_pop(ch) {
                     let arrive =
-                        ((self.now + self.ws.latency[ch] as u64) % self.ring_size as u64) as usize;
+                        ((self.now + self.ws.latency[ch] as u64) & self.ring_mask) as usize;
                     self.ws.arrivals[arrive].push(pi);
                     self.ws.next_free[ch] = self.now + 1;
                     self.ws.chan_flits[ch] += 1;
@@ -183,7 +242,7 @@ impl<O: SimObserver> Engine<'_, O> {
                     }
                 }
             }
-            if self.ws.staging[ch].is_empty() {
+            if self.ws.stg_len[ch] == 0 {
                 self.ws.in_busy[ch] = false;
                 self.ws.busy_list.swap_remove(i);
             } else {

@@ -26,14 +26,14 @@
 
 use super::observer::SimObserver;
 use super::{Engine, F_REVISABLE};
-use tugal_routing::Path;
+use tugal_routing::{Path, PathRef};
 use tugal_topology::{ChannelKind, FaultSet, NodeId, SwitchId};
 
 /// Reroute attempts per blocked packet: one MIN draw plus this many VLB
 /// draws before the packet is declared stuck and dropped.
 const REROUTE_VLB_TRIES: usize = 8;
 
-impl<O: SimObserver> Engine<'_, O> {
+impl<'a, O: SimObserver> Engine<'a, O> {
     /// Kills the components of `faults` in the live workspace: ORs the
     /// dead masks and drains buffers that can no longer move traffic.
     /// Faults accumulate — nothing is ever revived within a run.
@@ -55,7 +55,7 @@ impl<O: SimObserver> Engine<'_, O> {
             for idx in buffers {
                 let idx = idx as usize;
                 self.ws.in_ready[idx] = false;
-                while let Some(pi) = self.ws.in_buf[idx].pop_front() {
+                while let Some(pi) = self.ws.inb_pop(idx) {
                     self.ws.buf_occ[idx / self.v] -= 1;
                     self.drop_in_network(pi);
                 }
@@ -72,7 +72,7 @@ impl<O: SimObserver> Engine<'_, O> {
                 continue;
             }
             self.ws.chan_dead[ch] = true;
-            while let Some(pi) = self.ws.staging[ch].pop_front() {
+            while let Some(pi) = self.ws.stg_pop(ch) {
                 self.drop_in_network(pi);
             }
         }
@@ -95,14 +95,19 @@ impl<O: SimObserver> Engine<'_, O> {
     /// proceed (possibly on a freshly sampled path), `false` when the
     /// caller must drop it.
     pub(crate) fn fault_check(&mut self, pi: u32) -> bool {
-        let topo = self.sim.topo.clone();
+        let sim = self.sim;
+        let topo = &*sim.topo;
+        // This path runs only under an attached fault schedule, so copying
+        // the (inline, 18-byte) path out simplifies the borrows at no
+        // steady-state cost.
+        let old_path: Path = *self.packet_path(pi);
         let (cur, dsw, hop) = {
             let p = &self.ws.packets[pi as usize];
             let dsw = topo.switch_of_node(NodeId(p.dst_node));
             let hop = p.hop as usize;
-            let intact = p.path.dst() == dsw
-                && (hop == p.path.hops()
-                    || !self.ws.chan_dead[p.path.channel_at(&topo, hop).index()]);
+            let intact = old_path.dst() == dsw
+                && (hop == old_path.hops()
+                    || !self.ws.chan_dead[old_path.channel_at(topo, hop).index()]);
             if intact {
                 // Only the next hop is checked; a death further along the
                 // path is handled at a later decision point.  (A path not
@@ -110,7 +115,7 @@ impl<O: SimObserver> Engine<'_, O> {
                 // unreachable-pair sentinel and is never intact.)
                 return true;
             }
-            (p.path.switch(hop), dsw, hop)
+            (old_path.switch(hop), dsw, hop)
         };
         if self.ws.switch_dead[dsw.index()] {
             return false; // destination died; undeliverable
@@ -119,23 +124,21 @@ impl<O: SimObserver> Engine<'_, O> {
             return false; // no surviving candidate from here
         };
         let (mut dl, mut dg) = (0u8, 0u8);
-        {
-            let p = &self.ws.packets[pi as usize];
-            for i in 0..hop {
-                if p.path.hop_kind(&topo, i) == ChannelKind::Global {
-                    dg += 1;
-                } else {
-                    dl += 1;
-                }
+        for i in 0..hop {
+            if old_path.hop_kind(topo, i) == ChannelKind::Global {
+                dg += 1;
+            } else {
+                dl += 1;
             }
         }
+        self.set_packet_path(pi, path);
         let p = &mut self.ws.packets[pi as usize];
         // The abandoned prefix still counts toward the packet's VC class,
         // keeping VC indices monotone along the composite route.
         p.pre_local = p.pre_local.saturating_add(dl);
         p.pre_global = p.pre_global.saturating_add(dg);
-        p.path = path;
         p.hop = 0;
+        p.out_chan = u32::MAX;
         p.flags &= !F_REVISABLE;
         self.obs.on_fault_reroute(self.now, cur);
         true
@@ -143,15 +146,16 @@ impl<O: SimObserver> Engine<'_, O> {
 
     /// Samples a surviving path `cur → dst` from the provider: the MIN
     /// draw first, then up to [`REROUTE_VLB_TRIES`] VLB draws.
-    fn sample_alive_path(&mut self, cur: SwitchId, dst: SwitchId) -> Option<Path> {
-        let provider = self.sim.provider.clone();
-        let p = provider.sample_min(cur, dst, &mut self.rng);
-        if self.path_usable(&p, cur, dst) {
+    fn sample_alive_path(&mut self, cur: SwitchId, dst: SwitchId) -> Option<PathRef<'a>> {
+        let sim = self.sim;
+        let provider = &*sim.provider;
+        let p = provider.sample_min_ref(cur, dst, &mut self.rng);
+        if self.path_usable(p.path(), cur, dst) {
             return Some(p);
         }
         for _ in 0..REROUTE_VLB_TRIES {
-            let p = provider.sample_vlb(cur, dst, &mut self.rng);
-            if self.path_usable(&p, cur, dst) {
+            let p = provider.sample_vlb_ref(cur, dst, &mut self.rng);
+            if self.path_usable(p.path(), cur, dst) {
                 return Some(p);
             }
         }

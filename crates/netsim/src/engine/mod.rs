@@ -40,7 +40,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use state::Packet;
 use std::sync::Arc;
-use tugal_routing::PathProvider;
+use tugal_routing::{Path, PathId, PathProvider, PathRef, PathStore};
 use tugal_topology::Dragonfly;
 use tugal_traffic::TrafficPattern;
 
@@ -57,6 +57,11 @@ const INFLIGHT_CAP_PER_NODE: usize = 64;
 pub(crate) const F_ROUTED: u8 = 1;
 pub(crate) const F_REVISABLE: u8 = 2;
 pub(crate) const F_VLB: u8 = 4;
+
+/// Tag bit of `Packet::path_id`: set when the path lives in the packet's
+/// `SimWorkspace::eph_paths` slot instead of the provider's interned
+/// arena (see `Engine::set_packet_path`).
+pub(crate) const EPH_BIT: u32 = 1 << 31;
 
 /// A configured simulation; [`Simulator::run`] executes it at one offered
 /// load.
@@ -155,12 +160,18 @@ pub(crate) struct Engine<'a, O: SimObserver> {
     pub(crate) rng: SmallRng,
     pub(crate) v: usize, // num VCs
     pub(crate) in_flight: usize,
-    pub(crate) ring_size: usize,
+    /// `ring_size - 1`; ring sizes are powers of two, so calendar slots
+    /// are computed with a mask instead of a per-event division.
+    pub(crate) ring_mask: u64,
     /// Channels below this index are switch-to-switch (credit-managed on
     /// both sides); injection channels return no upstream credit (their
     /// upstream is the source queue).
     pub(crate) n_network: usize,
     pub(crate) stats: Stats,
+    /// The provider's interned arena, resolved once at construction so
+    /// `packet_path` — called on every routing decision and next-hop miss —
+    /// skips the virtual `resolve` dispatch.
+    store: Option<&'a PathStore>,
     /// True when a non-empty fault schedule is attached; every fault code
     /// path is behind this flag, so fault-free runs stay bit-identical.
     pub(crate) fault_on: bool,
@@ -181,9 +192,10 @@ impl<'a, O: SimObserver> Engine<'a, O> {
             rng: SmallRng::seed_from_u64(cfg.seed),
             v: cfg.num_vcs as usize,
             in_flight: 0,
-            ring_size: SimWorkspace::ring_size_for(cfg),
+            ring_mask: SimWorkspace::ring_size_for(cfg) as u64 - 1,
             n_network: sim.topo.num_network_channels(),
             stats: Stats::new(),
+            store: sim.provider.path_store(),
             fault_on: sim.faults.as_ref().is_some_and(|f| !f.is_empty()),
             next_event: 0,
         }
@@ -196,8 +208,40 @@ impl<'a, O: SimObserver> Engine<'a, O> {
             i
         } else {
             self.ws.packets.push(p);
+            // The ephemeral-path slab and FIFO-link array stay parallel to
+            // the pool; the new slots' contents are filled before use.
+            self.ws.eph_paths.push(Path::default());
+            self.ws.next_pkt.push(u32::MAX);
             (self.ws.packets.len() - 1) as u32
         }
+    }
+
+    /// The packet's current source route, resolved from the provider's
+    /// interned arena or the packet's ephemeral slot.
+    #[inline]
+    pub(crate) fn packet_path(&self, pi: u32) -> &Path {
+        let id = self.ws.packets[pi as usize].path_id;
+        if id & EPH_BIT != 0 {
+            &self.ws.eph_paths[(id & !EPH_BIT) as usize]
+        } else if let Some(store) = self.store {
+            store.get(PathId(id))
+        } else {
+            self.sim.provider.resolve(PathId(id))
+        }
+    }
+
+    /// Points the packet at a freshly sampled candidate: interned draws
+    /// store only the arena id; owned draws are copied into the packet's
+    /// ephemeral slot.
+    #[inline]
+    pub(crate) fn set_packet_path(&mut self, pi: u32, path: PathRef<'_>) {
+        self.ws.packets[pi as usize].path_id = match path {
+            PathRef::Interned(id, _) => id.0,
+            PathRef::Owned(p) => {
+                self.ws.eph_paths[pi as usize] = p;
+                EPH_BIT | pi
+            }
+        };
     }
 
     pub(crate) fn free_packet(&mut self, i: u32) {
@@ -280,18 +324,30 @@ impl<'a, O: SimObserver> Engine<'a, O> {
             }
         }
 
-        let slot = (self.now % self.ring_size as u64) as usize;
+        let slot = (self.now & self.ring_mask) as usize;
+
+        // Calendar slots are drained by *swapping* with a scratch buffer
+        // instead of `mem::take`-ing the Vec: taking would drop the slot's
+        // capacity every cycle (an alloc/dealloc pair per non-empty slot);
+        // swapping circulates the capacity forever.  Entries pushed while
+        // draining land in the slot's (empty, capacity-bearing) new Vec —
+        // never in the scratch — because every push targets a future slot
+        // (all latencies are ≥ 1).
 
         // 1. Credit returns.
-        let credits_due = std::mem::take(&mut self.ws.credit_ring[slot]);
-        for idx in credits_due {
+        let mut credits_due = std::mem::take(&mut self.ws.credit_scratch);
+        std::mem::swap(&mut credits_due, &mut self.ws.credit_ring[slot]);
+        for &idx in &credits_due {
             self.ws.credits[idx as usize] += 1;
-            self.ws.cred_used[idx as usize / self.v] -= 1;
+            self.ws.cred_used[self.ws.chan_of_buf[idx as usize] as usize] -= 1;
         }
+        credits_due.clear();
+        self.ws.credit_scratch = credits_due;
 
         // 2. Arrivals.
-        let arrived = std::mem::take(&mut self.ws.arrivals[slot]);
-        for pi in arrived {
+        let mut arrived = std::mem::take(&mut self.ws.arrival_scratch);
+        std::mem::swap(&mut arrived, &mut self.ws.arrivals[slot]);
+        for &pi in &arrived {
             let p = &self.ws.packets[pi as usize];
             let ch = p.cur_chan as usize;
             let cur_vc = p.cur_vc;
@@ -308,7 +364,7 @@ impl<'a, O: SimObserver> Engine<'a, O> {
                 self.drop_in_network(pi);
             } else {
                 let idx = ch * self.v + cur_vc as usize;
-                self.ws.in_buf[idx].push_back(pi);
+                self.ws.inb_push(idx, pi);
                 self.ws.buf_occ[ch] += 1;
                 if !self.ws.in_ready[idx] {
                     self.ws.in_ready[idx] = true;
@@ -316,6 +372,8 @@ impl<'a, O: SimObserver> Engine<'a, O> {
                 }
             }
         }
+        arrived.clear();
+        self.ws.arrival_scratch = arrived;
 
         // 3. Injection.
         self.inject();

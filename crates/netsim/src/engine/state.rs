@@ -4,12 +4,21 @@
 //! All per-channel state lives in flat vectors indexed by
 //! [`tugal_topology::ChannelId`]:
 //!
-//! * `staging` — flits that won switch allocation and wait for their 1
+//! * *staging* — flits that won switch allocation and wait for their 1
 //!   flit/cycle slot on the wire (they already hold a downstream credit,
 //!   so backpressure is preserved),
-//! * `in_buf` — the downstream router's input buffer, one FIFO per VC,
+//! * *input buffers* — the downstream router's input buffer, one FIFO per
+//!   VC,
 //! * `credits` — sender-side credit counters per VC; credit return takes
 //!   the channel latency, modelled with a calendar ring.
+//!
+//! The two FIFO families are *intrusive* linked lists threaded through one
+//! shared [`SimWorkspace::next_pkt`] array: a packet sits in at most one
+//! queue at a time (staging of its current channel, or one input-buffer
+//! FIFO downstream), so a single next-pointer per packet replaces a
+//! `VecDeque` per queue — no per-queue capacity management, no wraparound
+//! arithmetic, and pushes/pops are two or three word-sized stores on the
+//! switch-allocation hot path.
 //!
 //! In-flight flits sit in an arrival calendar ring rather than per-channel
 //! pipelines, so per-cycle cost is proportional to the number of flits in
@@ -25,7 +34,6 @@
 //! the workspace-reuse tests).
 
 use crate::config::Config;
-use std::collections::VecDeque;
 use std::sync::Mutex;
 use tugal_routing::Path;
 use tugal_topology::{ChannelKind, Dragonfly, Endpoint};
@@ -38,8 +46,15 @@ pub(crate) struct Packet {
     /// packet mid-network).
     pub(crate) src_node: u32,
     pub(crate) birth: u64,
-    pub(crate) path: Path,
-    /// Index of the next hop to take on `path`.
+    /// The packet's source route, by reference: either a
+    /// [`tugal_routing::PathId`] into the provider's interned arena, or —
+    /// when the `EPH_BIT` tag is set —
+    /// the packet's slot in [`SimWorkspace::eph_paths`], holding a path
+    /// that was composed per draw (rule-based providers, fault-reroute
+    /// sentinels, the pre-routing placeholder).  Resolved through
+    /// `Engine::packet_path`.
+    pub(crate) path_id: u32,
+    /// Index of the next hop to take on the packet's path.
     pub(crate) hop: u8,
     /// VC the packet occupies on its current channel.
     pub(crate) cur_vc: u8,
@@ -53,6 +68,15 @@ pub(crate) struct Packet {
     /// Network hops taken so far (for statistics).
     pub(crate) hops_taken: u8,
     pub(crate) flags: u8,
+    /// Memoized `next_hop` output channel (`u32::MAX` = not computed).
+    /// A blocked head-of-buffer packet is re-examined by switch allocation
+    /// every round of every cycle; its next hop is a pure function of the
+    /// route state, so it is computed once and invalidated only when
+    /// `hop` or the path changes.
+    pub(crate) out_chan: u32,
+    /// Memoized `next_hop` VC, paired with `out_chan` (`u8::MAX` encodes
+    /// the credit-untracked ejection hop).
+    pub(crate) out_vc: u8,
 }
 
 /// The engine shape a workspace is currently sized for.
@@ -79,17 +103,36 @@ pub struct SimWorkspace {
     // Packet pool.
     pub(crate) packets: Vec<Packet>,
     pub(crate) free: Vec<u32>,
+    /// Ephemeral path storage, parallel to `packets`: slot `i` holds the
+    /// path of packet `i` whenever its `path_id` carries the ephemeral
+    /// tag (paths not interned in the provider's arena).  Slots of
+    /// interned-path packets are stale and never read.
+    pub(crate) eph_paths: Vec<Path>,
+    /// Intrusive FIFO links, parallel to `packets`: the next packet in
+    /// whichever queue (staging or input buffer) packet `i` currently
+    /// waits in; `u32::MAX` terminates a list.  Stale for packets not in
+    /// any queue.
+    pub(crate) next_pkt: Vec<u32>,
 
     // Per channel.
     pub(crate) latency: Vec<u32>,
-    pub(crate) staging: Vec<VecDeque<u32>>,
+    /// Staging FIFO head per channel (`u32::MAX` = empty).
+    pub(crate) stg_head: Vec<u32>,
+    /// Staging FIFO tail per channel (`u32::MAX` = empty).
+    pub(crate) stg_tail: Vec<u32>,
+    /// Staging FIFO length per channel, maintained explicitly: the UGAL
+    /// queue metrics and the source-queue cap read it per routing
+    /// decision.
+    pub(crate) stg_len: Vec<u32>,
     pub(crate) next_free: Vec<u64>,
     pub(crate) in_busy: Vec<bool>,
     pub(crate) busy_list: Vec<u32>,
     /// Credits available, per (channel * V + vc).
     pub(crate) credits: Vec<u16>,
-    /// Downstream input buffers, per (channel * V + vc).
-    pub(crate) in_buf: Vec<VecDeque<u32>>,
+    /// Input-buffer FIFO head per (channel * V + vc) (`u32::MAX` = empty).
+    pub(crate) inb_head: Vec<u32>,
+    /// Input-buffer FIFO tail per (channel * V + vc) (`u32::MAX` = empty).
+    pub(crate) inb_tail: Vec<u32>,
     /// Sum of in_buf occupancy over VCs, per channel (UGAL-G metric).
     pub(crate) buf_occ: Vec<u32>,
     /// Credits consumed, per channel (UGAL-L metric).
@@ -97,18 +140,37 @@ pub struct SimWorkspace {
     /// Destination switch of each network/injection channel (u32::MAX for
     /// ejection).
     pub(crate) dst_switch: Vec<u32>,
+    /// Channel of each buffer index (`idx / V`, precomputed: the engine
+    /// needs it once per credit return and once per dequeue, and `V` is
+    /// not a power of two for every scheme).
+    pub(crate) chan_of_buf: Vec<u32>,
     /// True for global channels (for utilization aggregation).
     pub(crate) is_global: Vec<bool>,
 
     // Per switch.
     pub(crate) ready: Vec<Vec<u32>>, // buffer indices (chan * V + vc)
     pub(crate) in_ready: Vec<bool>,  // per buffer index
+    /// Per buffer index: the `(channel * V + vc)` credit counter the head
+    /// packet found empty, or `u32::MAX` when not blocked.  Switch
+    /// allocation skips a waiting buffer with two loads instead of the
+    /// full head inspection until that counter is replenished — a pure
+    /// fast path, since a credit-starved head cannot win and credits
+    /// never increase within a cycle.  Maintained only on the pristine
+    /// (fault-free) path, where heads have no other per-round side
+    /// effects; fault runs take the full scan so `fault_check` still
+    /// sees every head.
+    pub(crate) wait: Vec<u32>,
     pub(crate) rr: Vec<usize>,
     pub(crate) out_stamp: Vec<u64>, // per channel: SA round stamp
 
     // Calendars.
     pub(crate) arrivals: Vec<Vec<u32>>, // ring by cycle: packet indices
     pub(crate) credit_ring: Vec<Vec<u32>>, // ring by cycle: buffer indices
+    /// Drained-slot scratch buffers: each cycle swaps the due calendar
+    /// slot with one of these, iterates it and swaps back cleared, so ring
+    /// capacity circulates instead of being dropped and reallocated.
+    pub(crate) arrival_scratch: Vec<u32>,
+    pub(crate) credit_scratch: Vec<u32>,
 
     /// Flits sent per channel during the run (utilization statistic).
     pub(crate) chan_flits: Vec<u32>,
@@ -130,18 +192,88 @@ impl SimWorkspace {
     /// `chan`, VC `vc`, for an engine with `v` VCs per channel — the
     /// quantity the observer seam samples through
     /// [`super::SimObserver::on_vc_occupancy_sample`].
+    /// (Observer-only: walks the FIFO, so cost is its length — the hot
+    /// engine paths never need an input-buffer length.)
     #[inline]
     pub(crate) fn vc_occupancy(&self, chan: usize, v: usize, vc: usize) -> u32 {
-        self.in_buf[chan * v + vc].len() as u32
+        let mut n = 0;
+        let mut p = self.inb_head[chan * v + vc];
+        while p != u32::MAX {
+            n += 1;
+            p = self.next_pkt[p as usize];
+        }
+        n
     }
 
-    /// Calendar ring size for a configuration.
+    /// Appends `pi` to the staging FIFO of channel `ch`.
+    #[inline]
+    pub(crate) fn stg_push(&mut self, ch: usize, pi: u32) {
+        self.next_pkt[pi as usize] = u32::MAX;
+        let t = self.stg_tail[ch];
+        if t == u32::MAX {
+            self.stg_head[ch] = pi;
+        } else {
+            self.next_pkt[t as usize] = pi;
+        }
+        self.stg_tail[ch] = pi;
+        self.stg_len[ch] += 1;
+    }
+
+    /// Pops the head of the staging FIFO of channel `ch`.
+    #[inline]
+    pub(crate) fn stg_pop(&mut self, ch: usize) -> Option<u32> {
+        let h = self.stg_head[ch];
+        if h == u32::MAX {
+            return None;
+        }
+        let n = self.next_pkt[h as usize];
+        self.stg_head[ch] = n;
+        if n == u32::MAX {
+            self.stg_tail[ch] = u32::MAX;
+        }
+        self.stg_len[ch] -= 1;
+        Some(h)
+    }
+
+    /// Appends `pi` to the input-buffer FIFO `idx` (= channel * V + vc).
+    #[inline]
+    pub(crate) fn inb_push(&mut self, idx: usize, pi: u32) {
+        self.next_pkt[pi as usize] = u32::MAX;
+        let t = self.inb_tail[idx];
+        if t == u32::MAX {
+            self.inb_head[idx] = pi;
+        } else {
+            self.next_pkt[t as usize] = pi;
+        }
+        self.inb_tail[idx] = pi;
+    }
+
+    /// Pops the head of input-buffer FIFO `idx`.
+    #[inline]
+    pub(crate) fn inb_pop(&mut self, idx: usize) -> Option<u32> {
+        let h = self.inb_head[idx];
+        if h == u32::MAX {
+            return None;
+        }
+        let n = self.next_pkt[h as usize];
+        self.inb_head[idx] = n;
+        if n == u32::MAX {
+            self.inb_tail[idx] = u32::MAX;
+        }
+        Some(h)
+    }
+
+    /// Calendar ring size for a configuration: enough slots to cover the
+    /// largest latency, rounded up to a power of two so the per-event
+    /// slot computation is a mask instead of a division (the engine
+    /// pushes to a calendar ring for every grant and every wire
+    /// transmission).
     pub(crate) fn ring_size_for(cfg: &Config) -> usize {
         let max_lat = cfg
             .local_latency
             .max(cfg.global_latency)
             .max(cfg.terminal_latency) as usize;
-        max_lat + 2
+        (max_lat + 2).next_power_of_two()
     }
 
     /// Prepares the workspace for a run of `topo` under `cfg`: same-shape
@@ -161,22 +293,24 @@ impl SimWorkspace {
 
         self.packets.clear();
         self.free.clear();
+        self.eph_paths.clear();
+        self.next_pkt.clear();
         self.busy_list.clear();
-        for q in &mut self.staging {
-            q.clear();
-        }
+        self.stg_head.fill(u32::MAX);
+        self.stg_tail.fill(u32::MAX);
+        self.stg_len.fill(0);
         self.next_free.fill(0);
         self.in_busy.fill(false);
         self.credits.fill(shape.buf_size);
-        for q in &mut self.in_buf {
-            q.clear();
-        }
+        self.inb_head.fill(u32::MAX);
+        self.inb_tail.fill(u32::MAX);
         self.buf_occ.fill(0);
         self.cred_used.fill(0);
         for r in &mut self.ready {
             r.clear();
         }
         self.in_ready.fill(false);
+        self.wait.fill(u32::MAX);
         self.rr.fill(0);
         self.out_stamp.fill(0);
         for a in &mut self.arrivals {
@@ -185,6 +319,8 @@ impl SimWorkspace {
         for c in &mut self.credit_ring {
             c.clear();
         }
+        self.arrival_scratch.clear();
+        self.credit_scratch.clear();
         self.chan_flits.fill(0);
         self.chan_dead.fill(false);
         self.switch_dead.fill(false);
@@ -212,23 +348,32 @@ impl SimWorkspace {
     fn resize(&mut self, s: Shape) {
         self.packets = Vec::new();
         self.free = Vec::new();
+        self.eph_paths = Vec::new();
+        self.next_pkt = Vec::new();
         self.latency = Vec::with_capacity(s.n_chan);
-        self.staging = vec![VecDeque::new(); s.n_chan];
+        self.stg_head = vec![u32::MAX; s.n_chan];
+        self.stg_tail = vec![u32::MAX; s.n_chan];
+        self.stg_len = vec![0; s.n_chan];
         self.next_free = vec![0; s.n_chan];
         self.in_busy = vec![false; s.n_chan];
         self.busy_list = Vec::new();
         self.credits = vec![s.buf_size; s.n_chan * s.v];
-        self.in_buf = (0..s.n_chan * s.v).map(|_| VecDeque::new()).collect();
+        self.inb_head = vec![u32::MAX; s.n_chan * s.v];
+        self.inb_tail = vec![u32::MAX; s.n_chan * s.v];
+        self.chan_of_buf = (0..s.n_chan * s.v).map(|i| (i / s.v) as u32).collect();
         self.buf_occ = vec![0; s.n_chan];
         self.cred_used = vec![0; s.n_chan];
         self.dst_switch = Vec::with_capacity(s.n_chan);
         self.is_global = Vec::with_capacity(s.n_chan);
         self.ready = vec![Vec::new(); s.n_switches];
         self.in_ready = vec![false; s.n_chan * s.v];
+        self.wait = vec![u32::MAX; s.n_chan * s.v];
         self.rr = vec![0; s.n_switches];
         self.out_stamp = vec![0; s.n_chan];
         self.arrivals = vec![Vec::new(); s.ring_size];
         self.credit_ring = vec![Vec::new(); s.ring_size];
+        self.arrival_scratch = Vec::new();
+        self.credit_scratch = Vec::new();
         self.chan_flits = vec![0; s.n_chan];
         self.chan_dead = vec![false; s.n_chan];
         self.switch_dead = vec![false; s.n_switches];

@@ -137,12 +137,20 @@ impl RunSummary {
         } else {
             0.0
         };
-        let faster = |a: &Option<(String, f64, u64, f64)>, b: &Option<(String, f64, u64, f64)>| {
-            a.as_ref().map(|s| s.3).unwrap_or(0.0) >= b.as_ref().map(|s| s.3).unwrap_or(0.0)
+        // A present entry always beats an absent one, regardless of its
+        // time: mapping `None` to 0.0 ms would let an empty batch keep its
+        // `None` against a real (even 0 ms-rounded) slowest job.
+        self.slowest = match (self.slowest.take(), &other.slowest) {
+            (None, b) => b.clone(),
+            (a @ Some(_), None) => a,
+            (Some(a), Some(b)) => {
+                if a.3 >= b.3 {
+                    Some(a)
+                } else {
+                    Some(b.clone())
+                }
+            }
         };
-        if !faster(&self.slowest, &other.slowest) {
-            self.slowest = other.slowest.clone();
-        }
     }
 }
 
@@ -304,5 +312,55 @@ impl ExperimentRunner {
             })
             .collect();
         (curves, summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RunSummary;
+
+    fn summary(jobs: usize, wall_ms: f64, slowest: Option<(&str, f64, u64, f64)>) -> RunSummary {
+        RunSummary {
+            jobs,
+            wall_ms,
+            sim_ms: wall_ms,
+            jobs_per_sec: if wall_ms > 0.0 {
+                jobs as f64 / (wall_ms / 1e3)
+            } else {
+                0.0
+            },
+            slowest: slowest.map(|(l, r, s, ms)| (l.to_string(), r, s, ms)),
+        }
+    }
+
+    #[test]
+    fn absorb_sums_totals_and_recomputes_rate() {
+        let mut a = summary(4, 1000.0, Some(("a", 0.1, 1, 400.0)));
+        a.absorb(&summary(2, 1000.0, Some(("b", 0.2, 2, 900.0))));
+        assert_eq!(a.jobs, 6);
+        assert_eq!(a.wall_ms, 2000.0);
+        assert!((a.jobs_per_sec - 3.0).abs() < 1e-9);
+        assert_eq!(a.slowest.as_ref().unwrap().0, "b");
+    }
+
+    #[test]
+    fn absorb_keeps_larger_slowest() {
+        let mut a = summary(1, 10.0, Some(("slow", 0.1, 1, 9.0)));
+        a.absorb(&summary(1, 10.0, Some(("fast", 0.1, 2, 3.0))));
+        assert_eq!(a.slowest.as_ref().unwrap().0, "slow");
+    }
+
+    #[test]
+    fn absorb_present_slowest_beats_none() {
+        // Regression: `None` mapped to 0.0 ms used to survive against a
+        // real slowest entry of 0.0 ms (and an empty self kept `None`
+        // against any other batch on ties).
+        let mut a = summary(0, 0.0, None);
+        a.absorb(&summary(1, 5.0, Some(("only", 0.1, 7, 0.0))));
+        assert_eq!(a.slowest.as_ref().unwrap().0, "only");
+
+        let mut b = summary(1, 5.0, Some(("kept", 0.1, 7, 0.0)));
+        b.absorb(&summary(0, 0.0, None));
+        assert_eq!(b.slowest.as_ref().unwrap().0, "kept");
     }
 }

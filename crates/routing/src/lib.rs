@@ -28,6 +28,7 @@ mod enumerate;
 mod path;
 mod provider;
 mod rule;
+mod store;
 mod table;
 mod vc;
 
@@ -38,6 +39,7 @@ pub use enumerate::{
 pub use path::{Path, MAX_HOPS};
 pub use provider::{PathProvider, RuleProvider, TableProvider};
 pub use rule::VlbRule;
+pub use store::{PathId, PathRef, PathStore};
 pub use table::{PairPaths, PathTable, ReachabilityReport};
 pub use vc::{required_vcs, vc_class, VcScheme};
 

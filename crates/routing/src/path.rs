@@ -19,8 +19,9 @@ pub const MAX_HOPS: usize = 7;
 ///
 /// A path with `hops() == 0` is a single-switch path (source switch ==
 /// destination switch); the packet only uses its injection and ejection
-/// channels.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// channels.  The `Default` path is the zero-hop path at switch 0
+/// (equivalent to `Path::single(SwitchId(0))`) — a valid placeholder.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Path {
     sw: [u16; MAX_HOPS + 1],
     len: u8,

@@ -8,6 +8,7 @@
 
 use crate::path::Path;
 use crate::rule::VlbRule;
+use crate::store::{PathId, PathRef, PathStore};
 use crate::table::PathTable;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -18,6 +19,20 @@ use tugal_topology::{Dragonfly, GroupId, SwitchId};
 ///
 /// Implementations must be cheap: `sample_*` runs once per packet in the
 /// simulator's hot loop.
+///
+/// ## Borrowed sampling
+///
+/// The `sample_*_ref` methods are the allocation-free form of the same
+/// draws: a provider backed by an interned [`PathStore`] returns
+/// [`PathRef::Interned`] borrows of its arena, and the engine stores the
+/// [`PathId`] instead of copying the path into the packet.  The contract is
+/// strict: for any RNG state, `sample_min(s, d, rng)` and
+/// `*sample_min_ref(s, d, rng).path()` must return the same path *and*
+/// leave the RNG in the same state (likewise for VLB), so a simulation is
+/// bit-for-bit identical whichever form the engine calls.  The default
+/// implementations delegate to the owned samplers, which satisfies the
+/// contract for free; table-backed providers override them (and the owned
+/// forms delegate the other way around).
 pub trait PathProvider: Send + Sync {
     /// The topology the paths live in.
     fn topo(&self) -> &Dragonfly;
@@ -32,21 +47,90 @@ pub trait PathProvider: Send + Sync {
     /// UGAL does for intra-switch traffic).
     fn sample_vlb(&self, s: SwitchId, d: SwitchId, rng: &mut SmallRng) -> Path;
 
+    /// Borrowed form of [`PathProvider::sample_min`] (same draw, same RNG
+    /// consumption; see the trait docs for the contract).
+    fn sample_min_ref(&self, s: SwitchId, d: SwitchId, rng: &mut SmallRng) -> PathRef<'_> {
+        PathRef::Owned(self.sample_min(s, d, rng))
+    }
+
+    /// Borrowed form of [`PathProvider::sample_vlb`].
+    fn sample_vlb_ref(&self, s: SwitchId, d: SwitchId, rng: &mut SmallRng) -> PathRef<'_> {
+        PathRef::Owned(self.sample_vlb(s, d, rng))
+    }
+
+    /// The interned arena behind this provider's [`PathRef::Interned`]
+    /// candidates, if it has one.  Providers that return only
+    /// [`PathRef::Owned`] (the default sampling) report `None`.
+    fn path_store(&self) -> Option<&PathStore> {
+        None
+    }
+
+    /// Resolves an id previously issued by this provider's borrowed
+    /// sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the provider has no [`PathStore`] — only ids obtained
+    /// from this provider's own `sample_*_ref` draws are resolvable.
+    #[inline]
+    fn resolve(&self, id: PathId) -> &Path {
+        self.path_store()
+            .expect("resolve() on a provider without a PathStore")
+            .get(id)
+    }
+
     /// Average number of VLB hops (used in reports; an estimate is fine).
     fn mean_vlb_hops(&self) -> f64;
 }
 
 /// Provider backed by an explicit [`PathTable`].
+///
+/// Construction compiles the table into an interned [`PathStore`]: every
+/// pair's candidates become one contiguous arena range (MIN paths first,
+/// then VLB), so borrowed sampling is an index draw plus an arena borrow —
+/// no per-draw copies, no pointer chasing through per-pair `Vec`s.  The
+/// original table is kept alongside for introspection ([`Self::table`]).
 pub struct TableProvider {
     topo: Arc<Dragonfly>,
     table: PathTable,
+    store: PathStore,
+    /// Arena start of pair `i`'s candidates (`n² + 1` entries); pair `i`
+    /// owns `base[i]..base[i+1]`.
+    base: Vec<u32>,
+    /// Arena start of pair `i`'s VLB candidates within its range: MIN is
+    /// `base[i]..vlb_base[i]`, VLB is `vlb_base[i]..base[i+1]`.
+    vlb_base: Vec<u32>,
 }
 
 impl TableProvider {
-    /// Wraps a prebuilt table.
+    /// Wraps a prebuilt table, compiling it into the interned arena.
     pub fn new(topo: Arc<Dragonfly>, table: PathTable) -> Self {
         assert_eq!(table.num_switches(), topo.num_switches());
-        Self { topo, table }
+        let n = table.num_switches() as u32;
+        let mut store = PathStore::new();
+        let mut base = Vec::with_capacity((n as usize) * (n as usize) + 1);
+        let mut vlb_base = Vec::with_capacity((n as usize) * (n as usize));
+        for s in 0..n {
+            for d in 0..n {
+                base.push(store.len() as u32);
+                let pp = table.pair(SwitchId(s), SwitchId(d));
+                for &p in &pp.min {
+                    store.push(p);
+                }
+                vlb_base.push(store.len() as u32);
+                for &p in &pp.vlb {
+                    store.push(p);
+                }
+            }
+        }
+        base.push(store.len() as u32);
+        Self {
+            topo,
+            table,
+            store,
+            base,
+            vlb_base,
+        }
     }
 
     /// Conventional UGAL: all MIN and all VLB paths.
@@ -61,43 +145,67 @@ impl TableProvider {
     }
 }
 
+impl TableProvider {
+    /// Draws an id from the arena range `lo..hi` (one `gen_range` call —
+    /// the same RNG consumption as indexing the uncompiled `Vec<Path>`).
+    #[inline]
+    fn draw(&self, lo: u32, hi: u32, rng: &mut SmallRng) -> PathRef<'_> {
+        let id = PathId(lo + rng.gen_range(0..hi - lo));
+        PathRef::Interned(id, self.store.get(id))
+    }
+}
+
 impl PathProvider for TableProvider {
     fn topo(&self) -> &Dragonfly {
         &self.topo
     }
 
     fn sample_min(&self, s: SwitchId, d: SwitchId, rng: &mut SmallRng) -> Path {
+        *self.sample_min_ref(s, d, rng).path()
+    }
+
+    fn sample_vlb(&self, s: SwitchId, d: SwitchId, rng: &mut SmallRng) -> Path {
+        *self.sample_vlb_ref(s, d, rng).path()
+    }
+
+    fn sample_min_ref(&self, s: SwitchId, d: SwitchId, rng: &mut SmallRng) -> PathRef<'_> {
         if s == d {
-            return Path::single(s);
+            return PathRef::Owned(Path::single(s));
         }
-        let pp = self.table.pair(s, d);
+        let i = s.index() * self.table.num_switches() + d.index();
+        let (lo, mid, hi) = (self.base[i], self.vlb_base[i], self.base[i + 1]);
         // A degraded table can lose every MIN candidate of a pair; fall
         // back to VLB, or to the zero-hop unreachable sentinel (dst != d,
         // which the engine drops) when the pair has no candidates at all.
         // Pristine tables never hit these branches, so the RNG draw
         // sequence of fault-free runs is unchanged.
-        if pp.min.is_empty() {
-            if pp.vlb.is_empty() {
-                return Path::single(s);
+        if lo == mid {
+            if mid == hi {
+                return PathRef::Owned(Path::single(s));
             }
-            return pp.vlb[rng.gen_range(0..pp.vlb.len())];
+            return self.draw(mid, hi, rng);
         }
-        pp.min[rng.gen_range(0..pp.min.len())]
+        self.draw(lo, mid, rng)
     }
 
-    fn sample_vlb(&self, s: SwitchId, d: SwitchId, rng: &mut SmallRng) -> Path {
+    fn sample_vlb_ref(&self, s: SwitchId, d: SwitchId, rng: &mut SmallRng) -> PathRef<'_> {
         if s == d {
-            return Path::single(s);
+            return PathRef::Owned(Path::single(s));
         }
-        let pp = self.table.pair(s, d);
-        if pp.vlb.is_empty() {
-            if pp.min.is_empty() {
-                // Unreachable pair of a degraded table (see `sample_min`).
-                return Path::single(s);
+        let i = s.index() * self.table.num_switches() + d.index();
+        let (lo, mid, hi) = (self.base[i], self.vlb_base[i], self.base[i + 1]);
+        if mid == hi {
+            if lo == mid {
+                // Unreachable pair of a degraded table (see `sample_min_ref`).
+                return PathRef::Owned(Path::single(s));
             }
-            return pp.min[rng.gen_range(0..pp.min.len())];
+            return self.draw(lo, mid, rng);
         }
-        pp.vlb[rng.gen_range(0..pp.vlb.len())]
+        self.draw(mid, hi, rng)
+    }
+
+    fn path_store(&self) -> Option<&PathStore> {
+        Some(&self.store)
     }
 
     fn mean_vlb_hops(&self) -> f64 {

@@ -27,6 +27,15 @@ pub struct Dragonfly {
     /// For each ordered group pair `(from · g) + to`, the global links
     /// leaving `from` toward `to`.
     gateways: Vec<Vec<(SwitchId, SwitchId, ChannelId)>>,
+    /// Group of each switch (`s / a`, precomputed: `group_of` sits on the
+    /// per-hop hot path of the simulation engine, and `a` is a runtime
+    /// value, so the division is real).
+    switch_group: Vec<u32>,
+    /// Directed channel between each ordered switch pair (`u32::MAX` for
+    /// none): one load instead of a division plus a scan of the global
+    /// adjacency.  `num_switches()²` entries — 2 MB at the paper's largest
+    /// evaluated topology (702 switches).
+    pair_chan: Vec<u32>,
     base_injection: usize,
     base_ejection: usize,
 }
@@ -121,12 +130,28 @@ impl Dragonfly {
             gw.sort_unstable_by_key(|&(u, v, _)| (u, v));
         }
 
+        let switch_group: Vec<u32> = (0..s_count as u32).map(|s| s / a).collect();
+        // Scanning channels in id order keeps `pair_chan` on the first
+        // (lowest-id) channel per pair, matching the documented
+        // "local first, then any parallel global" resolution.
+        let mut pair_chan = vec![u32::MAX; s_count * s_count];
+        for ch in &channels[..base_injection] {
+            if let (Endpoint::Switch(u), Endpoint::Switch(v)) = (ch.src, ch.dst) {
+                let slot = &mut pair_chan[u.index() * s_count + v.index()];
+                if *slot == u32::MAX {
+                    *slot = ch.id.0;
+                }
+            }
+        }
+
         Ok(Self {
             params,
             arrangement_name: arrangement.name(),
             channels,
             global_out,
             gateways,
+            switch_group,
+            pair_chan,
             base_injection,
             base_ejection,
         })
@@ -195,7 +220,7 @@ impl Dragonfly {
     /// Group of a switch.
     #[inline]
     pub fn group_of(&self, s: SwitchId) -> GroupId {
-        GroupId(s.0 / self.params.a)
+        GroupId(self.switch_group[s.index()])
     }
 
     /// Local index of a switch within its group.
@@ -299,15 +324,13 @@ impl Dragonfly {
     }
 
     /// The directed channel between two switches regardless of kind
-    /// (local first, then any parallel global link).
+    /// (local first, then any parallel global link).  One table load — this
+    /// is the engine's per-hop path-to-channel resolution.
+    #[inline]
     pub fn channel_between(&self, u: SwitchId, v: SwitchId) -> Option<ChannelId> {
-        if u == v {
-            return None;
-        }
-        if self.group_of(u) == self.group_of(v) {
-            Some(self.local_channel(u, v))
-        } else {
-            self.global_channel(u, v)
+        match self.pair_chan[u.index() * self.num_switches() + v.index()] {
+            u32::MAX => None,
+            c => Some(ChannelId(c)),
         }
     }
 }

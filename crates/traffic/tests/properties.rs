@@ -1,0 +1,222 @@
+//! Structural properties of the traffic patterns, checked across a grid
+//! of valid `dfly(p,a,h,g)` shapes (the unit tests in `src/tests.rs` pin
+//! exact values on the paper's reference topology; these tests pin the
+//! *laws* — bijectivity, coordinate arithmetic, mix membership — on many
+//! shapes, balanced and not).
+//!
+//! Everything is seeded: a failure reproduces byte-for-byte.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use tugal_topology::{Dragonfly, DragonflyParams, NodeId};
+use tugal_traffic::{
+    type_1_set, GroupPermutation, Mixed, NodePermutation, Shift, TMixed, TrafficPattern,
+};
+
+/// A spread of valid shapes: the tiny golden topology, the paper's
+/// reference, and several unbalanced ones (`a ≠ 2p`, `a ≠ 2h`, uneven
+/// `p`), all satisfying `(a·h) % (g−1) == 0`.
+fn shapes() -> Vec<Arc<Dragonfly>> {
+    [
+        (1, 2, 1, 3),
+        (2, 4, 2, 5),
+        (1, 3, 2, 4),
+        (3, 2, 2, 5),
+        (2, 4, 2, 9),
+        (3, 6, 3, 7),
+        (4, 8, 4, 9),
+    ]
+    .into_iter()
+    .map(|(p, a, h, g)| Arc::new(Dragonfly::new(DragonflyParams::new(p, a, h, g)).unwrap()))
+    .collect()
+}
+
+fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Collects `dest` over every source once and asserts no destination is
+/// hit twice; returns how many sources were idle.
+fn assert_injective(topo: &Dragonfly, pat: &dyn TrafficPattern, seed: u64) -> usize {
+    let mut r = rng(seed);
+    let mut hit = vec![false; topo.num_nodes()];
+    let mut idle = 0;
+    for n in 0..topo.num_nodes() as u32 {
+        match pat.dest(NodeId(n), &mut r) {
+            Some(d) => {
+                assert_ne!(d, NodeId(n), "{} sent to itself under {}", n, pat.name());
+                assert!(
+                    !std::mem::replace(&mut hit[d.index()], true),
+                    "duplicate destination {d:?} under {}",
+                    pat.name()
+                );
+            }
+            None => idle += 1,
+        }
+    }
+    idle
+}
+
+/// Every member of the permutation family is injective on every shape;
+/// the total ones (cross-group shifts, TYPE_2) are full bijections.
+#[test]
+fn permutation_family_is_bijective_on_all_shapes() {
+    for topo in shapes() {
+        let p = topo.params();
+        // All cross-group shifts (the TYPE_1 set) are derangements of the
+        // node set: zero idle sources.
+        for s in type_1_set(&topo) {
+            assert_eq!(assert_injective(&topo, &s, 1), 0, "{} on {p}", s.name());
+        }
+        // Intra-group shifts (dg = 0, ds ≥ 1) are derangements too: the
+        // switch index always moves, so no node maps to itself.
+        for ds in 1..p.a {
+            let s = Shift::new(&topo, 0, ds);
+            assert_eq!(assert_injective(&topo, &s, 1), 0, "{} on {p}", s.name());
+        }
+        // TYPE_2: node-level bijection (pinned stronger in src/tests.rs
+        // for one shape; here: every shape, several seeds).
+        for seed in [0, 3, 7] {
+            let g = GroupPermutation::random(&topo, seed);
+            assert_eq!(assert_injective(&topo, &g, 2), 0, "{} on {p}", g.name());
+        }
+        // Random node permutations are injective with only fixed points
+        // idle.
+        for seed in [0, 11] {
+            let perm = NodePermutation::random(&topo, seed);
+            let idle = assert_injective(&topo, &perm, 3);
+            let fixed = perm
+                .mapping()
+                .iter()
+                .enumerate()
+                .filter(|(i, d)| *i == d.index())
+                .count();
+            assert_eq!(idle, fixed, "idle sources ≠ fixed points on {p}");
+        }
+    }
+}
+
+/// `shift(Δg, Δs)` is exactly the coordinate map of §3.3.1: group and
+/// switch indices shift modulo their ranges, the terminal index rides
+/// along — checked via `node_coords` on every node of every shape.
+#[test]
+fn shift_wraps_coordinates_on_all_shapes() {
+    for topo in shapes() {
+        let p = topo.params();
+        for dg in 0..p.g {
+            for ds in 0..p.a {
+                let s = Shift::new(&topo, dg, ds);
+                for n in 0..topo.num_nodes() as u32 {
+                    let src = NodeId(n);
+                    let (gs, ss, ks) = topo.node_coords(src);
+                    let (gd, sd, kd) = topo.node_coords(s.map(src));
+                    assert_eq!(gd.0, (gs.0 + dg) % p.g, "group wrap on {p}");
+                    assert_eq!(sd, (ss + ds) % p.a, "switch wrap on {p}");
+                    assert_eq!(kd, ks, "terminal index changed on {p}");
+                }
+            }
+        }
+    }
+}
+
+/// MIXED assigns each node to one component *permanently*: over repeated
+/// draws a node either always produces the shift target (adversarial
+/// member) or draws uniform destinations — and the split is exactly the
+/// configured percentage of nodes.
+#[test]
+fn mixed_membership_is_fixed_and_exact() {
+    for topo in shapes() {
+        let p = topo.params();
+        if topo.num_nodes() < 4 {
+            continue; // percentages are degenerate on toy shapes
+        }
+        for ur in [0, 25, 50, 100] {
+            let shift = Shift::new(&topo, 1, 0);
+            let m = Mixed::new(&topo, ur, shift.clone(), 42);
+            let mut r = rng(9);
+            let mut uniform_members = 0;
+            for n in 0..topo.num_nodes() as u32 {
+                let src = NodeId(n);
+                let target = shift.map(src);
+                // 32 draws: an adversarial member matches the shift target
+                // every time; a uniform member deviates almost surely (and
+                // deterministically, under this seed).
+                let all_shift = (0..32).all(|_| m.dest(src, &mut r).unwrap() == target);
+                if !all_shift {
+                    uniform_members += 1;
+                }
+            }
+            assert_eq!(
+                uniform_members,
+                topo.num_nodes() * ur as usize / 100,
+                "MIXED({ur},..) membership split on {p}"
+            );
+        }
+    }
+}
+
+/// TMIXED mixes in *time*: the same source produces both components
+/// across draws (at 50/50), and the endpoints collapse to pure shift /
+/// pure uniform.
+#[test]
+fn tmixed_membership_is_per_packet() {
+    for topo in shapes() {
+        if topo.num_nodes() < 8 {
+            continue;
+        }
+        let shift = Shift::new(&topo, 1, 0);
+        let src = NodeId(0);
+        let target = shift.map(src);
+
+        // ur = 0: every packet is adversarial.
+        let m = TMixed::new(&topo, 0, shift.clone());
+        let mut r = rng(5);
+        assert!((0..200).all(|_| m.dest(src, &mut r).unwrap() == target));
+
+        // ur = 50: both components occur for a single source.
+        let m = TMixed::new(&topo, 50, shift.clone());
+        let mut r = rng(5);
+        let hits = (0..400)
+            .filter(|_| m.dest(src, &mut r).unwrap() == target)
+            .count();
+        assert!(
+            (100..300).contains(&hits),
+            "TMIXED(50,50) produced {hits}/400 shift packets on {}",
+            topo.params()
+        );
+
+        // Every destination, from either component, is a real node and
+        // never the source itself.
+        let mut r = rng(6);
+        for _ in 0..200 {
+            let d = m.dest(src, &mut r).unwrap();
+            assert!(d.index() < topo.num_nodes());
+            assert_ne!(d, src);
+        }
+    }
+}
+
+/// The TYPE_1 set enumerates each `(Δg, Δs)` exactly once and every
+/// member keeps traffic strictly inter-group.
+#[test]
+fn type_1_set_is_complete_and_cross_group() {
+    for topo in shapes() {
+        let p = topo.params();
+        let set = type_1_set(&topo);
+        assert_eq!(set.len(), ((p.g - 1) * p.a) as usize, "size on {p}");
+        let mut seen = std::collections::HashSet::new();
+        for s in &set {
+            assert!(seen.insert((s.dg, s.ds)), "duplicate member on {p}");
+            assert!(s.dg >= 1);
+            for n in (0..topo.num_nodes() as u32).map(NodeId) {
+                assert_ne!(
+                    topo.group_of_node(n),
+                    topo.group_of_node(s.map(n)),
+                    "intra-group traffic in TYPE_1 member {} on {p}",
+                    s.name()
+                );
+            }
+        }
+    }
+}
