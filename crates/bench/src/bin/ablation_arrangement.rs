@@ -12,7 +12,6 @@ use tugal_topology::{
     AbsoluteArrangement, CirculantArrangement, Dragonfly, DragonflyParams, GlobalArrangement,
     RelativeArrangement,
 };
-use tugal_traffic::{Shift, TrafficPattern};
 
 fn main() {
     let params = DragonflyParams::new(4, 8, 4, 9);
@@ -25,7 +24,7 @@ fn main() {
     for arr in arrangements {
         let topo = Arc::new(Dragonfly::with_arrangement(params, arr).unwrap());
         let provider: Arc<dyn PathProvider> = ugal_provider(&topo);
-        let pattern: Arc<dyn TrafficPattern> = Arc::new(Shift::new(&topo, 2, 0));
+        let pattern = shift(&topo, 2, 0);
         let series = run_series(
             &topo,
             &pattern,
@@ -40,4 +39,5 @@ fn main() {
             sat
         );
     }
+    tugal_bench::finish();
 }

@@ -9,7 +9,6 @@ use tugal::{balance, BalanceOptions};
 use tugal_bench::*;
 use tugal_netsim::RoutingAlgorithm;
 use tugal_routing::{PathProvider, PathTable, TableProvider, VlbRule};
-use tugal_traffic::{Shift, TrafficPattern};
 
 fn main() {
     let topo = dfly(4, 8, 4, 9);
@@ -38,7 +37,7 @@ fn main() {
             Arc::new(TableProvider::new(topo.clone(), adjusted)),
         ),
     ];
-    let pattern: Arc<dyn TrafficPattern> = Arc::new(Shift::new(&topo, 2, 0));
+    let pattern = shift(&topo, 2, 0);
     let entries: Vec<_> = providers
         .iter()
         .map(|(label, p)| (*label, p.clone(), RoutingAlgorithm::UgalL))
@@ -49,4 +48,5 @@ fn main() {
         "load-balance adjustment on/off, 60% 5-hop T-VLB",
         &series,
     );
+    tugal_bench::finish();
 }

@@ -6,16 +6,14 @@
 //! extra candidates close the gap that T-UGAL closes by *construction* —
 //! at the cost of `k` queue lookups per packet in a real router.
 
-use std::sync::Arc;
 use tugal_bench::*;
 use tugal_netsim::RoutingAlgorithm;
-use tugal_traffic::{Shift, TrafficPattern};
 
 fn main() {
     let topo = dfly(4, 8, 4, 9);
     let ugal = ugal_provider(&topo);
     let (tvlb, chosen) = tvlb_provider(&topo);
-    let pattern: Arc<dyn TrafficPattern> = Arc::new(Shift::new(&topo, 2, 0));
+    let pattern = shift(&topo, 2, 0);
     let mut entries = Vec::new();
     for k in [1u8, 2, 4] {
         let mut cfg = sim_config().for_routing(RoutingAlgorithm::UgalL);
@@ -41,4 +39,5 @@ fn main() {
         "k VLB candidates vs T-UGAL, dfly(4,8,4,9), shift(2,0)",
         &series,
     );
+    tugal_bench::finish();
 }

@@ -9,7 +9,6 @@ use std::sync::Arc;
 use tugal_bench::*;
 use tugal_netsim::RoutingAlgorithm;
 use tugal_routing::{PathProvider, PathTable, TableProvider, VlbRule};
-use tugal_traffic::{Shift, TrafficPattern};
 
 fn main() {
     let topo = dfly(4, 8, 4, 9);
@@ -24,7 +23,7 @@ fn main() {
         ("strategic 2+3", VlbRule::Strategic { first_seg: 2 }),
         ("strategic 3+2", VlbRule::Strategic { first_seg: 3 }),
     ];
-    let pattern: Arc<dyn TrafficPattern> = Arc::new(Shift::new(&topo, 2, 0));
+    let pattern = shift(&topo, 2, 0);
     let mut entries = Vec::new();
     for (label, rule) in variants {
         let table = PathTable::build_with_rule(&topo, rule, 0x57A);
@@ -37,4 +36,5 @@ fn main() {
         "random vs strategic 5-hop halves, dfly(4,8,4,9), shift(2,0), UGAL-L",
         &series,
     );
+    tugal_bench::finish();
 }

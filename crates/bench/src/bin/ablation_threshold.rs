@@ -8,15 +8,13 @@
 use std::sync::Arc;
 use tugal_bench::*;
 use tugal_netsim::RoutingAlgorithm;
-use tugal_traffic::{Shift, TrafficPattern, Uniform};
+use tugal_traffic::TrafficPattern;
 
 fn main() {
     let topo = dfly(4, 8, 4, 9);
     let ugal = ugal_provider(&topo);
-    let patterns: [(&str, Arc<dyn TrafficPattern>); 2] = [
-        ("UR", Arc::new(Uniform::new(&topo))),
-        ("shift(2,0)", Arc::new(Shift::new(&topo, 2, 0))),
-    ];
+    let patterns: [(&str, Arc<dyn TrafficPattern>); 2] =
+        [("UR", uniform(&topo)), ("shift(2,0)", shift(&topo, 2, 0))];
     println!("# ablation_threshold: UGAL-L bias T on dfly(4,8,4,9)");
     for (pname, pattern) in &patterns {
         let mut entries = Vec::new();
@@ -35,4 +33,5 @@ fn main() {
             );
         }
     }
+    tugal_bench::finish();
 }

@@ -32,4 +32,5 @@ fn main() {
         "MIXED(75,25), dfly(4,8,4,17), UGAL-L/PAR vs T- variants",
         &series,
     );
+    tugal_bench::finish();
 }

@@ -33,4 +33,5 @@ fn main() {
         "MIXED(25,75), dfly(4,8,4,17), UGAL-L/PAR vs T- variants",
         &series,
     );
+    tugal_bench::finish();
 }

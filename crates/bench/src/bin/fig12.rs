@@ -30,4 +30,5 @@ fn main() {
         "TMIXED(50,50), dfly(4,8,4,17), UGAL-L/PAR vs T- variants",
         &series,
     );
+    tugal_bench::finish();
 }

@@ -6,16 +6,14 @@
 //! T-UGAL run through the O(1)-memory samplers.  Quick mode also shrinks
 //! the rate grid (the cycle-accurate run is ~9k nodes).
 
-use std::sync::Arc;
 use tugal_bench::*;
 use tugal_netsim::RoutingAlgorithm;
-use tugal_traffic::{Shift, TrafficPattern};
 
 fn main() {
     let topo = dfly(13, 26, 13, 27);
     let (tvlb, chosen) = tvlb_provider(&topo);
     let ugal = ugal_provider(&topo);
-    let pattern: Arc<dyn TrafficPattern> = Arc::new(Shift::new(&topo, 1, 0));
+    let pattern = shift(&topo, 1, 0);
     let rates: Vec<f64> = if full_fidelity() {
         rate_grid(0.5)
     } else {
@@ -41,4 +39,5 @@ fn main() {
         "adversarial shift(1,0), dfly(13,26,13,27), all six routings",
         &series,
     );
+    tugal_bench::finish();
 }

@@ -37,4 +37,5 @@ fn main() {
         "MIXED(50,50), dfly(13,26,13,27), all six routings",
         &series,
     );
+    tugal_bench::finish();
 }

@@ -35,4 +35,5 @@ fn main() {
         "link-latency sensitivity, UGAL-G, dfly(4,8,4,17), random permutation",
         &series,
     );
+    tugal_bench::finish();
 }

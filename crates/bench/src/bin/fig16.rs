@@ -35,4 +35,5 @@ fn main() {
         "buffer-depth sensitivity, UGAL-L, dfly(4,8,4,17), MIXED(50,50)",
         &series,
     );
+    tugal_bench::finish();
 }

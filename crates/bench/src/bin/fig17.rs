@@ -34,4 +34,5 @@ fn main() {
         "speedup sensitivity, PAR, dfly(4,8,4,17), MIXED(25,75)",
         &series,
     );
+    tugal_bench::finish();
 }

@@ -7,17 +7,15 @@
 //! link, less head-of-line blocking), and T-UGAL-G beats UGAL-G under
 //! both schemes.
 
-use std::sync::Arc;
 use tugal_bench::*;
 use tugal_netsim::RoutingAlgorithm;
 use tugal_routing::VcScheme;
-use tugal_traffic::{Shift, TrafficPattern};
 
 fn main() {
     let topo = dfly(4, 8, 4, 9);
     let (tvlb, chosen) = tvlb_provider(&topo);
     let ugal = ugal_provider(&topo);
-    let pattern: Arc<dyn TrafficPattern> = Arc::new(Shift::new(&topo, 1, 0));
+    let pattern = shift(&topo, 1, 0);
     let mut entries = Vec::new();
     for (scheme, vcs) in [(VcScheme::Compact, 4u8), (VcScheme::PerHop, 6)] {
         for (name, provider) in [("UGAL_G", &ugal), ("T_UGAL_G", &tvlb)] {
@@ -39,4 +37,5 @@ fn main() {
         "VC-scheme sensitivity, UGAL-G, dfly(4,8,4,9), shift(1,0)",
         &series,
     );
+    tugal_bench::finish();
 }

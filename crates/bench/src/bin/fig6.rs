@@ -4,16 +4,14 @@
 //! Paper numbers: UGAL-L saturates ≈0.23 vs T-UGAL-L ≈0.29; PAR ≈0.29 vs
 //! T-PAR ≈0.38; T- variants also have lower latency before saturation.
 
-use std::sync::Arc;
 use tugal_bench::*;
 use tugal_netsim::RoutingAlgorithm;
-use tugal_traffic::{Shift, TrafficPattern};
 
 fn main() {
     let topo = dfly(4, 8, 4, 9);
     let (tvlb, chosen) = tvlb_provider(&topo);
     let ugal = ugal_provider(&topo);
-    let pattern: Arc<dyn TrafficPattern> = Arc::new(Shift::new(&topo, 2, 0));
+    let pattern = shift(&topo, 2, 0);
     let series = run_series(
         &topo,
         &pattern,
@@ -32,4 +30,5 @@ fn main() {
         "adversarial shift(2,0), dfly(4,8,4,9), UGAL-L/PAR vs T- variants",
         &series,
     );
+    tugal_bench::finish();
 }

@@ -4,16 +4,14 @@
 //! Paper numbers: saturation 0.23 (UGAL-G) vs 0.30 (T-UGAL-G); at load
 //! 0.1 latency 61.2 vs 54.2 cycles.
 
-use std::sync::Arc;
 use tugal_bench::*;
 use tugal_netsim::RoutingAlgorithm;
-use tugal_traffic::{Shift, TrafficPattern};
 
 fn main() {
     let topo = dfly(4, 8, 4, 9);
     let (tvlb, chosen) = tvlb_provider(&topo);
     let ugal = ugal_provider(&topo);
-    let pattern: Arc<dyn TrafficPattern> = Arc::new(Shift::new(&topo, 2, 0));
+    let pattern = shift(&topo, 2, 0);
     let series = run_series(
         &topo,
         &pattern,
@@ -30,4 +28,5 @@ fn main() {
         "adversarial shift(2,0), dfly(4,8,4,9), UGAL-G vs T-UGAL-G",
         &series,
     );
+    tugal_bench::finish();
 }

@@ -32,4 +32,5 @@ fn main() {
         "random permutation, dfly(4,8,4,9), UGAL-L/PAR vs T- variants",
         &series,
     );
+    tugal_bench::finish();
 }

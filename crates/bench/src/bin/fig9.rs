@@ -30,4 +30,5 @@ fn main() {
         "random permutation, dfly(4,8,4,9), UGAL-G vs T-UGAL-G",
         &series,
     );
+    tugal_bench::finish();
 }

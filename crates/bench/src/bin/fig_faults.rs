@@ -24,7 +24,7 @@ use tugal_model::{modeled_throughput_degraded, ModelVariant};
 use tugal_netsim::{FaultSchedule, RoutingAlgorithm};
 use tugal_routing::{PathProvider, PathTable, TableProvider, VlbRule};
 use tugal_topology::{Dragonfly, FaultSet};
-use tugal_traffic::{Shift, TrafficPattern, Uniform};
+use tugal_traffic::TrafficPattern;
 
 /// Seed of the failure samples: every fraction draws from the same shuffle,
 /// so larger fractions are supersets of smaller ones.
@@ -81,10 +81,8 @@ fn main() {
         tugal::balance::adjust(&mut tvlb_table, &topo, &tugal::BalanceOptions::default());
     }
 
-    let patterns: Vec<(&str, Arc<dyn TrafficPattern>)> = vec![
-        ("UR", Arc::new(Uniform::new(&topo))),
-        ("SHIFT", Arc::new(Shift::new(&topo, 1, 0))),
-    ];
+    let patterns: Vec<(&str, Arc<dyn TrafficPattern>)> =
+        vec![("UR", uniform(&topo)), ("SHIFT", shift(&topo, 1, 0))];
 
     let mut all_series = Vec::new();
     for (ptag, pattern) in &patterns {
@@ -208,4 +206,5 @@ fn main() {
         "failure sweep (global-link faults), UGAL-L vs T-UGAL-L, UR + shift(1,0)",
         &all_series,
     );
+    tugal_bench::finish();
 }

@@ -8,11 +8,9 @@
 //! prints that distribution as load deciles over all global channels, plus
 //! the decision mix and exact latency percentiles the metrics layer adds.
 
-use std::sync::Arc;
 use tugal_bench::*;
 use tugal_netsim::RoutingAlgorithm;
 use tugal_obs::MetricsConfig;
-use tugal_traffic::{Shift, TrafficPattern};
 
 /// `p`-th percentile of an ascending-sorted load vector (nearest rank).
 fn pct(sorted: &[f64], p: f64) -> f64 {
@@ -37,7 +35,7 @@ fn main() {
     let topo = dfly(4, 8, 4, 9);
     let (tvlb, chosen) = tvlb_provider(&topo);
     let ugal = ugal_provider(&topo);
-    let pattern: Arc<dyn TrafficPattern> = Arc::new(Shift::new(&topo, 2, 0));
+    let pattern = shift(&topo, 2, 0);
     let rates = [0.1, 0.2];
     let series = run_series(
         &topo,
@@ -117,4 +115,5 @@ fn main() {
         "global-link load profile, shift(2,0), dfly(4,8,4,9), UGAL-L vs T-UGAL-L",
         &series,
     );
+    tugal_bench::finish();
 }

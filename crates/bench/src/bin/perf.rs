@@ -28,7 +28,7 @@
 //! never silently compared against.
 
 use std::sync::Arc;
-use tugal_bench::{dfly, sim_config};
+use tugal_bench::{dfly, fatal, sim_config};
 use tugal_netsim::runner::{ExperimentRunner, RunSummary, SeriesSpec};
 use tugal_netsim::{Config, RoutingAlgorithm};
 use tugal_routing::{PathProvider, PathTable, TableProvider, VlbRule};
@@ -295,12 +295,25 @@ fn check_regressions(current: &[Scenario], baseline: &BenchFile, tol: f64) -> Ve
 
 fn main() {
     let out_path = std::env::var("TUGAL_PERF_OUT").unwrap_or_else(|_| "BENCH_netsim.json".into());
-    // Load the baseline before the run (the run overwrites the file).
+    // Load the baseline before the run (the run overwrites the file).  A
+    // missing or malformed baseline is a typed setup error (exit 2 via
+    // `fatal`), not a panic: the regression gate must fail loudly and
+    // distinguishably when its reference input is unusable.
     let baseline: Option<BenchFile> = std::env::var("TUGAL_PERF_CHECK").ok().map(|p| {
-        let data = std::fs::read_to_string(&p)
-            .unwrap_or_else(|e| panic!("TUGAL_PERF_CHECK={p}: cannot read baseline ({e})"));
-        serde_json::from_str(&data)
-            .unwrap_or_else(|e| panic!("TUGAL_PERF_CHECK={p}: malformed baseline ({e})"))
+        let data = match std::fs::read_to_string(&p) {
+            Ok(d) => d,
+            Err(e) => fatal(
+                &format!("TUGAL_PERF_CHECK={p}"),
+                format!("cannot read baseline: {e}"),
+            ),
+        };
+        match serde_json::from_str(&data) {
+            Ok(f) => f,
+            Err(e) => fatal(
+                &format!("TUGAL_PERF_CHECK={p}"),
+                format!("malformed baseline: {e:?}"),
+            ),
+        }
     });
 
     let cfg = sim_config();
@@ -319,8 +332,13 @@ fn main() {
         full_fidelity: tugal_bench::full_fidelity(),
         scenarios,
     };
-    let json = serde_json::to_string_pretty(&file).expect("serializable");
-    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    let json = match serde_json::to_string_pretty(&file) {
+        Ok(j) => j,
+        Err(e) => fatal("serializing bench file", format!("{e:?}")),
+    };
+    if let Err(e) = std::fs::write(&out_path, json) {
+        fatal(&format!("writing {out_path}"), e);
+    }
     println!("# wrote {out_path}");
 
     if let Some(baseline) = baseline {

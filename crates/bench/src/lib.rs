@@ -17,16 +17,59 @@
 //! qualitative shapes; EXPERIMENTS.md records which mode produced the
 //! stored numbers.
 
+pub mod capsule;
+
 use std::collections::BTreeMap;
 use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use tugal::{compute_tvlb, conventional_provider, TUgalConfig};
-use tugal_netsim::runner::{ExperimentRunner, RunSummary, SeriesSpec};
-use tugal_netsim::{Config, CurvePoint, FaultSchedule, RoutingAlgorithm, SweepOptions};
-use tugal_obs::{MetricsConfig, MetricsObserver, MetricsReport};
+use tugal_netsim::journal::Journal;
+use tugal_netsim::runner::{ExperimentRunner, JobBudget, JobRecord, RunSummary, SeriesSpec};
+use tugal_netsim::{
+    Config, CurvePoint, FaultSchedule, NoopObserver, RoutingAlgorithm, SweepOptions,
+};
+use tugal_obs::{render_stall, MetricsConfig, MetricsObserver, MetricsReport};
 use tugal_routing::{PathProvider, RuleProvider, VlbRule};
 use tugal_topology::{Dragonfly, DragonflyParams};
-use tugal_traffic::TrafficPattern;
+use tugal_traffic::{Shift, TrafficPattern, Uniform};
+
+/// Prints a fatal setup error and exits with code 2 — the shared
+/// error path of every harness binary (baseline files that cannot be
+/// read, malformed JSON, invalid topologies, rejected configurations),
+/// replacing the bare `unwrap`/`panic!` setup paths the binaries grew up
+/// with.  Exit code 2 distinguishes *setup* failures from job failures
+/// (see [`finish`]).
+pub fn fatal(context: &str, err: impl std::fmt::Display) -> ! {
+    eprintln!("fatal: {context}: {err}");
+    std::process::exit(2);
+}
+
+/// Jobs that failed (panicked, timed out, tripped a watchdog) across every
+/// sweep this process ran; each failure was reported to stderr and, where
+/// possible, written as a replay capsule under `logs/capsules/`.
+static FAILED_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// How many jobs failed so far in this process.
+pub fn failed_jobs() -> usize {
+    FAILED_JOBS.load(Ordering::Relaxed)
+}
+
+/// Ends a harness process with the resilience exit-code convention:
+/// 0 when every job completed, 3 when some jobs failed and were skipped
+/// by the aggregation (their capsules are under `logs/capsules/`).
+/// Setup errors exit 2 via [`fatal`] before any sweep runs.
+pub fn finish() -> ! {
+    let failed = failed_jobs();
+    if failed > 0 {
+        eprintln!(
+            "{failed} job(s) failed and were skipped; replay capsules are under {}",
+            capsule::capsule_dir().display()
+        );
+        std::process::exit(3);
+    }
+    std::process::exit(0);
+}
 
 /// True when `TUGAL_FULL=1`: paper-scale windows and pattern suites.
 pub fn full_fidelity() -> bool {
@@ -121,7 +164,28 @@ pub fn sweep_options() -> SweepOptions {
 
 /// The paper's four topologies (Table 2).
 pub fn dfly(p: u32, a: u32, h: u32, g: u32) -> Arc<Dragonfly> {
-    Arc::new(Dragonfly::new(DragonflyParams::new(p, a, h, g)).expect("valid paper topology"))
+    match Dragonfly::new(DragonflyParams::new(p, a, h, g)) {
+        Ok(t) => Arc::new(t),
+        Err(e) => fatal(
+            &format!("constructing dfly({p},{a},{h},{g})"),
+            format!("{e:?}"),
+        ),
+    }
+}
+
+/// Uniform random traffic, registered for capsule replay.
+pub fn uniform(topo: &Arc<Dragonfly>) -> Arc<dyn TrafficPattern> {
+    let p: Arc<dyn TrafficPattern> = Arc::new(Uniform::new(topo));
+    capsule::register_pattern(&p, capsule::PatternSpec::Uniform);
+    p
+}
+
+/// Shift traffic by `dg` groups / `ds` switches, registered for capsule
+/// replay.
+pub fn shift(topo: &Arc<Dragonfly>, dg: u32, ds: u32) -> Arc<dyn TrafficPattern> {
+    let p: Arc<dyn TrafficPattern> = Arc::new(Shift::new(topo, dg, ds));
+    capsule::register_pattern(&p, capsule::PatternSpec::Shift { dg, ds });
+    p
 }
 
 /// Standard offered-load grid for latency curves.
@@ -145,7 +209,9 @@ pub fn tvlb_provider(topo: &Arc<Dragonfly>) -> (Arc<dyn PathProvider>, VlbRule) 
             max_hops: 4,
             frac_next: 0.6,
         };
-        return (Arc::new(RuleProvider::new(topo.clone(), rule)), rule);
+        let provider: Arc<dyn PathProvider> = Arc::new(RuleProvider::new(topo.clone(), rule));
+        capsule::register_provider(&provider, capsule::ProviderSpec::Sampled { rule });
+        return (provider, rule);
     }
     let cfg = if full_fidelity() {
         TUgalConfig::default()
@@ -169,14 +235,26 @@ pub fn tvlb_provider(topo: &Arc<Dragonfly>) -> (Arc<dyn PathProvider>, VlbRule) 
         if !rule.is_all() {
             tugal::balance::adjust(&mut table, topo, &tugal::BalanceOptions::default());
         }
-        return (
-            Arc::new(tugal_routing::TableProvider::new(topo.clone(), table)),
-            rule,
-        );
+        let provider: Arc<dyn PathProvider> =
+            Arc::new(tugal_routing::TableProvider::new(topo.clone(), table));
+        capsule::register_provider(&provider, tvlb_spec(rule));
+        return (provider, rule);
     }
     let result = compute_tvlb(topo.clone(), &cfg);
     cache_store(&key, result.chosen);
+    capsule::register_provider(&result.provider, tvlb_spec(result.chosen));
     (result.provider, result.chosen)
+}
+
+/// The capsule spec of a materialized T-VLB table: the cache's canonical
+/// reconstruction (rule table under seed `0x7065`, balance-adjusted unless
+/// the rule is all-paths).
+fn tvlb_spec(rule: VlbRule) -> capsule::ProviderSpec {
+    capsule::ProviderSpec::Rule {
+        rule,
+        table_seed: 0x7065,
+        balanced: !rule.is_all(),
+    }
 }
 
 /// `topology params → TUgalConfig digest` for every T-VLB cache lookup
@@ -227,9 +305,18 @@ fn cache_store(key: &str, rule: VlbRule) {
     }
 }
 
-/// Conventional-UGAL provider for a topology.
+/// Conventional-UGAL provider for a topology, registered for capsule
+/// replay (the explicit all-paths table below 300 switches, sampled
+/// all-VLB above — matching [`conventional_provider`]).
 pub fn ugal_provider(topo: &Arc<Dragonfly>) -> Arc<dyn PathProvider> {
-    conventional_provider(topo.clone(), 300)
+    let provider = conventional_provider(topo.clone(), 300);
+    let spec = if topo.num_switches() <= 300 {
+        capsule::ProviderSpec::AllPaths
+    } else {
+        capsule::ProviderSpec::Sampled { rule: VlbRule::All }
+    };
+    capsule::register_provider(&provider, spec);
+    provider
 }
 
 /// One labelled latency-vs-load series of a figure.
@@ -314,6 +401,85 @@ pub fn run_series_cfg(
     run_flat(topo, pattern, entries, rates, &sweep_options(), None)
 }
 
+/// Parses a `u64` environment knob (absent or malformed → 0).
+fn env_u64(key: &str) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The per-job budget every sweep of this process runs under:
+/// `TUGAL_JOB_MAX_CYCLES` (simulated-cycle ceiling) and
+/// `TUGAL_JOB_WALL_MS` (wall-clock ceiling).  Unset → unlimited, which
+/// also keeps job configs (and thus perf digests) untouched.
+pub fn job_budget() -> JobBudget {
+    JobBudget {
+        max_cycles: env_u64("TUGAL_JOB_MAX_CYCLES"),
+        wall_limit_ms: env_u64("TUGAL_JOB_WALL_MS"),
+    }
+}
+
+/// The resume journal named by `TUGAL_JOURNAL`, if any.  An unusable path
+/// is a warning, not an error: the sweep still runs, just without resume.
+fn journal_from_env() -> Option<Arc<Journal>> {
+    let path = std::env::var("TUGAL_JOURNAL").ok()?;
+    if path.is_empty() {
+        return None;
+    }
+    match Journal::open(std::path::Path::new(&path)) {
+        Ok(j) => Some(Arc::new(j)),
+        Err(e) => {
+            eprintln!("warning: TUGAL_JOURNAL={path}: {e}; running without a resume journal");
+            None
+        }
+    }
+}
+
+/// Reports every failed job of a batch: a stderr diagnostic (with the
+/// rendered stall report where there is one), a replay capsule under
+/// `logs/capsules/`, and the process-wide failure count behind
+/// [`finish`]'s exit code.
+#[allow(clippy::type_complexity)]
+fn report_failures(
+    topo: &Arc<Dragonfly>,
+    pattern: &Arc<dyn TrafficPattern>,
+    entries: &[(String, Arc<dyn PathProvider>, RoutingAlgorithm, Config)],
+    faults: Option<&Arc<FaultSchedule>>,
+    budget: JobBudget,
+    records: &[JobRecord],
+) {
+    for rec in records.iter().filter(|r| r.outcome.is_failure()) {
+        FAILED_JOBS.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "job FAILED ({}): {} @ rate {} seed {}",
+            rec.outcome.name(),
+            rec.label,
+            rec.rate,
+            rec.seed
+        );
+        match &rec.outcome {
+            tugal_netsim::runner::JobOutcome::Panicked(msg) => eprintln!("  panic: {msg}"),
+            other => {
+                if let Some(stall) = other.stall() {
+                    for line in render_stall(stall, Some(topo)).lines() {
+                        eprintln!("  {line}");
+                    }
+                }
+            }
+        }
+        let (_, provider, routing, cfg) = &entries[rec.series];
+        if let Some(c) = capsule::capsule_for_failure(
+            rec, topo, provider, pattern, *routing, cfg, budget, faults,
+        ) {
+            match capsule::write_capsule(&c) {
+                Ok(path) => eprintln!("  capsule: {}", path.display()),
+                Err(e) => eprintln!("  capsule write failed: {e}"),
+            }
+        }
+    }
+}
+
 #[allow(clippy::type_complexity)]
 fn run_flat(
     topo: &Arc<Dragonfly>,
@@ -323,7 +489,11 @@ fn run_flat(
     opts: &SweepOptions,
     faults: Option<Arc<FaultSchedule>>,
 ) -> Vec<Series> {
-    let mut runner = ExperimentRunner::new(topo.clone());
+    let budget = job_budget();
+    let mut runner = ExperimentRunner::new(topo.clone()).with_budget(budget);
+    if let Some(journal) = journal_from_env() {
+        runner = runner.with_journal(journal);
+    }
     for (label, provider, routing, cfg) in entries {
         runner = runner.series(SeriesSpec {
             label: label.clone(),
@@ -336,23 +506,35 @@ fn run_flat(
     }
     let mcfg = metrics_config();
     if !mcfg.enabled {
-        let (curves, summary) = runner.run_with_summary(rates, &opts.seeds);
+        let (curves, summary, records) =
+            match runner.run_recorded(rates, &opts.seeds, |_| NoopObserver) {
+                Ok(out) => out,
+                Err(e) => fatal("invalid experiment configuration", e),
+            };
         record_run_summary(&summary);
+        report_failures(topo, pattern, entries, faults.as_ref(), budget, &records);
         return curves
             .into_iter()
             .map(|curve| Series {
                 label: curve.label,
-                points: curve.points,
+                points: curve.points.into_iter().map(|p| p.point).collect(),
                 metrics: Vec::new(),
             })
             .collect();
     }
     // Instrumented path: one MetricsObserver per job, merged over seeds at
     // each point; the merged latency histogram upgrades the point's scalar
-    // percentiles from the power-of-two estimate to exact values.
-    let (curves, summary) =
-        runner.run_observed(rates, &opts.seeds, |_job| MetricsObserver::new(topo, &mcfg));
+    // percentiles from the power-of-two estimate to exact values.  (Jobs
+    // resumed from a journal return empty observers — their results were
+    // simulated by the killed invocation — so resumed points under metrics
+    // report journal results with empty telemetry.)
+    let (curves, summary, records) =
+        match runner.run_recorded(rates, &opts.seeds, |_job| MetricsObserver::new(topo, &mcfg)) {
+            Ok(out) => out,
+            Err(e) => fatal("invalid experiment configuration", e),
+        };
     record_run_summary(&summary);
+    report_failures(topo, pattern, entries, faults.as_ref(), budget, &records);
     curves
         .into_iter()
         .map(|curve| {
@@ -469,6 +651,10 @@ fn write_json(id: &str, series: &[Series]) {
         jobs_per_sec: f64,
         /// `(series label, rate, seed, ms)` of the slowest job.
         slowest: Option<(String, f64, u64, f64)>,
+        /// Jobs that failed and were skipped by the aggregation.
+        failed: u64,
+        /// Jobs replayed from a resume journal instead of simulated.
+        resumed: u64,
     }
     #[derive(serde::Serialize)]
     struct Out {
@@ -516,6 +702,8 @@ fn write_json(id: &str, series: &[Series]) {
             sim_ms: s.sim_ms,
             jobs_per_sec: s.jobs_per_sec,
             slowest: s.slowest,
+            failed: s.failed as u64,
+            resumed: s.resumed as u64,
         }),
         metrics: series
             .iter()

@@ -1,9 +1,12 @@
 //! Simulator configuration (Table 3 of the paper).
 
+use crate::engine::WatchdogConfig;
+use crate::error::ConfigError;
+use serde::{Deserialize, Serialize};
 use tugal_routing::VcScheme;
 
 /// Routing algorithm run by every router (§2.2 / §4.1.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RoutingAlgorithm {
     /// Minimal routing only.
     Min,
@@ -43,7 +46,7 @@ impl RoutingAlgorithm {
 ///
 /// [`Config::paper_default`] reproduces Table 3; [`Config::quick`] shrinks
 /// the measurement windows for CI-speed runs (same network parameters).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Config {
     /// Virtual channels per channel.  Use
     /// [`tugal_routing::required_vcs`] for the scheme/routing at hand; more
@@ -84,6 +87,12 @@ pub struct Config {
     pub vlb_candidates: u8,
     /// RNG seed (traffic, candidate draws, arbitration tie-breaks).
     pub seed: u64,
+    /// Opt-in engine watchdog (`None` = off, the default): periodic flit
+    /// conservation, forward-progress/livelock detection and cycle/wall
+    /// ceilings — see [`WatchdogConfig`].  All its checks are read-only,
+    /// so arming it cannot change simulation results; a trip only *stops*
+    /// the run early with a [`crate::StallReport`].
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl Config {
@@ -105,6 +114,7 @@ impl Config {
             ugal_threshold: 0,
             vlb_candidates: 1,
             seed: 0xDF17,
+            watchdog: None,
         }
     }
 
@@ -132,6 +142,34 @@ impl Config {
     /// Total simulated cycles.
     pub fn total_cycles(&self) -> u64 {
         (self.warmup_windows as u64 + 1) * self.window as u64
+    }
+
+    /// Checks the structural parameters up front, so a malformed config is
+    /// rejected before any job is scheduled instead of panicking deep in
+    /// the engine.  Deliberately does *not* check routing-specific VC
+    /// minimums — those depend on the routing algorithm and are asserted
+    /// by [`crate::Simulator::new`] (which the replay machinery exercises
+    /// as a reproducible panic).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_vcs == 0 {
+            return Err(ConfigError::NoVirtualChannels);
+        }
+        if self.buf_size == 0 {
+            return Err(ConfigError::NoBufferSpace);
+        }
+        if self.window == 0 {
+            return Err(ConfigError::ZeroWindow);
+        }
+        if self.speedup == 0 {
+            return Err(ConfigError::ZeroSpeedup);
+        }
+        if !(self.sat_latency > 0.0 && self.sat_latency.is_finite()) {
+            return Err(ConfigError::BadSaturationLatency(self.sat_latency));
+        }
+        if self.vlb_candidates == 0 {
+            return Err(ConfigError::NoVlbCandidates);
+        }
+        Ok(())
     }
 }
 
@@ -165,6 +203,50 @@ mod tests {
         let mut big = Config::paper_default();
         big.num_vcs = 6;
         assert_eq!(big.for_routing(RoutingAlgorithm::UgalL).num_vcs, 6);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_parameters() {
+        assert!(Config::paper_default().validate().is_ok());
+        assert!(Config::quick().validate().is_ok());
+
+        let mut c = Config::quick();
+        c.num_vcs = 0;
+        assert_eq!(c.validate(), Err(ConfigError::NoVirtualChannels));
+
+        let mut c = Config::quick();
+        c.buf_size = 0;
+        assert_eq!(c.validate(), Err(ConfigError::NoBufferSpace));
+
+        let mut c = Config::quick();
+        c.window = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroWindow));
+
+        let mut c = Config::quick();
+        c.speedup = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroSpeedup));
+
+        let mut c = Config::quick();
+        c.sat_latency = f64::INFINITY;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadSaturationLatency(_))
+        ));
+        c.sat_latency = -1.0;
+        assert!(c.validate().is_err());
+
+        let mut c = Config::quick();
+        c.vlb_candidates = 0;
+        assert_eq!(c.validate(), Err(ConfigError::NoVlbCandidates));
+    }
+
+    #[test]
+    fn config_roundtrips_through_json() {
+        let mut c = Config::quick();
+        c.watchdog = Some(WatchdogConfig::guard_for(&c));
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Config = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
     }
 
     #[test]

@@ -33,6 +33,7 @@ impl<O: SimObserver> Engine<'_, O> {
                 && (self.ws.switch_dead[topo.switch_of_node(NodeId(n)).index()]
                     || self.ws.switch_dead[topo.switch_of_node(dst).index()])
             {
+                self.stats.record_drop();
                 self.obs.on_drop(self.now, NodeId(n), dst);
                 continue;
             }
@@ -41,6 +42,7 @@ impl<O: SimObserver> Engine<'_, O> {
             // points keep finite memory (the latency threshold fires long
             // before the cap matters).
             if (self.ws.stg_len[inj] + self.ws.buf_occ[inj]) as usize >= SOURCE_QUEUE_CAP {
+                self.stats.record_drop();
                 self.obs.on_drop(self.now, NodeId(n), dst);
                 continue; // dropped at an overflowing source queue
             }

@@ -15,6 +15,10 @@ pub(crate) struct Stats {
     pub(crate) hops_sum: u64,
     pub(crate) total_injected: u64,
     pub(crate) total_delivered: u64,
+    /// Whole-run dropped-packet count (source-queue overflow, dead
+    /// components, failed fault reroutes) — the third leg of the
+    /// watchdog's conservation ledger.  Not part of [`SimResult`].
+    pub(crate) total_dropped: u64,
     pub(crate) total_latency_sum: f64,
     pub(crate) total_hops_sum: u64,
     pub(crate) vlb_chosen: u64,
@@ -36,6 +40,7 @@ impl Stats {
             hops_sum: 0,
             total_injected: 0,
             total_delivered: 0,
+            total_dropped: 0,
             total_latency_sum: 0.0,
             total_hops_sum: 0,
             vlb_chosen: 0,
@@ -85,6 +90,11 @@ impl Stats {
         if self.measuring {
             self.injected += 1;
         }
+    }
+
+    /// Records a dropped packet (it stays counted as injected).
+    pub(crate) fn record_drop(&mut self) {
+        self.total_dropped += 1;
     }
 
     /// Records a routing decision.

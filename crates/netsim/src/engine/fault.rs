@@ -86,6 +86,7 @@ impl<'a, O: SimObserver> Engine<'a, O> {
             let p = &self.ws.packets[pi as usize];
             (NodeId(p.src_node), NodeId(p.dst_node))
         };
+        self.stats.record_drop();
         self.obs.on_drop(self.now, src, dst);
         self.free_packet(pi);
     }

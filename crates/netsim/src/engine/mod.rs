@@ -28,9 +28,14 @@ mod fault;
 mod observer;
 mod routing;
 mod state;
+mod watchdog;
 
 pub use observer::{NoopObserver, SimObserver};
 pub use state::{SimWorkspace, WorkspacePool};
+pub use watchdog::{
+    ConservationLedger, OldestPacket, RoutingCounters, StallKind, StallReport, VcSnapshot,
+    WatchdogConfig,
+};
 
 use crate::config::{Config, RoutingAlgorithm};
 use crate::fault::FaultSchedule;
@@ -143,6 +148,19 @@ impl Simulator {
         ws: &mut SimWorkspace,
         obs: &mut O,
     ) -> SimResult {
+        self.run_reported(rate, ws, obs).0
+    }
+
+    /// Like [`Simulator::run_observed`], additionally returning the
+    /// [`StallReport`] if the configured watchdog tripped (`None` when the
+    /// watchdog is off or never fired).  The `SimResult` is identical to
+    /// the one [`Simulator::run_observed`] returns for the same inputs.
+    pub fn run_reported<O: SimObserver>(
+        &self,
+        rate: f64,
+        ws: &mut SimWorkspace,
+        obs: &mut O,
+    ) -> (SimResult, Option<StallReport>) {
         assert!(
             rate > 0.0 && rate <= 1.0,
             "injection rate {rate} out of (0,1]"
@@ -249,7 +267,7 @@ impl<'a, O: SimObserver> Engine<'a, O> {
         self.ws.free.push(i);
     }
 
-    fn run(mut self) -> SimResult {
+    fn run(mut self) -> (SimResult, Option<StallReport>) {
         let cfg = self.sim.cfg.clone();
         let warmup = cfg.warmup_windows as u64 * cfg.window as u64;
         let total = cfg.total_cycles();
@@ -257,6 +275,14 @@ impl<'a, O: SimObserver> Engine<'a, O> {
         let inflight_cap = nodes * INFLIGHT_CAP_PER_NODE;
         let watchdog =
             (cfg.window as u64).max(64 * (cfg.global_latency as u64 + cfg.local_latency as u64));
+
+        // Opt-in configurable watchdog: a single `Option` test per cycle
+        // when disarmed (the default).  Every armed check is read-only, so
+        // a non-tripping armed run is bit-identical to a disarmed one
+        // (pinned by the watchdog-armed golden variants).
+        let wd = self.sim.cfg.watchdog.filter(|w| w.armed());
+        let wd_start = std::time::Instant::now();
+        let mut stall: Option<StallReport> = None;
 
         // The schedule is applied lazily as the clock reaches each event
         // (an event at cycle 0 degrades the network before any traffic).
@@ -292,11 +318,18 @@ impl<'a, O: SimObserver> Engine<'a, O> {
                 self.stats.saturated_early = true;
                 break;
             }
+            if let Some(w) = &wd {
+                if let Some(kind) = self.watchdog_check(w, &wd_start) {
+                    stall = Some(self.stall_report(kind));
+                    self.stats.saturated_early = true;
+                    break;
+                }
+            }
             self.now += 1;
         }
 
         self.obs.on_run_end(self.now, self.in_flight as u64);
-        self.stats.finalize(
+        let result = self.stats.finalize(
             &cfg,
             self.rate,
             self.now,
@@ -304,7 +337,106 @@ impl<'a, O: SimObserver> Engine<'a, O> {
             &self.ws.chan_flits,
             &self.ws.is_global,
             self.n_network,
-        )
+        );
+        (result, stall)
+    }
+
+    /// Runs the armed watchdog checks for the cycle that just completed.
+    /// Called off the hot path only when a [`WatchdogConfig`] is armed.
+    fn watchdog_check(&self, w: &WatchdogConfig, start: &std::time::Instant) -> Option<StallKind> {
+        if w.stall_cycles > 0
+            && self.in_flight > 0
+            && self.now.saturating_sub(self.stats.last_delivery) > w.stall_cycles
+        {
+            return Some(StallKind::Livelock);
+        }
+        if w.conservation_every > 0
+            && self.now.is_multiple_of(w.conservation_every)
+            && !self.ledger().balanced()
+        {
+            return Some(StallKind::ConservationViolation);
+        }
+        if w.max_cycles > 0 && self.now + 1 >= w.max_cycles {
+            return Some(StallKind::CycleCeiling);
+        }
+        if w.wall_limit_ms > 0
+            && self.now & 1023 == 0
+            && start.elapsed().as_millis() as u64 >= w.wall_limit_ms
+        {
+            return Some(StallKind::WallClockExceeded);
+        }
+        None
+    }
+
+    /// The whole-run packet-accounting ledger at the current cycle.
+    fn ledger(&self) -> ConservationLedger {
+        ConservationLedger {
+            injected: self.stats.total_injected,
+            delivered: self.stats.total_delivered,
+            dropped: self.stats.total_dropped,
+            in_flight: self.in_flight as u64,
+        }
+    }
+
+    /// Builds the trip report: ledger, occupancy snapshot, oldest live
+    /// packet and decision counters.  Cold path — runs once per trip.
+    fn stall_report(&self, kind: StallKind) -> StallReport {
+        // Non-empty (channel, VC) input buffers, largest first.
+        let mut occupancy = Vec::new();
+        for ch in 0..self.n_network {
+            for vc in 0..self.v {
+                let occ = self.ws.vc_occupancy(ch, self.v, vc);
+                if occ > 0 {
+                    occupancy.push(VcSnapshot {
+                        chan: ch as u32,
+                        vc: vc as u8,
+                        occupancy: occ,
+                    });
+                }
+            }
+        }
+        occupancy.sort_by(|a, b| {
+            b.occupancy
+                .cmp(&a.occupancy)
+                .then(a.chan.cmp(&b.chan))
+                .then(a.vc.cmp(&b.vc))
+        });
+        occupancy.truncate(StallReport::MAX_OCCUPANCY_ENTRIES);
+
+        // Oldest live packet: the pool minus its free list.
+        let mut live = vec![true; self.ws.packets.len()];
+        for &f in &self.ws.free {
+            live[f as usize] = false;
+        }
+        let oldest = self
+            .ws
+            .packets
+            .iter()
+            .zip(live)
+            .filter(|(_, alive)| *alive)
+            .map(|(p, _)| p)
+            .min_by_key(|p| p.birth)
+            .map(|p| OldestPacket {
+                birth: p.birth,
+                age: self.now.saturating_sub(p.birth),
+                src: p.src_node,
+                dst: p.dst_node,
+                hops_taken: p.hops_taken,
+                cur_chan: p.cur_chan,
+            });
+
+        StallReport {
+            kind,
+            cycle: self.now,
+            last_delivery: self.stats.last_delivery,
+            ledger: self.ledger(),
+            occupancy,
+            oldest,
+            decisions: RoutingCounters {
+                routed: self.stats.routed,
+                vlb_chosen: self.stats.vlb_chosen,
+            },
+        }
     }
 
     fn step(&mut self) {

@@ -45,18 +45,24 @@
 
 mod config;
 mod engine;
+mod error;
 mod fault;
+pub mod journal;
 pub mod runner;
 mod stats;
 mod sweep;
 
 pub use config::{Config, RoutingAlgorithm};
-pub use engine::{NoopObserver, SimObserver, SimWorkspace, Simulator, WorkspacePool};
+pub use engine::{
+    ConservationLedger, NoopObserver, OldestPacket, RoutingCounters, SimObserver, SimWorkspace,
+    Simulator, StallKind, StallReport, VcSnapshot, WatchdogConfig, WorkspacePool,
+};
+pub use error::{validate_sweep, ConfigError};
 pub use fault::{FaultEvent, FaultSchedule};
 pub use stats::SimResult;
 pub use sweep::{
-    aggregate_runs, latency_curve, run_job_observed, saturation_throughput, CurvePoint,
-    SweepOptions,
+    aggregate_runs, latency_curve, run_job_observed, run_job_reported, saturation_throughput,
+    CurvePoint, SweepOptions,
 };
 
 #[cfg(test)]

@@ -17,10 +17,13 @@
 //! consumer can merge per-seed collections into per-point telemetry.
 
 use crate::config::{Config, RoutingAlgorithm};
-use crate::engine::{NoopObserver, SimObserver, WorkspacePool};
+use crate::engine::{NoopObserver, SimObserver, StallKind, StallReport, WorkspacePool};
+use crate::error::ConfigError;
+use crate::journal::{job_digest, Journal};
 use crate::stats::SimResult;
-use crate::sweep::{aggregate_runs, run_job_observed, CurvePoint};
+use crate::sweep::{aggregate_runs, run_job_reported, CurvePoint};
 use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 use tugal_routing::PathProvider;
@@ -93,6 +96,95 @@ pub struct JobInfo<'a> {
     pub seed: u64,
 }
 
+/// Per-job budget the runner applies uniformly over every scheduled job,
+/// merged into each job's watchdog (the tighter of the two limits wins
+/// when a series also arms its own [`crate::WatchdogConfig`]).  Zero
+/// fields impose no limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobBudget {
+    /// Simulated-cycle ceiling per job (`0` = none).
+    pub max_cycles: u64,
+    /// Wall-clock ceiling per job in milliseconds (`0` = none).
+    pub wall_limit_ms: u64,
+}
+
+impl JobBudget {
+    /// True when at least one limit is set.
+    pub fn limits_anything(&self) -> bool {
+        self.max_cycles > 0 || self.wall_limit_ms > 0
+    }
+}
+
+/// How one isolated job ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// The job completed; its result entered the aggregate.
+    Ok(SimResult),
+    /// The job panicked under `catch_unwind`; the payload message is
+    /// preserved.  The job is excluded from the aggregate.
+    Panicked(String),
+    /// The job exhausted its wall-clock budget
+    /// ([`StallKind::WallClockExceeded`]).  Excluded from the aggregate.
+    TimedOut(StallReport),
+    /// Another watchdog check tripped (livelock, conservation violation or
+    /// cycle ceiling).  Excluded from the aggregate.
+    WatchdogTripped(StallReport),
+}
+
+impl JobOutcome {
+    /// True for any non-[`JobOutcome::Ok`] variant.
+    pub fn is_failure(&self) -> bool {
+        !matches!(self, JobOutcome::Ok(_))
+    }
+
+    /// Short stable outcome name for logs and capsules.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobOutcome::Ok(_) => "ok",
+            JobOutcome::Panicked(_) => "panicked",
+            JobOutcome::TimedOut(_) => "timed-out",
+            JobOutcome::WatchdogTripped(_) => "watchdog-tripped",
+        }
+    }
+
+    /// The stall report of a watchdog/budget failure, if any.
+    pub fn stall(&self) -> Option<&StallReport> {
+        match self {
+            JobOutcome::TimedOut(r) | JobOutcome::WatchdogTripped(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// What [`ExperimentRunner::run_recorded`] returns: the aggregated curves
+/// (with observers), the batch summary, and one [`JobRecord`] per job in
+/// schedule order.
+pub type RecordedRun<O> = (Vec<ObservedCurve<O>>, RunSummary, Vec<JobRecord>);
+
+/// The full record of one scheduled job: identity, journal digest, outcome
+/// and timing.  [`ExperimentRunner::run_recorded`] returns one per job in
+/// schedule order (series-major, then rate, then seed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Label of the job's series.
+    pub label: String,
+    /// Index of the series within the runner.
+    pub series: usize,
+    /// Offered load.
+    pub rate: f64,
+    /// Replication seed.
+    pub seed: u64,
+    /// The job's [`job_digest`] (journal key).
+    pub digest: u64,
+    /// How the job ended.
+    pub outcome: JobOutcome,
+    /// Wall-clock the job cost, in milliseconds (0 for journal replays).
+    pub elapsed_ms: f64,
+    /// True when the result was replayed from the journal instead of
+    /// simulated.
+    pub resumed: bool,
+}
+
 /// Whole-batch timing summary of one [`ExperimentRunner`] run: where the
 /// wall-clock went, aggregated from the per-job timings.
 #[derive(Debug, Clone, PartialEq)]
@@ -108,6 +200,12 @@ pub struct RunSummary {
     pub jobs_per_sec: f64,
     /// `(series label, rate, seed, ms)` of the slowest job.
     pub slowest: Option<(String, f64, u64, f64)>,
+    /// Jobs that failed (panicked, timed out or tripped a watchdog) and
+    /// were skipped by the aggregation.
+    pub failed: usize,
+    /// Jobs whose results were replayed from an attached journal instead
+    /// of simulated.
+    pub resumed: usize,
 }
 
 impl RunSummary {
@@ -119,9 +217,19 @@ impl RunSummary {
             }
             None => String::new(),
         };
+        let failed = if self.failed > 0 {
+            format!(", {} FAILED", self.failed)
+        } else {
+            String::new()
+        };
+        let resumed = if self.resumed > 0 {
+            format!(", {} resumed from journal", self.resumed)
+        } else {
+            String::new()
+        };
         format!(
-            "{} jobs in {:.0} ms wall ({:.1} jobs/s, {:.0} ms simulated){}",
-            self.jobs, self.wall_ms, self.jobs_per_sec, self.sim_ms, slowest
+            "{} jobs in {:.0} ms wall ({:.1} jobs/s, {:.0} ms simulated){}{}{}",
+            self.jobs, self.wall_ms, self.jobs_per_sec, self.sim_ms, slowest, failed, resumed
         )
     }
 
@@ -132,6 +240,8 @@ impl RunSummary {
         self.jobs += other.jobs;
         self.wall_ms += other.wall_ms;
         self.sim_ms += other.sim_ms;
+        self.failed += other.failed;
+        self.resumed += other.resumed;
         self.jobs_per_sec = if self.wall_ms > 0.0 {
             self.jobs as f64 / (self.wall_ms / 1e3)
         } else {
@@ -156,9 +266,18 @@ impl RunSummary {
 
 /// Owns the (series × rate × seed) job list of one experiment and runs it
 /// as a single flat parallel batch.
+///
+/// Every job runs *isolated*: under `catch_unwind`, with the runner's
+/// [`JobBudget`] merged into its watchdog, so one panicking or livelocked
+/// job becomes a reported [`JobRecord`] instead of aborting the sweep.
+/// With a [`Journal`] attached ([`ExperimentRunner::with_journal`]),
+/// completed jobs are recorded as they finish and replayed bit-for-bit on
+/// a re-invocation, so a killed sweep resumes instead of restarting.
 pub struct ExperimentRunner {
     topo: Arc<Dragonfly>,
     series: Vec<SeriesSpec>,
+    budget: JobBudget,
+    journal: Option<Arc<Journal>>,
 }
 
 impl ExperimentRunner {
@@ -167,6 +286,8 @@ impl ExperimentRunner {
         ExperimentRunner {
             topo,
             series: Vec::new(),
+            budget: JobBudget::default(),
+            journal: None,
         }
     }
 
@@ -176,9 +297,82 @@ impl ExperimentRunner {
         self
     }
 
+    /// Applies `budget` to every scheduled job (merged into each job's
+    /// watchdog; the tighter limit wins when a series arms its own).
+    pub fn with_budget(mut self, budget: JobBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches a resume journal: completed jobs are recorded as they
+    /// finish, and jobs already on record are replayed instead of re-run.
+    pub fn with_journal(mut self, journal: Arc<Journal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
     /// Number of jobs `run` would schedule.
     pub fn job_count(&self, rates: &[f64], seeds: &[u64]) -> usize {
         self.series.len() * rates.len() * seeds.len()
+    }
+
+    /// Validates the whole experiment up front: the (rates × seeds) grid
+    /// via [`crate::validate_sweep`] and every series' [`Config`] via
+    /// [`Config::validate`] — so a malformed sweep is rejected before any
+    /// job is scheduled.
+    pub fn validate(&self, rates: &[f64], seeds: &[u64]) -> Result<(), ConfigError> {
+        crate::error::validate_sweep(rates, seeds)?;
+        for s in &self.series {
+            s.cfg.validate()?;
+        }
+        Ok(())
+    }
+
+    /// The stable identity string of series `si`, from which each job's
+    /// journal digest is derived: label, topology parameters, routing,
+    /// config (seed zeroed — the per-job seed is hashed separately), the
+    /// runner's budget and the fault schedule.  Any change to any of them
+    /// changes every digest of the series, so stale journal entries are
+    /// never replayed.  (The path provider has no stable identity of its
+    /// own; the series label carries it, as every harness labels series by
+    /// provider × routing.)
+    fn series_key(&self, si: usize) -> String {
+        let s = &self.series[si];
+        let mut cfg = s.cfg.clone();
+        cfg.seed = 0;
+        format!(
+            "{}|{:?}|{:?}|{:?}|{:?}|{:?}",
+            s.label,
+            self.topo.params(),
+            s.routing,
+            cfg,
+            self.budget,
+            s.faults.as_ref().map(|f| f.events()),
+        )
+    }
+
+    /// The effective per-job config of series `si`: the series config with
+    /// the runner's [`JobBudget`] merged into its watchdog (tighter limit
+    /// wins).  A zero budget returns the config untouched, keeping
+    /// budget-free runs on the exact configuration the caller supplied.
+    fn job_config(&self, si: usize) -> Config {
+        let mut cfg = self.series[si].cfg.clone();
+        if self.budget.limits_anything() {
+            let mut wd = cfg
+                .watchdog
+                .unwrap_or_else(crate::engine::WatchdogConfig::disabled);
+            let tighter = |cur: u64, budget: u64| -> u64 {
+                match (cur, budget) {
+                    (0, b) => b,
+                    (c, 0) => c,
+                    (c, b) => c.min(b),
+                }
+            };
+            wd.max_cycles = tighter(wd.max_cycles, self.budget.max_cycles);
+            wd.wall_limit_ms = tighter(wd.wall_limit_ms, self.budget.wall_limit_ms);
+            cfg.watchdog = Some(wd);
+        }
+        cfg
     }
 
     /// Expands the full job list, runs it through one parallel batch over
@@ -220,11 +414,35 @@ impl ExperimentRunner {
         O: SimObserver + Send,
         F: Fn(&JobInfo) -> O + Sync,
     {
-        assert!(
-            !seeds.is_empty(),
-            "ExperimentRunner needs at least one seed"
-        );
+        let (curves, summary, _) = self
+            .run_recorded(rates, seeds, make)
+            .unwrap_or_else(|e| panic!("invalid experiment: {e}"));
+        (curves, summary)
+    }
+
+    /// The fully-typed schedule: validates the experiment up front, runs
+    /// every job isolated (see the type docs), and returns — besides the
+    /// aggregated curves and summary — one [`JobRecord`] per job in
+    /// schedule order, so harnesses can write replay capsules for the
+    /// failures and choose their exit code.
+    pub fn run_recorded<O, F>(
+        &self,
+        rates: &[f64],
+        seeds: &[u64],
+        make: F,
+    ) -> Result<RecordedRun<O>, ConfigError>
+    where
+        O: SimObserver + Send,
+        F: Fn(&JobInfo) -> O + Sync,
+    {
+        self.validate(rates, seeds)?;
         let pool = WorkspacePool::new();
+        let keys: Vec<String> = (0..self.series.len())
+            .map(|si| self.series_key(si))
+            .collect();
+        let cfgs: Vec<Config> = (0..self.series.len())
+            .map(|si| self.job_config(si))
+            .collect();
         // Job order is series-major, then rate, then seed, so the flat
         // result vector chunks back into (series, rate) groups directly
         // (the parallel map preserves input order).
@@ -239,7 +457,7 @@ impl ExperimentRunner {
             })
             .collect();
         let batch_start = Instant::now();
-        let outcomes: Vec<(SimResult, f64, O)> = jobs
+        let outcomes: Vec<(JobRecord, O)> = jobs
             .par_iter()
             .map(|&(si, rate, seed)| {
                 let s = &self.series[si];
@@ -249,30 +467,72 @@ impl ExperimentRunner {
                     rate,
                     seed,
                 });
-                let (result, ms) = run_job_observed(
-                    &pool,
-                    &self.topo,
-                    &s.provider,
-                    &s.pattern,
-                    s.routing,
-                    &s.cfg,
+                let digest = job_digest(&keys[si], rate, seed);
+                let record = |outcome, elapsed_ms, resumed| JobRecord {
+                    label: s.label.clone(),
+                    series: si,
                     rate,
                     seed,
-                    s.faults.as_ref(),
-                    &mut obs,
-                );
-                (result, ms, obs)
+                    digest,
+                    outcome,
+                    elapsed_ms,
+                    resumed,
+                };
+                if let Some(journal) = &self.journal {
+                    if let Some(result) = journal.lookup(digest) {
+                        // Replayed: the observer never sees the run (it was
+                        // simulated by the killed invocation), but the
+                        // result is the recorded one, bit-for-bit.
+                        return (record(JobOutcome::Ok(result), 0.0, true), obs);
+                    }
+                }
+                let start = Instant::now();
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    run_job_reported(
+                        &pool,
+                        &self.topo,
+                        &s.provider,
+                        &s.pattern,
+                        s.routing,
+                        &cfgs[si],
+                        rate,
+                        seed,
+                        s.faults.as_ref(),
+                        &mut obs,
+                    )
+                }));
+                let outcome = match run {
+                    Ok((result, None, _)) => {
+                        if let Some(journal) = &self.journal {
+                            journal.record(digest, &s.label, rate, seed, &result);
+                        }
+                        JobOutcome::Ok(result)
+                    }
+                    Ok((_, Some(stall), _)) => {
+                        if stall.kind == StallKind::WallClockExceeded {
+                            JobOutcome::TimedOut(stall)
+                        } else {
+                            JobOutcome::WatchdogTripped(stall)
+                        }
+                    }
+                    Err(payload) => JobOutcome::Panicked(panic_message(payload.as_ref())),
+                };
+                let ms = start.elapsed().as_secs_f64() * 1e3;
+                (record(outcome, ms, false), obs)
             })
             .collect();
         let wall_ms = batch_start.elapsed().as_secs_f64() * 1e3;
-        let sim_ms: f64 = outcomes.iter().map(|(_, ms, _)| ms).sum();
-        let slowest = jobs
+        let sim_ms: f64 = outcomes.iter().map(|(rec, _)| rec.elapsed_ms).sum();
+        let slowest = outcomes
             .iter()
-            .zip(&outcomes)
-            .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
-            .map(|(&(si, rate, seed), (_, ms, _))| {
-                (self.series[si].label.clone(), rate, seed, *ms)
-            });
+            .map(|(rec, _)| rec)
+            .max_by(|a, b| a.elapsed_ms.total_cmp(&b.elapsed_ms))
+            .map(|rec| (rec.label.clone(), rec.rate, rec.seed, rec.elapsed_ms));
+        let failed = outcomes
+            .iter()
+            .filter(|(rec, _)| rec.outcome.is_failure())
+            .count();
+        let resumed = outcomes.iter().filter(|(rec, _)| rec.resumed).count();
         let summary = RunSummary {
             jobs: jobs.len(),
             wall_ms,
@@ -283,9 +543,13 @@ impl ExperimentRunner {
                 0.0
             },
             slowest,
+            failed,
+            resumed,
         };
 
-        let mut outcomes = outcomes.into_iter();
+        let (records, observers): (Vec<JobRecord>, Vec<O>) = outcomes.into_iter().unzip();
+        let mut rec_it = records.iter();
+        let mut obs_it = observers.into_iter();
         let curves = self
             .series
             .iter()
@@ -294,24 +558,43 @@ impl ExperimentRunner {
                 points: rates
                     .iter()
                     .map(|&rate| {
-                        let group: Vec<(SimResult, f64, O)> =
-                            outcomes.by_ref().take(seeds.len()).collect();
-                        let runs: Vec<SimResult> =
-                            group.iter().map(|(r, _, _)| r.clone()).collect();
-                        let elapsed_ms = group.iter().map(|(_, ms, _)| ms).sum();
+                        let group: Vec<&JobRecord> = rec_it.by_ref().take(seeds.len()).collect();
+                        // Failed jobs are skipped, not poison: the point
+                        // aggregates its surviving replications (or the
+                        // no-data sentinel when none survived).
+                        let runs: Vec<SimResult> = group
+                            .iter()
+                            .filter_map(|rec| match &rec.outcome {
+                                JobOutcome::Ok(r) => Some(r.clone()),
+                                _ => None,
+                            })
+                            .collect();
+                        let elapsed_ms = group.iter().map(|rec| rec.elapsed_ms).sum();
                         ObservedPoint {
                             point: CurvePoint {
                                 rate,
                                 result: aggregate_runs(rate, &runs),
                                 elapsed_ms,
                             },
-                            observers: group.into_iter().map(|(_, _, o)| o).collect(),
+                            observers: obs_it.by_ref().take(seeds.len()).collect(),
                         }
                     })
                     .collect(),
             })
             .collect();
-        (curves, summary)
+        Ok((curves, summary, records))
+    }
+}
+
+/// Renders a `catch_unwind` payload: `&str` and `String` payloads (what
+/// `panic!`/`assert!` produce) verbatim, anything else a placeholder.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -330,6 +613,8 @@ mod tests {
                 0.0
             },
             slowest: slowest.map(|(l, r, s, ms)| (l.to_string(), r, s, ms)),
+            failed: 0,
+            resumed: 0,
         }
     }
 

@@ -52,9 +52,29 @@ impl Default for SweepOptions {
 /// (infinite mean, NaN percentiles) cannot poison the aggregate.  A
 /// majority of saturated runs marks the point saturated.
 ///
-/// Panics on an empty `runs` slice.
+/// An empty `runs` slice — every replication of the point failed under the
+/// runner's job isolation — aggregates to the explicit *no-data* sentinel:
+/// zero deliveries, infinite latency, `saturated` set (historically this
+/// was a panic, which let one bad point poison a whole sweep).
 pub fn aggregate_runs(rate: f64, runs: &[SimResult]) -> SimResult {
-    assert!(!runs.is_empty(), "aggregate_runs needs at least one run");
+    if runs.is_empty() {
+        return SimResult {
+            injection_rate: rate,
+            avg_latency: f64::INFINITY,
+            throughput: 0.0,
+            avg_hops: 0.0,
+            delivered: 0,
+            injected: 0,
+            saturated: true,
+            deadlock_suspected: false,
+            vlb_fraction: 0.0,
+            latency_p50: f64::NAN,
+            latency_p99: f64::NAN,
+            max_channel_util: 0.0,
+            mean_global_util: 0.0,
+            mean_local_util: 0.0,
+        };
+    }
     let n = runs.len() as f64;
     let finite_mean = |value: fn(&SimResult) -> f64| -> f64 {
         let vals: Vec<f64> = runs.iter().map(value).filter(|v| v.is_finite()).collect();
@@ -127,6 +147,28 @@ pub fn run_job_observed<O: crate::engine::SimObserver>(
     faults: Option<&Arc<crate::fault::FaultSchedule>>,
     obs: &mut O,
 ) -> (SimResult, f64) {
+    let (result, _, ms) = run_job_reported(
+        pool, topo, provider, pattern, routing, cfg, rate, seed, faults, obs,
+    );
+    (result, ms)
+}
+
+/// Like [`run_job_observed`], additionally returning the engine's
+/// [`crate::StallReport`] when the configured watchdog tripped — the job
+/// primitive of the crash-safe [`crate::runner::ExperimentRunner`] path.
+#[allow(clippy::too_many_arguments)]
+pub fn run_job_reported<O: crate::engine::SimObserver>(
+    pool: &WorkspacePool,
+    topo: &Arc<Dragonfly>,
+    provider: &Arc<dyn PathProvider>,
+    pattern: &Arc<dyn TrafficPattern>,
+    routing: RoutingAlgorithm,
+    cfg: &Config,
+    rate: f64,
+    seed: u64,
+    faults: Option<&Arc<crate::fault::FaultSchedule>>,
+    obs: &mut O,
+) -> (SimResult, Option<crate::engine::StallReport>, f64) {
     let mut c = cfg.clone();
     c.seed = seed;
     let mut sim = Simulator::new(topo.clone(), provider.clone(), pattern.clone(), routing, c);
@@ -134,8 +176,8 @@ pub fn run_job_observed<O: crate::engine::SimObserver>(
         sim = sim.with_fault_schedule(f.clone());
     }
     let start = Instant::now();
-    let result = pool.with(|ws: &mut SimWorkspace| sim.run_observed(rate, ws, obs));
-    (result, start.elapsed().as_secs_f64() * 1e3)
+    let (result, stall) = pool.with(|ws: &mut SimWorkspace| sim.run_reported(rate, ws, obs));
+    (result, stall, start.elapsed().as_secs_f64() * 1e3)
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -47,6 +47,7 @@
 pub mod hist;
 mod metrics;
 mod report;
+mod stall;
 
 pub use hist::LogHistogram;
 pub use metrics::{MetricsConfig, MetricsObserver};
@@ -54,3 +55,4 @@ pub use report::{
     ClassLoad, DecisionCounts, HopSummary, LatencySummary, LinkSummary, MetricsReport,
     OccupancyClass, OccupancySummary, TimeSample,
 };
+pub use stall::render_stall;
