@@ -13,6 +13,10 @@
 //! * `TUGAL_RESILIENCE_PANIC=1` — add a series whose every job panics
 //!   (1 VC under UGAL-L), exercising job isolation, capsule writing and
 //!   the failure exit code (3 via [`tugal_bench::finish`]).
+//! * `TUGAL_RESILIENCE_TOPO=p,a,h,g` — override the default
+//!   `dfly(2,4,2,5)`; the CI shard-smoke job uses `2,7,1,8` so its
+//!   8 groups admit a `TUGAL_SHARDS=4` partition, then byte-compares the
+//!   sharded results file against a sequential run's.
 //!
 //! All floating-point results are written as exact IEEE-754 bits: two runs
 //! produce byte-identical files iff they produced bit-identical results.
@@ -46,10 +50,32 @@ fn panic_injection() -> bool {
         .unwrap_or(false)
 }
 
+/// The sweep's topology: `TUGAL_RESILIENCE_TOPO=p,a,h,g` if set (and
+/// well-formed — anything else is a fatal setup error), else the default
+/// `dfly(2,4,2,5)`.
+fn resilience_topo() -> std::sync::Arc<tugal_topology::Dragonfly> {
+    let spec = match std::env::var("TUGAL_RESILIENCE_TOPO") {
+        Ok(s) if !s.trim().is_empty() => s,
+        _ => return dfly(2, 4, 2, 5),
+    };
+    let parts: Vec<u32> = spec
+        .split(',')
+        .map(|t| t.trim().parse::<u32>())
+        .collect::<Result<_, _>>()
+        .unwrap_or_default();
+    match parts.as_slice() {
+        [p, a, h, g] => dfly(*p, *a, *h, *g),
+        _ => fatal(
+            "parsing TUGAL_RESILIENCE_TOPO",
+            format!("expected `p,a,h,g`, got `{spec}`"),
+        ),
+    }
+}
+
 fn main() {
     let out_path =
         std::env::var("TUGAL_RESILIENCE_OUT").unwrap_or_else(|_| "results/resilience.json".into());
-    let topo = dfly(2, 4, 2, 5);
+    let topo = resilience_topo();
     let provider = ugal_provider(&topo);
     let pattern = shift(&topo, 1, 0);
     let ugal_cfg = sim_config().for_routing(RoutingAlgorithm::UgalL);
@@ -84,11 +110,8 @@ fn main() {
     }
     let rates = [0.05, 0.10, 0.15, 0.20, 0.25, 0.30];
     let series = run_series_cfg(&topo, &pattern, &entries, &rates);
-    print_figure(
-        "resilience",
-        "resilience smoke sweep, dfly(2,4,2,5), shift(1,0)",
-        &series,
-    );
+    let title = format!("resilience smoke sweep, {}, shift(1,0)", topo.params());
+    print_figure("resilience", &title, &series);
     write_deterministic(&out_path, &series);
     println!("# wrote {out_path}");
     finish();

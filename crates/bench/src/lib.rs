@@ -79,13 +79,18 @@ pub fn full_fidelity() -> bool {
 }
 
 /// Simulator configuration for the current fidelity mode (Table 3 network
-/// parameters in both).
+/// parameters in both), with the `TUGAL_SHARDS` environment override
+/// applied — so any harness binary can run its engine partitioned.  The
+/// requested count must divide the groups of every topology the harness
+/// sweeps; [`ExperimentRunner::validate`] rejects the batch up front
+/// otherwise.
 pub fn sim_config() -> Config {
-    if full_fidelity() {
+    let cfg = if full_fidelity() {
         Config::paper_default()
     } else {
         Config::quick()
-    }
+    };
+    cfg.with_env_shards()
 }
 
 /// Session-wide metrics override (set by harnesses like `fig_linkload`

@@ -46,7 +46,7 @@ impl RoutingAlgorithm {
 ///
 /// [`Config::paper_default`] reproduces Table 3; [`Config::quick`] shrinks
 /// the measurement windows for CI-speed runs (same network parameters).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Config {
     /// Virtual channels per channel.  Use
     /// [`tugal_routing::required_vcs`] for the scheme/routing at hand; more
@@ -87,6 +87,19 @@ pub struct Config {
     pub vlb_candidates: u8,
     /// RNG seed (traffic, candidate draws, arbitration tie-breaks).
     pub seed: u64,
+    /// Shard workers the cycle engine partitions the network across: each
+    /// shard owns `groups / shards` consecutive dragonfly groups and the
+    /// shards exchange boundary flits/credits through mailboxes inside a
+    /// barrier-synced cycle loop.  Must be ≥ 1, at most the group count,
+    /// and divide it evenly (checked by [`Config::validate_shards`]).  `1`
+    /// (the default) runs the plain sequential loop; any valid count
+    /// produces **bit-identical results** — the determinism contract of
+    /// the partitioned engine, pinned by `tests/shard_parity.rs`.
+    ///
+    /// Defaults to `1` when absent from serialized configs, so capsules
+    /// and journals written before the field existed replay unchanged
+    /// (see the hand-written [`Deserialize`] impl below).
+    pub shards: u32,
     /// Opt-in engine watchdog (`None` = off, the default): periodic flit
     /// conservation, forward-progress/livelock detection and cycle/wall
     /// ceilings — see [`WatchdogConfig`].  All its checks are read-only,
@@ -114,6 +127,7 @@ impl Config {
             ugal_threshold: 0,
             vlb_candidates: 1,
             seed: 0xDF17,
+            shards: 1,
             watchdog: None,
         }
     }
@@ -169,7 +183,77 @@ impl Config {
         if self.vlb_candidates == 0 {
             return Err(ConfigError::NoVlbCandidates);
         }
+        if self.shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
         Ok(())
+    }
+
+    /// Checks `shards` against a concrete topology's group count: a shard
+    /// owns a fixed-size contiguous group range, so the count must be
+    /// non-zero, at most `groups`, and divide it evenly.  (The
+    /// topology-independent checks live in [`Config::validate`]; the
+    /// runner calls this per series once the topology is known.)
+    pub fn validate_shards(&self, groups: u32) -> Result<(), ConfigError> {
+        if self.shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        if self.shards > groups {
+            return Err(ConfigError::ShardsExceedGroups {
+                shards: self.shards,
+                groups,
+            });
+        }
+        if !groups.is_multiple_of(self.shards) {
+            return Err(ConfigError::ShardsDontDivideGroups {
+                shards: self.shards,
+                groups,
+            });
+        }
+        Ok(())
+    }
+
+    /// Applies the `TUGAL_SHARDS` environment override, if set and
+    /// parseable; harness binaries route their configs through this so a
+    /// CI job (or a user) can turn sharding on without touching code.
+    pub fn with_env_shards(mut self) -> Self {
+        if let Some(n) = std::env::var("TUGAL_SHARDS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+        {
+            self.shards = n;
+        }
+        self
+    }
+}
+
+// Hand-written so `shards` can default when the field is missing: the
+// vendored minimal serde derive has no `#[serde(default)]`, and configs
+// serialized before the field existed (journals, replay capsules, the
+// perf baseline) must keep deserializing to the same run they described —
+// which is exactly the sequential `shards = 1`.
+impl Deserialize for Config {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Config {
+            num_vcs: Deserialize::from_value(serde::obj_field(v, "num_vcs")?)?,
+            buf_size: Deserialize::from_value(serde::obj_field(v, "buf_size")?)?,
+            local_latency: Deserialize::from_value(serde::obj_field(v, "local_latency")?)?,
+            global_latency: Deserialize::from_value(serde::obj_field(v, "global_latency")?)?,
+            terminal_latency: Deserialize::from_value(serde::obj_field(v, "terminal_latency")?)?,
+            speedup: Deserialize::from_value(serde::obj_field(v, "speedup")?)?,
+            vc_scheme: Deserialize::from_value(serde::obj_field(v, "vc_scheme")?)?,
+            warmup_windows: Deserialize::from_value(serde::obj_field(v, "warmup_windows")?)?,
+            window: Deserialize::from_value(serde::obj_field(v, "window")?)?,
+            sat_latency: Deserialize::from_value(serde::obj_field(v, "sat_latency")?)?,
+            ugal_threshold: Deserialize::from_value(serde::obj_field(v, "ugal_threshold")?)?,
+            vlb_candidates: Deserialize::from_value(serde::obj_field(v, "vlb_candidates")?)?,
+            seed: Deserialize::from_value(serde::obj_field(v, "seed")?)?,
+            shards: match serde::obj_field(v, "shards") {
+                Ok(s) => Deserialize::from_value(s)?,
+                Err(_) => 1,
+            },
+            watchdog: Deserialize::from_value(serde::obj_field(v, "watchdog")?)?,
+        })
     }
 }
 
@@ -238,6 +322,56 @@ mod tests {
         let mut c = Config::quick();
         c.vlb_candidates = 0;
         assert_eq!(c.validate(), Err(ConfigError::NoVlbCandidates));
+
+        let mut c = Config::quick();
+        c.shards = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroShards));
+    }
+
+    #[test]
+    fn validate_shards_enforces_clean_group_division() {
+        let mut c = Config::quick();
+        assert!(c.validate_shards(9).is_ok()); // default 1 divides anything
+
+        c.shards = 0;
+        assert_eq!(c.validate_shards(9), Err(ConfigError::ZeroShards));
+
+        c.shards = 3;
+        assert!(c.validate_shards(9).is_ok());
+        c.shards = 9;
+        assert!(c.validate_shards(9).is_ok());
+
+        c.shards = 12;
+        assert_eq!(
+            c.validate_shards(9),
+            Err(ConfigError::ShardsExceedGroups {
+                shards: 12,
+                groups: 9
+            })
+        );
+
+        c.shards = 4;
+        assert_eq!(
+            c.validate_shards(9),
+            Err(ConfigError::ShardsDontDivideGroups {
+                shards: 4,
+                groups: 9
+            })
+        );
+        assert!(c.validate_shards(8).is_ok());
+    }
+
+    #[test]
+    fn shards_field_defaults_to_one_in_old_json() {
+        // Configs serialized before the partitioned engine carry no
+        // `shards` key; they must deserialize to the sequential path.
+        let serde::Value::Object(mut fields) = serde::Serialize::to_value(&Config::quick()) else {
+            panic!("Config serializes to an object");
+        };
+        fields.retain(|(k, _)| k != "shards");
+        let back: Config = serde::Deserialize::from_value(&serde::Value::Object(fields)).unwrap();
+        assert_eq!(back.shards, 1);
+        assert_eq!(back, Config::quick());
     }
 
     #[test]

@@ -3,24 +3,29 @@
 
 use super::observer::SimObserver;
 use super::state::Packet;
-use super::{Engine, F_REVISABLE, F_ROUTED, SOURCE_QUEUE_CAP};
+use super::{Engine, Msg, EPH_BIT, F_REVISABLE, F_ROUTED, SOURCE_QUEUE_CAP};
 use rand::Rng;
 use tugal_routing::{Path, PathRef};
 use tugal_topology::NodeId;
 
 impl<O: SimObserver> Engine<'_, O> {
-    /// Bernoulli injection at the configured rate: each node draws once
-    /// per cycle; new packets enter the (capped) source queue modelled by
-    /// the injection channel's staging + downstream buffer.
+    /// Bernoulli injection at the configured rate: each node this shard
+    /// owns draws once per cycle; new packets enter the (capped) source
+    /// queue modelled by the injection channel's staging + downstream
+    /// buffer.  Both draws (the coin and the destination) come from the
+    /// node's *group* RNG stream, so the sequence each group consumes is
+    /// the same at every shard count.
     pub(crate) fn inject(&mut self) {
         let sim = self.sim;
         let topo = &*sim.topo;
-        let nodes = topo.num_nodes() as u32;
-        for n in 0..nodes {
-            if !self.rng.gen_bool(self.rate) {
+        let (lo, hi) = (self.ws.node_lo, self.ws.node_hi);
+        let (npg, glo) = (self.ws.nodes_per_group, self.ws.group_lo);
+        for n in lo..hi {
+            let gi = (n / npg - glo) as usize;
+            if !self.rngs[gi].gen_bool(self.rate) {
                 continue;
             }
-            let Some(dst) = sim.pattern.dest(NodeId(n), &mut self.rng) else {
+            let Some(dst) = sim.pattern.dest(NodeId(n), &mut self.rngs[gi]) else {
                 continue;
             };
             self.stats.record_injection();
@@ -78,11 +83,13 @@ impl<O: SimObserver> Engine<'_, O> {
 
     /// Switch allocation: `speedup` round-robin rounds per cycle, one
     /// winner per output channel per round, visiting only the non-empty
-    /// input-buffer FIFOs on each router's ready list.
+    /// input-buffer FIFOs on each router's ready list.  Iterates only the
+    /// switches this shard owns; credits for dequeued boundary flits
+    /// travel back through [`Engine::return_credit`].
     pub(crate) fn allocate(&mut self) {
         let speedup = self.sim.cfg.speedup;
-        let n_switches = self.sim.topo.num_switches();
-        for sw in 0..n_switches {
+        let (sw_lo, sw_hi) = (self.ws.switch_lo as usize, self.ws.switch_hi as usize);
+        for sw in sw_lo..sw_hi {
             if self.ws.ready[sw].is_empty() {
                 continue;
             }
@@ -139,11 +146,7 @@ impl<O: SimObserver> Engine<'_, O> {
                         self.ws.inb_pop(idx);
                         let in_ch = self.ws.chan_of_buf[idx] as usize;
                         self.ws.buf_occ[in_ch] -= 1;
-                        if in_ch < self.n_network {
-                            let due = ((self.now + self.ws.latency[in_ch] as u64) & self.ring_mask)
-                                as usize;
-                            self.ws.credit_ring[due].push(idx as u32);
-                        }
+                        self.return_credit(idx, in_ch);
                         self.drop_in_network(pi);
                         continue;
                     }
@@ -192,11 +195,7 @@ impl<O: SimObserver> Engine<'_, O> {
                     self.ws.inb_pop(idx);
                     let in_ch = self.ws.chan_of_buf[idx] as usize;
                     self.ws.buf_occ[in_ch] -= 1;
-                    if in_ch < self.n_network {
-                        let due =
-                            ((self.now + self.ws.latency[in_ch] as u64) & self.ring_mask) as usize;
-                        self.ws.credit_ring[due].push(idx as u32);
-                    }
+                    self.return_credit(idx, in_ch);
                     // Forward.
                     let p = &mut self.ws.packets[pi as usize];
                     p.cur_chan = out;
@@ -226,16 +225,37 @@ impl<O: SimObserver> Engine<'_, O> {
     }
 
     /// Wire transmission: each busy channel moves at most one staged flit
-    /// per cycle onto the arrival calendar.
+    /// per cycle onto the arrival calendar — or, when the receiving switch
+    /// lives in another shard, into that shard's outgoing mailbox batch
+    /// (the packet leaves this shard's pool; the receiver re-allocates it
+    /// on drain).
     pub(crate) fn transmit(&mut self) {
         let mut i = 0;
         while i < self.ws.busy_list.len() {
             let ch = self.ws.busy_list[i] as usize;
             if self.now >= self.ws.next_free[ch] {
                 if let Some(pi) = self.ws.stg_pop(ch) {
-                    let arrive =
-                        ((self.now + self.ws.latency[ch] as u64) & self.ring_mask) as usize;
-                    self.ws.arrivals[arrive].push(pi);
+                    let due = self.now + self.ws.latency[ch] as u64;
+                    if ch < self.n_network && !self.ws.owns_recv[ch] {
+                        let pkt = self.ws.packets[pi as usize];
+                        // Ephemeral paths live in this shard's slab; ship a
+                        // copy so the receiver can re-home it.  (Interned
+                        // ids resolve anywhere — the placeholder is unread.)
+                        let path = if pkt.path_id & EPH_BIT != 0 {
+                            self.ws.eph_paths[pi as usize]
+                        } else {
+                            Path::default()
+                        };
+                        self.outbox[self.ws.dst_shard[ch] as usize].push(Msg::Flit {
+                            due,
+                            pkt,
+                            path,
+                        });
+                        self.free_packet(pi);
+                        self.sent += 1;
+                    } else {
+                        self.ws.arrivals[(due & self.ring_mask) as usize].push(pi);
+                    }
                     self.ws.next_free[ch] = self.now + 1;
                     self.ws.chan_flits[ch] += 1;
                     if ch < self.n_network {

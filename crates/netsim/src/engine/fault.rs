@@ -121,7 +121,10 @@ impl<'a, O: SimObserver> Engine<'a, O> {
         if self.ws.switch_dead[dsw.index()] {
             return false; // destination died; undeliverable
         }
-        let Some(path) = self.sample_alive_path(cur, dsw) else {
+        // The packet sits in a buffer of `cur`, so this shard owns it and
+        // its group's RNG stream feeds the reroute draws.
+        let gi = self.gi_of_switch(cur);
+        let Some(path) = self.sample_alive_path(cur, dsw, gi) else {
             return false; // no surviving candidate from here
         };
         let (mut dl, mut dg) = (0u8, 0u8);
@@ -147,15 +150,20 @@ impl<'a, O: SimObserver> Engine<'a, O> {
 
     /// Samples a surviving path `cur → dst` from the provider: the MIN
     /// draw first, then up to [`REROUTE_VLB_TRIES`] VLB draws.
-    fn sample_alive_path(&mut self, cur: SwitchId, dst: SwitchId) -> Option<PathRef<'a>> {
+    fn sample_alive_path(
+        &mut self,
+        cur: SwitchId,
+        dst: SwitchId,
+        gi: usize,
+    ) -> Option<PathRef<'a>> {
         let sim = self.sim;
         let provider = &*sim.provider;
-        let p = provider.sample_min_ref(cur, dst, &mut self.rng);
+        let p = provider.sample_min_ref(cur, dst, &mut self.rngs[gi]);
         if self.path_usable(p.path(), cur, dst) {
             return Some(p);
         }
         for _ in 0..REROUTE_VLB_TRIES {
-            let p = provider.sample_vlb_ref(cur, dst, &mut self.rng);
+            let p = provider.sample_vlb_ref(cur, dst, &mut self.rngs[gi]);
             if self.path_usable(p.path(), cur, dst) {
                 return Some(p);
             }

@@ -1,16 +1,36 @@
 //! The cycle-driven simulation engine, layered into focused submodules:
 //!
 //! * [`state`] — flow-control state (packet pool, buffers, credits,
-//!   calendar rings) behind the reusable [`SimWorkspace`],
+//!   calendar rings) behind the reusable [`SimWorkspace`], split into
+//!   per-shard slabs,
 //! * [`routing`] — the UGAL-L/G + PAR decision logic,
 //! * [`alloc`] — injection, switch allocation and wire transmission,
 //! * [`collect`] — statistics counters and [`SimResult`] finalization,
-//! * [`observer`] — the monomorphized [`SimObserver`] probe seam.
+//! * [`observer`] — the monomorphized [`SimObserver`] probe seam,
+//! * [`watchdog`] — opt-in invariant monitoring and stall reports.
 //!
-//! The split is purely structural: the cycle loop below executes the exact
-//! phase order of the original monolithic engine (credit returns →
-//! arrivals → injection → switch allocation → wire transmission), and the
-//! golden fixtures in `tests/golden.rs` pin its results bit-for-bit.
+//! The cycle loop executes the phase order of the original monolithic
+//! engine (credit returns → arrivals → injection → switch allocation →
+//! wire transmission), and the golden fixtures in `tests/golden.rs` pin
+//! its results bit-for-bit.
+//!
+//! ## Partitioned execution
+//!
+//! A run executes as `Config::shards` workers, each owning a contiguous
+//! range of dragonfly groups (see [`state::ShardState`]).  Within a cycle
+//! each worker simulates only its own switches and channels; flits and
+//! credits that cross a shard boundary travel through per-pair mailboxes
+//! (cycle-stamped message batches behind mutexes), and a barrier at the
+//! end of every cycle publishes each shard's counters so all workers take
+//! **identical** stop decisions (saturation caps, deadlock heuristic,
+//! armed watchdog checks).  Determinism is the hard contract: mailboxes
+//! are drained in ascending source-shard order, arrival slots are sorted
+//! by channel, RNG streams are keyed per *group* rather than per run, and
+//! per-shard statistics merge in shard order — so a run with any valid
+//! shard count is bit-for-bit identical to the sequential one (pinned by
+//! `tests/shard_parity.rs`).  `shards == 1` (the default) runs today's
+//! sequential path on the caller's thread: no mailboxes, no barriers, no
+//! atomics traffic.
 //!
 //! ## Routing
 //!
@@ -43,11 +63,14 @@ use crate::stats::SimResult;
 use collect::Stats;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use state::Packet;
-use std::sync::Arc;
+use state::{Packet, ShardState};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Barrier, Mutex};
 use tugal_routing::{Path, PathId, PathProvider, PathRef, PathStore};
 use tugal_topology::Dragonfly;
 use tugal_traffic::TrafficPattern;
+use watchdog::StallPartial;
 
 /// Per-node cap on the source queue.  BookSim models infinite source
 /// queues; bounding them only matters beyond saturation (where the latency
@@ -64,9 +87,129 @@ pub(crate) const F_REVISABLE: u8 = 2;
 pub(crate) const F_VLB: u8 = 4;
 
 /// Tag bit of `Packet::path_id`: set when the path lives in the packet's
-/// `SimWorkspace::eph_paths` slot instead of the provider's interned
+/// `ShardState::eph_paths` slot instead of the provider's interned
 /// arena (see `Engine::set_packet_path`).
 pub(crate) const EPH_BIT: u32 = 1 << 31;
+
+/// Weyl-sequence multiplier mixing the group index into the run seed:
+/// every dragonfly group draws from its own `SmallRng` stream, so the RNG
+/// consumption of one group is independent of how many shards execute the
+/// run — the keystone of the shard-count-invariance contract.
+const GROUP_SEED_MIX: u64 = 0x9E3779B97F4A7C15;
+
+fn group_rng(seed: u64, group: u32) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ GROUP_SEED_MIX.wrapping_mul(group as u64 + 1))
+}
+
+/// A boundary message between shards: a flit handed to the shard owning
+/// the receiving switch, or a credit returned to the shard owning the
+/// sending switch.
+pub(crate) enum Msg {
+    /// A flit that finished its wire traversal into another shard's
+    /// switch: arrives at absolute cycle `due`.  The path rides along so
+    /// ephemeral (non-interned) routes survive the pool handoff.
+    Flit { due: u64, pkt: Packet, path: Path },
+    /// A credit for buffer index `idx` (channel * V + vc), due at absolute
+    /// cycle `due` on the sender shard's credit calendar.
+    Credit { idx: u32, due: u64 },
+}
+
+/// Begin-of-allocation snapshot of the UGAL-G queue inputs: staged-flit
+/// counts (sender side) and input-buffer occupancy (receiver side) per
+/// network channel.  Written by each owner after injection, read by every
+/// shard's routing decisions during allocation — separated by a barrier,
+/// so relaxed atomics suffice.  Allocated (for every shard count,
+/// including 1) only when the routing algorithm is UGAL-G, which keeps
+/// the metric identical across shard counts: the "global genie" reads a
+/// consistent cycle-start snapshot instead of mid-allocation live state.
+pub(crate) struct Snap {
+    stg: Vec<AtomicU32>,
+    occ: Vec<AtomicU32>,
+}
+
+impl Snap {
+    fn new(n_network: usize) -> Self {
+        Snap {
+            stg: (0..n_network).map(|_| AtomicU32::new(0)).collect(),
+            occ: (0..n_network).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+}
+
+/// One shard's end-of-cycle publication: the counters every worker needs
+/// to take the global stop decisions.  Double-buffered by cycle parity so
+/// a worker one cycle ahead cannot clobber values a slower worker is
+/// still reading (a worker can lead by at most one cycle — the barrier
+/// bounds the skew).
+#[derive(Default)]
+struct PubSlot {
+    in_flight: AtomicU64,
+    sent: AtomicU64,
+    recv: AtomicU64,
+    last_delivery: AtomicU64,
+    injected: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    /// Wall-clock elapsed, published by shard 0 only (at the watchdog's
+    /// 1024-cycle cadence) so the wall-limit check trips identically on
+    /// every shard.
+    elapsed_ms: AtomicU64,
+}
+
+/// One boundary mailbox: cycle-stamped batches of [`Msg`], appended by
+/// the source shard at the end of its cycle, drained by the destination.
+type Mailbox = Mutex<VecDeque<(u64, Vec<Msg>)>>;
+
+/// Shared state of a multi-shard run: the cycle barrier, the N×N mailbox
+/// matrix and the per-shard publication cells.
+pub(crate) struct SharedRun {
+    n: usize,
+    barrier: Barrier,
+    /// Mailbox `src * n + dst`: cycle-stamped message batches.  The
+    /// receiver drains only batches stamped *before* its current cycle,
+    /// in ascending source-shard order — fixed drain order is part of the
+    /// determinism contract.
+    boxes: Vec<Mailbox>,
+    /// Publication cells, double-buffered by cycle parity.
+    cells: Vec<[PubSlot; 2]>,
+}
+
+impl SharedRun {
+    fn new(n: usize) -> Self {
+        SharedRun {
+            n,
+            barrier: Barrier::new(n),
+            boxes: (0..n * n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            cells: (0..n)
+                .map(|_| [PubSlot::default(), PubSlot::default()])
+                .collect(),
+        }
+    }
+}
+
+/// The globally agreed counters of the cycle that just completed; every
+/// shard computes the identical value from the published cells (or from
+/// its own counters on the sequential path).
+#[derive(Default)]
+struct CycleGlobals {
+    in_flight: u64,
+    last_delivery: u64,
+    injected: u64,
+    delivered: u64,
+    dropped: u64,
+    elapsed_ms: u64,
+}
+
+/// What one shard worker hands back to the orchestrator.
+pub(crate) struct ShardOutcome {
+    stats: Stats,
+    kind: Option<StallKind>,
+    stall: Option<StallPartial>,
+    in_flight: u64,
+    sent: u64,
+    recv: u64,
+    now: u64,
+}
 
 /// A configured simulation; [`Simulator::run`] executes it at one offered
 /// load.
@@ -134,7 +277,8 @@ impl Simulator {
     /// Like [`Simulator::run`], but executes inside `ws`, reusing its
     /// allocations.  The workspace is reset first, so results are
     /// identical whether `ws` is fresh or previously used (for any
-    /// topology/config — shape changes reallocate transparently).
+    /// topology/config/shard count — shape changes reallocate
+    /// transparently).
     pub fn run_with(&self, rate: f64, ws: &mut SimWorkspace) -> SimResult {
         self.run_observed(rate, ws, &mut NoopObserver)
     }
@@ -155,6 +299,13 @@ impl Simulator {
     /// [`StallReport`] if the configured watchdog tripped (`None` when the
     /// watchdog is off or never fired).  The `SimResult` is identical to
     /// the one [`Simulator::run_observed`] returns for the same inputs.
+    ///
+    /// With `cfg.shards > 1` the run executes as that many shard workers
+    /// (panicking if the count does not divide the topology's groups —
+    /// use [`Config::validate_shards`] up front for a typed error).  If
+    /// the observer cannot fork ([`SimObserver::fork`] returns `None`)
+    /// the run silently falls back to the sequential path, which is
+    /// result-identical by the determinism contract.
     pub fn run_reported<O: SimObserver>(
         &self,
         rate: f64,
@@ -165,19 +316,155 @@ impl Simulator {
             rate > 0.0 && rate <= 1.0,
             "injection rate {rate} out of (0,1]"
         );
-        Engine::new(self, rate, ws, obs).run()
+        let groups = self.topo.num_groups() as u32;
+        if let Err(e) = self.cfg.validate_shards(groups) {
+            panic!("invalid shard configuration: {e}");
+        }
+
+        // Fork one observer per shard; an observer that cannot fork runs
+        // the whole simulation sequentially instead (bit-identical, just
+        // not parallel).
+        let want = self.cfg.shards as usize;
+        let mut forks: Vec<O> = Vec::new();
+        if want > 1 {
+            for _ in 0..want {
+                match obs.fork() {
+                    Some(f) => forks.push(f),
+                    None => {
+                        forks.clear();
+                        break;
+                    }
+                }
+            }
+        }
+        let exec = if want > 1 && forks.len() == want {
+            want
+        } else {
+            1
+        };
+
+        ws.reset(&self.topo, &self.cfg, exec);
+        let n_network = self.topo.num_network_channels();
+        let nodes = self.topo.num_nodes();
+        let snap = (self.routing == RoutingAlgorithm::UgalG).then(|| Snap::new(n_network));
+
+        let (mut outs, global_in_flight) = if exec == 1 {
+            let eng = Engine::new(self, rate, &mut ws.shards[0], obs, None, snap.as_ref());
+            let out = eng.run();
+            let gif = out.in_flight;
+            (vec![out], gif)
+        } else {
+            let shared = SharedRun::new(exec);
+            let joined: Vec<(ShardOutcome, O)> = std::thread::scope(|scope| {
+                let shared = &shared;
+                let snap = snap.as_ref();
+                let mut handles = Vec::with_capacity(exec);
+                for (st, fork) in ws.shards.iter_mut().zip(forks.drain(..)) {
+                    handles.push(scope.spawn(move || {
+                        let mut fork = fork;
+                        let eng = Engine::new(self, rate, st, &mut fork, Some(shared), snap);
+                        (eng.run(), fork)
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            });
+            let mut outs = Vec::with_capacity(exec);
+            for (out, fork) in joined {
+                obs.absorb(fork);
+                outs.push(out);
+            }
+            // Global in-flight population: per-shard pools plus flits
+            // still sitting in mailboxes (sent but never drained).
+            let gif = outs.iter().map(|o| o.in_flight + o.sent).sum::<u64>()
+                - outs.iter().map(|o| o.recv).sum::<u64>();
+            (outs, gif)
+        };
+
+        // Deterministic reduction in shard order.
+        let mut partials = Vec::new();
+        if let Some(p) = outs[0].stall.take() {
+            partials.push(p);
+        }
+        let (first, rest) = outs.split_at_mut(1);
+        let first = &mut first[0];
+        for o in rest {
+            debug_assert_eq!(o.kind, first.kind, "shards disagree on the stop decision");
+            debug_assert_eq!(o.now, first.now, "shards disagree on the stop cycle");
+            first.stats.merge(&o.stats);
+            if let Some(p) = o.stall.take() {
+                partials.push(p);
+            }
+        }
+        let now = first.now;
+        obs.on_run_end(now, global_in_flight);
+
+        // Per-channel flit counts: each shard increments only channels
+        // whose send side it owns, so the per-shard vectors sum disjointly.
+        let merged_flits;
+        let chan_flits: &[u32] = if ws.shards.len() == 1 {
+            &ws.shards[0].chan_flits
+        } else {
+            let mut acc = vec![0u32; self.topo.num_channels()];
+            for st in &ws.shards {
+                for (a, &f) in acc.iter_mut().zip(&st.chan_flits) {
+                    *a += f;
+                }
+            }
+            merged_flits = acc;
+            &merged_flits
+        };
+
+        let result = first.stats.finalize(
+            &self.cfg,
+            rate,
+            now,
+            nodes,
+            chan_flits,
+            &ws.shards[0].is_global,
+            n_network,
+        );
+        let stall = first.kind.map(|kind| {
+            StallReport::assemble(
+                kind,
+                now,
+                first.stats.last_delivery,
+                ConservationLedger {
+                    injected: first.stats.total_injected,
+                    delivered: first.stats.total_delivered,
+                    dropped: first.stats.total_dropped,
+                    in_flight: global_in_flight,
+                },
+                RoutingCounters {
+                    routed: first.stats.routed,
+                    vlb_chosen: first.stats.vlb_chosen,
+                },
+                partials,
+            )
+        });
+        (result, stall)
     }
 }
 
 pub(crate) struct Engine<'a, O: SimObserver> {
     pub(crate) sim: &'a Simulator,
-    pub(crate) ws: &'a mut SimWorkspace,
+    pub(crate) ws: &'a mut ShardState,
     pub(crate) obs: &'a mut O,
     pub(crate) rate: f64,
     pub(crate) now: u64,
-    pub(crate) rng: SmallRng,
+    /// One RNG stream per *owned group* (index = group − `ws.group_lo`).
+    /// Keying randomness by group — injection by the node's group, routing
+    /// draws by the deciding switch's group — makes every stream's
+    /// consumption independent of the shard count.
+    pub(crate) rngs: Vec<SmallRng>,
     pub(crate) v: usize, // num VCs
     pub(crate) in_flight: usize,
+    /// Flits handed to other shards' mailboxes / received from them
+    /// (global in-flight accounting: Σ in_flight + Σ sent − Σ recv).
+    pub(crate) sent: u64,
+    pub(crate) recv: u64,
     /// `ring_size - 1`; ring sizes are powers of two, so calendar slots
     /// are computed with a mask instead of a per-event division.
     pub(crate) ring_mask: u64,
@@ -195,28 +482,60 @@ pub(crate) struct Engine<'a, O: SimObserver> {
     pub(crate) fault_on: bool,
     /// Next unapplied event of the fault schedule.
     next_event: usize,
+    /// `Some` for multi-shard runs; `None` compiles the sequential path
+    /// with no barriers or mailbox traffic.
+    shared: Option<&'a SharedRun>,
+    /// Per-destination-shard outgoing message batches, flushed at the end
+    /// of every cycle (empty and untouched on the sequential path).
+    pub(crate) outbox: Vec<Vec<Msg>>,
+    /// UGAL-G queue snapshot (`None` for every other routing algorithm).
+    snap: Option<&'a Snap>,
 }
 
 impl<'a, O: SimObserver> Engine<'a, O> {
-    fn new(sim: &'a Simulator, rate: f64, ws: &'a mut SimWorkspace, obs: &'a mut O) -> Self {
+    fn new(
+        sim: &'a Simulator,
+        rate: f64,
+        st: &'a mut ShardState,
+        obs: &'a mut O,
+        shared: Option<&'a SharedRun>,
+        snap: Option<&'a Snap>,
+    ) -> Self {
         let cfg = &sim.cfg;
-        ws.reset(&sim.topo, cfg);
+        let groups_owned = ((st.node_hi - st.node_lo) / st.nodes_per_group) as usize;
+        let rngs = (0..groups_owned)
+            .map(|k| group_rng(cfg.seed, st.group_lo + k as u32))
+            .collect();
+        let outbox = (0..st.n_shards).map(|_| Vec::new()).collect();
         Engine {
             sim,
-            ws,
+            ws: st,
             obs,
             rate,
             now: 0,
-            rng: SmallRng::seed_from_u64(cfg.seed),
+            rngs,
             v: cfg.num_vcs as usize,
             in_flight: 0,
+            sent: 0,
+            recv: 0,
             ring_mask: SimWorkspace::ring_size_for(cfg) as u64 - 1,
             n_network: sim.topo.num_network_channels(),
             stats: Stats::new(),
             store: sim.provider.path_store(),
             fault_on: sim.faults.as_ref().is_some_and(|f| !f.is_empty()),
             next_event: 0,
+            shared,
+            outbox,
+            snap,
         }
+    }
+
+    /// RNG-stream index of the group owning switch `s` (the switch must be
+    /// owned by this shard — routing decisions always run at the packet's
+    /// current switch).
+    #[inline]
+    pub(crate) fn gi_of_switch(&self, s: tugal_topology::SwitchId) -> usize {
+        (self.sim.topo.group_of(s).0 - self.ws.group_lo) as usize
     }
 
     pub(crate) fn alloc_packet(&mut self, p: Packet) -> u32 {
@@ -267,12 +586,33 @@ impl<'a, O: SimObserver> Engine<'a, O> {
         self.ws.free.push(i);
     }
 
-    fn run(mut self) -> (SimResult, Option<StallReport>) {
+    /// Returns the input-buffer credit of `idx` (buffer of channel
+    /// `in_ch`) upstream: locally through the credit calendar when this
+    /// shard owns the channel's send side, otherwise as a mailbox message
+    /// to the owning shard.  Injection-channel credits never return (their
+    /// upstream is the uncredit-managed source queue).
+    #[inline]
+    pub(crate) fn return_credit(&mut self, idx: usize, in_ch: usize) {
+        if in_ch >= self.n_network {
+            return;
+        }
+        let due = self.now + self.ws.latency[in_ch] as u64;
+        if self.ws.owns_send[in_ch] {
+            self.ws.credit_ring[(due & self.ring_mask) as usize].push(idx as u32);
+        } else {
+            self.outbox[self.ws.src_shard[in_ch] as usize].push(Msg::Credit {
+                idx: idx as u32,
+                due,
+            });
+        }
+    }
+
+    fn run(mut self) -> ShardOutcome {
         let cfg = self.sim.cfg.clone();
         let warmup = cfg.warmup_windows as u64 * cfg.window as u64;
         let total = cfg.total_cycles();
         let nodes = self.sim.topo.num_nodes();
-        let inflight_cap = nodes * INFLIGHT_CAP_PER_NODE;
+        let inflight_cap = (nodes * INFLIGHT_CAP_PER_NODE) as u64;
         let watchdog =
             (cfg.window as u64).max(64 * (cfg.global_latency as u64 + cfg.local_latency as u64));
 
@@ -281,8 +621,10 @@ impl<'a, O: SimObserver> Engine<'a, O> {
         // a non-tripping armed run is bit-identical to a disarmed one
         // (pinned by the watchdog-armed golden variants).
         let wd = self.sim.cfg.watchdog.filter(|w| w.armed());
+        let wall_armed = wd.as_ref().is_some_and(|w| w.wall_limit_ms > 0);
         let wd_start = std::time::Instant::now();
-        let mut stall: Option<StallReport> = None;
+        let mut kind: Option<StallKind> = None;
+        let mut stall: Option<StallPartial> = None;
 
         // The schedule is applied lazily as the clock reaches each event
         // (an event at cycle 0 degrades the network before any traffic).
@@ -293,6 +635,9 @@ impl<'a, O: SimObserver> Engine<'a, O> {
         };
 
         while self.now < total {
+            if self.shared.is_some() {
+                self.drain_mailboxes();
+            }
             if let Some(sched) = &sched {
                 let events = sched.events();
                 while self.next_event < events.len() && events[self.next_event].cycle <= self.now {
@@ -305,7 +650,15 @@ impl<'a, O: SimObserver> Engine<'a, O> {
                 self.obs.on_measurement_start(self.now);
             }
             self.step();
-            if self.in_flight > inflight_cap {
+            if let Some(sh) = self.shared {
+                self.flush_outbox(sh);
+                self.publish(sh, wall_armed, &wd_start);
+                sh.barrier.wait();
+            }
+            // Every shard evaluates the stop conditions on the *same*
+            // published global counters, so all workers break together.
+            let g = self.globals(wall_armed, &wd_start);
+            if g.in_flight > inflight_cap {
                 self.stats.saturated_early = true;
                 break;
             }
@@ -313,14 +666,15 @@ impl<'a, O: SimObserver> Engine<'a, O> {
             // eject within a generous horizon; a correctly configured VC
             // scheme guarantees it.  A trip marks the run instead of
             // spinning to the end of the window.
-            if self.in_flight > 0 && self.now.saturating_sub(self.stats.last_delivery) > watchdog {
+            if g.in_flight > 0 && self.now.saturating_sub(g.last_delivery) > watchdog {
                 self.stats.deadlock_suspected = true;
                 self.stats.saturated_early = true;
                 break;
             }
             if let Some(w) = &wd {
-                if let Some(kind) = self.watchdog_check(w, &wd_start) {
-                    stall = Some(self.stall_report(kind));
+                if let Some(k) = self.watchdog_check(w, &g) {
+                    stall = Some(self.stall_partial());
+                    kind = Some(k);
                     self.stats.saturated_early = true;
                     break;
                 }
@@ -328,62 +682,174 @@ impl<'a, O: SimObserver> Engine<'a, O> {
             self.now += 1;
         }
 
-        self.obs.on_run_end(self.now, self.in_flight as u64);
-        let result = self.stats.finalize(
-            &cfg,
-            self.rate,
-            self.now,
-            nodes,
-            &self.ws.chan_flits,
-            &self.ws.is_global,
-            self.n_network,
-        );
-        (result, stall)
+        ShardOutcome {
+            stats: self.stats,
+            kind,
+            stall,
+            in_flight: self.in_flight as u64,
+            sent: self.sent,
+            recv: self.recv,
+            now: self.now,
+        }
     }
 
-    /// Runs the armed watchdog checks for the cycle that just completed.
-    /// Called off the hot path only when a [`WatchdogConfig`] is armed.
-    fn watchdog_check(&self, w: &WatchdogConfig, start: &std::time::Instant) -> Option<StallKind> {
+    /// Ingests boundary messages from every other shard: batches stamped
+    /// before the current cycle, in ascending source-shard order (the
+    /// fixed drain order of the determinism contract).  A neighbour
+    /// running one cycle ahead may already have flushed its next batch;
+    /// the stamp filter leaves it queued for the next cycle.
+    fn drain_mailboxes(&mut self) {
+        let sh = self.shared.expect("mailboxes exist only on sharded runs");
+        let me = self.ws.id as usize;
+        for src in 0..sh.n {
+            if src == me {
+                continue;
+            }
+            loop {
+                let batch = {
+                    let mut q = sh.boxes[src * sh.n + me].lock().unwrap();
+                    match q.front() {
+                        Some((stamp, _)) if *stamp < self.now => q.pop_front(),
+                        _ => None,
+                    }
+                };
+                let Some((_, msgs)) = batch else { break };
+                for msg in msgs {
+                    match msg {
+                        Msg::Flit { due, pkt, path } => {
+                            let eph = pkt.path_id & EPH_BIT != 0;
+                            let pi = self.alloc_packet(pkt);
+                            if eph {
+                                // Re-home the ephemeral path into this
+                                // shard's slab and retag the packet.
+                                self.ws.eph_paths[pi as usize] = path;
+                                self.ws.packets[pi as usize].path_id = EPH_BIT | pi;
+                            }
+                            self.recv += 1;
+                            self.ws.arrivals[(due & self.ring_mask) as usize].push(pi);
+                        }
+                        Msg::Credit { idx, due } => {
+                            self.ws.credit_ring[(due & self.ring_mask) as usize].push(idx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flushes this cycle's outgoing batches, stamped with the current
+    /// cycle, into the destination shards' mailboxes.
+    fn flush_outbox(&mut self, sh: &SharedRun) {
+        let me = self.ws.id as usize;
+        for d in 0..self.outbox.len() {
+            if self.outbox[d].is_empty() {
+                continue;
+            }
+            let batch = std::mem::take(&mut self.outbox[d]);
+            sh.boxes[me * sh.n + d]
+                .lock()
+                .unwrap()
+                .push_back((self.now, batch));
+        }
+    }
+
+    /// Publishes this shard's cycle-end counters into its (cycle-parity)
+    /// publication cell.
+    fn publish(&self, sh: &SharedRun, wall_armed: bool, start: &std::time::Instant) {
+        let slot = &sh.cells[self.ws.id as usize][(self.now & 1) as usize];
+        slot.in_flight.store(self.in_flight as u64, Relaxed);
+        slot.sent.store(self.sent, Relaxed);
+        slot.recv.store(self.recv, Relaxed);
+        slot.last_delivery.store(self.stats.last_delivery, Relaxed);
+        slot.injected.store(self.stats.total_injected, Relaxed);
+        slot.delivered.store(self.stats.total_delivered, Relaxed);
+        slot.dropped.store(self.stats.total_dropped, Relaxed);
+        // Only shard 0 samples the wall clock (and only at the watchdog's
+        // coarse cadence): every shard then reads the *same* elapsed time,
+        // so the wall-limit trip decision is global and deterministic
+        // within the run.
+        let elapsed = if self.ws.id == 0 && wall_armed && self.now & 1023 == 0 {
+            start.elapsed().as_millis() as u64
+        } else {
+            0
+        };
+        slot.elapsed_ms.store(elapsed, Relaxed);
+    }
+
+    /// The global end-of-cycle counters: summed from the published cells
+    /// on sharded runs, this shard's own counters otherwise.
+    fn globals(&self, wall_armed: bool, start: &std::time::Instant) -> CycleGlobals {
+        match self.shared {
+            None => CycleGlobals {
+                in_flight: self.in_flight as u64,
+                last_delivery: self.stats.last_delivery,
+                injected: self.stats.total_injected,
+                delivered: self.stats.total_delivered,
+                dropped: self.stats.total_dropped,
+                elapsed_ms: if wall_armed && self.now & 1023 == 0 {
+                    start.elapsed().as_millis() as u64
+                } else {
+                    0
+                },
+            },
+            Some(sh) => {
+                let par = (self.now & 1) as usize;
+                let mut g = CycleGlobals::default();
+                let (mut sent, mut recv) = (0u64, 0u64);
+                for cell in &sh.cells {
+                    let s = &cell[par];
+                    g.in_flight += s.in_flight.load(Relaxed);
+                    sent += s.sent.load(Relaxed);
+                    recv += s.recv.load(Relaxed);
+                    g.last_delivery = g.last_delivery.max(s.last_delivery.load(Relaxed));
+                    g.injected += s.injected.load(Relaxed);
+                    g.delivered += s.delivered.load(Relaxed);
+                    g.dropped += s.dropped.load(Relaxed);
+                    g.elapsed_ms += s.elapsed_ms.load(Relaxed);
+                }
+                // Flits inside mailboxes are in flight but in no shard's
+                // pool.
+                g.in_flight += sent - recv;
+                g
+            }
+        }
+    }
+
+    /// Runs the armed watchdog checks for the cycle that just completed,
+    /// against the globally agreed counters.  Called off the hot path only
+    /// when a [`WatchdogConfig`] is armed.
+    fn watchdog_check(&self, w: &WatchdogConfig, g: &CycleGlobals) -> Option<StallKind> {
         if w.stall_cycles > 0
-            && self.in_flight > 0
-            && self.now.saturating_sub(self.stats.last_delivery) > w.stall_cycles
+            && g.in_flight > 0
+            && self.now.saturating_sub(g.last_delivery) > w.stall_cycles
         {
             return Some(StallKind::Livelock);
         }
         if w.conservation_every > 0
             && self.now.is_multiple_of(w.conservation_every)
-            && !self.ledger().balanced()
+            && g.injected != g.delivered + g.dropped + g.in_flight
         {
             return Some(StallKind::ConservationViolation);
         }
         if w.max_cycles > 0 && self.now + 1 >= w.max_cycles {
             return Some(StallKind::CycleCeiling);
         }
-        if w.wall_limit_ms > 0
-            && self.now & 1023 == 0
-            && start.elapsed().as_millis() as u64 >= w.wall_limit_ms
-        {
+        if w.wall_limit_ms > 0 && self.now & 1023 == 0 && g.elapsed_ms >= w.wall_limit_ms {
             return Some(StallKind::WallClockExceeded);
         }
         None
     }
 
-    /// The whole-run packet-accounting ledger at the current cycle.
-    fn ledger(&self) -> ConservationLedger {
-        ConservationLedger {
-            injected: self.stats.total_injected,
-            delivered: self.stats.total_delivered,
-            dropped: self.stats.total_dropped,
-            in_flight: self.in_flight as u64,
-        }
-    }
-
-    /// Builds the trip report: ledger, occupancy snapshot, oldest live
-    /// packet and decision counters.  Cold path — runs once per trip.
-    fn stall_report(&self, kind: StallKind) -> StallReport {
-        // Non-empty (channel, VC) input buffers, largest first.
+    /// This shard's contribution to the trip report: occupancy of the
+    /// input buffers it owns and its oldest live packet.  Cold path —
+    /// runs once per trip; merged deterministically by
+    /// [`StallReport::assemble`].
+    fn stall_partial(&self) -> StallPartial {
         let mut occupancy = Vec::new();
         for ch in 0..self.n_network {
+            if !self.ws.owns_recv[ch] {
+                continue;
+            }
             for vc in 0..self.v {
                 let occ = self.ws.vc_occupancy(ch, self.v, vc);
                 if occ > 0 {
@@ -395,15 +861,10 @@ impl<'a, O: SimObserver> Engine<'a, O> {
                 }
             }
         }
-        occupancy.sort_by(|a, b| {
-            b.occupancy
-                .cmp(&a.occupancy)
-                .then(a.chan.cmp(&b.chan))
-                .then(a.vc.cmp(&b.vc))
-        });
-        occupancy.truncate(StallReport::MAX_OCCUPANCY_ENTRIES);
 
-        // Oldest live packet: the pool minus its free list.
+        // Oldest live packet: the pool minus its free list.  The (birth,
+        // src, dst) key is unique (one injection draw per node per cycle)
+        // and shard-count-invariant, unlike pool order.
         let mut live = vec![true; self.ws.packets.len()];
         for &f in &self.ws.free {
             live[f as usize] = false;
@@ -415,7 +876,7 @@ impl<'a, O: SimObserver> Engine<'a, O> {
             .zip(live)
             .filter(|(_, alive)| *alive)
             .map(|(p, _)| p)
-            .min_by_key(|p| p.birth)
+            .min_by_key(|p| (p.birth, p.src_node, p.dst_node))
             .map(|p| OldestPacket {
                 birth: p.birth,
                 age: self.now.saturating_sub(p.birth),
@@ -425,18 +886,7 @@ impl<'a, O: SimObserver> Engine<'a, O> {
                 cur_chan: p.cur_chan,
             });
 
-        StallReport {
-            kind,
-            cycle: self.now,
-            last_delivery: self.stats.last_delivery,
-            ledger: self.ledger(),
-            occupancy,
-            oldest,
-            decisions: RoutingCounters {
-                routed: self.stats.routed,
-                vlb_chosen: self.stats.vlb_chosen,
-            },
-        }
+        StallPartial { occupancy, oldest }
     }
 
     fn step(&mut self) {
@@ -444,10 +894,14 @@ impl<'a, O: SimObserver> Engine<'a, O> {
 
         // Observer-driven occupancy sampling: a zero cadence (the
         // `NoopObserver` default) lets monomorphization compile the whole
-        // block out of the hot loop.
+        // block out of the hot loop.  Shards sample the input buffers they
+        // own — disjoint, jointly exhaustive across shards.
         let cadence = self.obs.occupancy_cadence();
         if cadence != 0 && self.now.is_multiple_of(cadence) {
             for ch in 0..self.n_network {
+                if !self.ws.owns_recv[ch] {
+                    continue;
+                }
                 for vc in 0..self.v {
                     let occ = self.ws.vc_occupancy(ch, self.v, vc);
                     self.obs
@@ -476,9 +930,13 @@ impl<'a, O: SimObserver> Engine<'a, O> {
         credits_due.clear();
         self.ws.credit_scratch = credits_due;
 
-        // 2. Arrivals.
+        // 2. Arrivals, in canonical (channel) order: a channel delivers at
+        // most one flit per cycle, so `cur_chan` totally orders the slot.
+        // Slot insertion order differs between shard counts (mailbox
+        // drains vs. local transmit order); the sort erases that.
         let mut arrived = std::mem::take(&mut self.ws.arrival_scratch);
         std::mem::swap(&mut arrived, &mut self.ws.arrivals[slot]);
+        arrived.sort_unstable_by_key(|&pi| self.ws.packets[pi as usize].cur_chan);
         for &pi in &arrived {
             let p = &self.ws.packets[pi as usize];
             let ch = p.cur_chan as usize;
@@ -510,10 +968,35 @@ impl<'a, O: SimObserver> Engine<'a, O> {
         // 3. Injection.
         self.inject();
 
+        // 3b. UGAL-G snapshot: each owner publishes its staged-flit and
+        // buffer-occupancy counters; a barrier separates the writes from
+        // the reads routing makes during allocation.
+        if let Some(snap) = self.snap {
+            for ch in 0..self.n_network {
+                if self.ws.owns_send[ch] {
+                    snap.stg[ch].store(self.ws.stg_len[ch], Relaxed);
+                }
+                if self.ws.owns_recv[ch] {
+                    snap.occ[ch].store(self.ws.buf_occ[ch], Relaxed);
+                }
+            }
+            if let Some(sh) = self.shared {
+                sh.barrier.wait();
+            }
+        }
+
         // 4. Switch allocation.
         self.allocate();
 
         // 5. Wire transmission (1 flit/cycle/channel).
         self.transmit();
+    }
+
+    /// The UGAL-G snapshot value for `chan` (staged flits + downstream
+    /// buffer occupancy at the start of this cycle's allocation phase).
+    #[inline]
+    pub(crate) fn snap_q(&self, chan: u32) -> u64 {
+        let snap = self.snap.expect("UGAL-G runs allocate a snapshot");
+        snap.stg[chan as usize].load(Relaxed) as u64 + snap.occ[chan as usize].load(Relaxed) as u64
     }
 }

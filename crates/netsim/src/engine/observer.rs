@@ -29,11 +29,51 @@ use tugal_topology::{NodeId, SwitchId};
 ///   decision (the second call has `reroute = true`);
 /// * [`on_link_traverse`](Self::on_link_traverse) fires once per flit per
 ///   switch-to-switch channel traversal (terminal channels are excluded).
+///
+/// ## Sharded runs
+///
+/// With `Config::shards > 1` the engine asks the observer to
+/// [`fork`](Self::fork) one child per shard worker; each child receives
+/// the hooks of its shard's events and the parent
+/// [`absorb`](Self::absorb)s the children back in shard order before the
+/// single final [`on_run_end`](Self::on_run_end) fires on the parent.
+/// Event *multisets* are shard-count-invariant for packet-level hooks
+/// (injections, routes, traversals, deliveries, drops, occupancy
+/// samples), but the interleaving within a cycle is not, and the
+/// run-level hooks ([`on_cycle`](Self::on_cycle),
+/// [`on_measurement_start`](Self::on_measurement_start)) fire once per
+/// *shard* per event.  The default `fork` returns `None`, which makes the
+/// engine fall back to a sequential run — bit-for-bit identical by the
+/// determinism contract, just not parallel — so existing observers keep
+/// their exact semantics without implementing the seam.  (`Send` is a
+/// supertrait so forks can move onto worker threads.)
 #[allow(unused_variables)]
-pub trait SimObserver {
+pub trait SimObserver: Send {
     /// Start of each simulated cycle, before credit returns and arrivals.
     #[inline(always)]
     fn on_cycle(&mut self, now: u64) {}
+
+    /// Creates a shard-local child observer for a parallel run, or `None`
+    /// (the default) to keep the run sequential.  A fork starts empty:
+    /// partially forked children may be dropped unused if any sibling
+    /// fork fails.
+    #[inline]
+    fn fork(&self) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        None
+    }
+
+    /// Folds a shard-local child back into `self`; called once per fork,
+    /// in shard order, after all workers join and before
+    /// [`on_run_end`](Self::on_run_end).
+    #[inline]
+    fn absorb(&mut self, shard: Self)
+    where
+        Self: Sized,
+    {
+    }
 
     /// The measurement window opened (warmup ended) at `now`.
     #[inline(always)]
@@ -104,4 +144,9 @@ pub trait SimObserver {
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NoopObserver;
 
-impl SimObserver for NoopObserver {}
+impl SimObserver for NoopObserver {
+    // Stateless, so it forks trivially — unobserved runs parallelize.
+    fn fork(&self) -> Option<Self> {
+        Some(NoopObserver)
+    }
+}

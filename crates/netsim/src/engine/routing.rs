@@ -24,9 +24,13 @@ impl<O: SimObserver> Engine<'_, O> {
 
     /// UGAL-G metric of a channel: downstream buffer occupancy plus staged
     /// flits (a global snapshot an implementation could not cheaply have).
+    /// Reads the begin-of-allocation snapshot the owners published after
+    /// injection — identical at every shard count, because the snapshot is
+    /// taken at the same point of the cycle regardless of which shard owns
+    /// the channel.
     #[inline]
     pub(crate) fn q_global(&self, chan: u32) -> u64 {
-        self.ws.buf_occ[chan as usize] as u64 + self.ws.stg_len[chan as usize] as u64
+        self.snap_q(chan)
     }
 
     pub(crate) fn q_local_path(&self, path: &Path) -> u64 {
@@ -63,9 +67,10 @@ impl<O: SimObserver> Engine<'_, O> {
         s: tugal_topology::SwitchId,
         d: tugal_topology::SwitchId,
         global: bool,
+        gi: usize,
     ) -> PathRef<'p> {
         let k = self.sim.cfg.vlb_candidates.max(1);
-        let mut best = provider.sample_vlb_ref(s, d, &mut self.rng);
+        let mut best = provider.sample_vlb_ref(s, d, &mut self.rngs[gi]);
         if k == 1 {
             return best;
         }
@@ -78,7 +83,7 @@ impl<O: SimObserver> Engine<'_, O> {
         };
         let mut best_q = metric(self, best.path());
         for _ in 1..k {
-            let cand = provider.sample_vlb_ref(s, d, &mut self.rng);
+            let cand = provider.sample_vlb_ref(s, d, &mut self.rngs[gi]);
             let q = metric(self, cand.path());
             if q < best_q {
                 best = cand;
@@ -103,6 +108,10 @@ impl<O: SimObserver> Engine<'_, O> {
                 topo.switch_of_node(NodeId(p.dst_node)),
             )
         };
+        // The routing decision always runs at the head of a buffer of the
+        // source switch, so `s` is owned by this shard and its group keys
+        // the RNG stream the draws consume.
+        let gi = self.gi_of_switch(s);
         // `ugal_threshold == i64::MAX` is the documented force-MIN
         // sentinel: the decision is short-circuited *without drawing the
         // VLB candidate*, so such a run consumes the RNG exactly like
@@ -110,18 +119,22 @@ impl<O: SimObserver> Engine<'_, O> {
         // finite threshold draws both candidates as usual.
         let force_min = sim.cfg.ugal_threshold == i64::MAX;
         let (path, used_vlb, revisable) = match sim.routing {
-            RoutingAlgorithm::Min => (provider.sample_min_ref(s, d, &mut self.rng), false, false),
+            RoutingAlgorithm::Min => (
+                provider.sample_min_ref(s, d, &mut self.rngs[gi]),
+                false,
+                false,
+            ),
             RoutingAlgorithm::Vlb => {
-                let p = provider.sample_vlb_ref(s, d, &mut self.rng);
+                let p = provider.sample_vlb_ref(s, d, &mut self.rngs[gi]);
                 let vlb = p.path().hops() > 0;
                 (p, vlb, false)
             }
             RoutingAlgorithm::UgalL | RoutingAlgorithm::Par => {
-                let min = provider.sample_min_ref(s, d, &mut self.rng);
+                let min = provider.sample_min_ref(s, d, &mut self.rngs[gi]);
                 if force_min {
                     (min, false, sim.routing == RoutingAlgorithm::Par)
                 } else {
-                    let vlb = self.best_vlb_candidate(provider, s, d, false);
+                    let vlb = self.best_vlb_candidate(provider, s, d, false, gi);
                     if min.path() == vlb.path() || min.path().hops() == 0 {
                         (min, false, false)
                     } else {
@@ -136,11 +149,11 @@ impl<O: SimObserver> Engine<'_, O> {
                 }
             }
             RoutingAlgorithm::UgalG => {
-                let min = provider.sample_min_ref(s, d, &mut self.rng);
+                let min = provider.sample_min_ref(s, d, &mut self.rngs[gi]);
                 if force_min {
                     (min, false, false)
                 } else {
-                    let vlb = self.best_vlb_candidate(provider, s, d, true);
+                    let vlb = self.best_vlb_candidate(provider, s, d, true, gi);
                     if min.path() == vlb.path() || min.path().hops() == 0 {
                         (min, false, false)
                     } else {
@@ -190,7 +203,10 @@ impl<O: SimObserver> Engine<'_, O> {
         }
         let d = topo.switch_of_node(NodeId(dst_node));
         let provider = &*sim.provider;
-        let vlb = provider.sample_vlb_ref(cur, d, &mut self.rng);
+        // The revision runs at `cur` (the packet sits in one of its
+        // buffers), so `cur`'s group keys the draw.
+        let gi = self.gi_of_switch(cur);
+        let vlb = provider.sample_vlb_ref(cur, d, &mut self.rngs[gi]);
         // The MIN alternative is the remaining suffix of the current path
         // (the hop already taken is sunk either way).
         let q_min = self.q_local_path_from(self.packet_path(pi), 1) as i64;

@@ -191,10 +191,64 @@ pub struct StallReport {
     pub decisions: RoutingCounters,
 }
 
+/// One shard's contribution to a [`StallReport`]: the occupancy of the
+/// input buffers it owns and its oldest live packet.  Shards own disjoint
+/// receive-side buffers and disjoint packet pools, so concatenating the
+/// partials reconstructs the global view.
+#[derive(Debug)]
+pub(crate) struct StallPartial {
+    pub(crate) occupancy: Vec<VcSnapshot>,
+    pub(crate) oldest: Option<OldestPacket>,
+}
+
 impl StallReport {
     /// Cap on the occupancy snapshot so a report from a saturated large
     /// topology stays a report, not a core dump.
     pub const MAX_OCCUPANCY_ENTRIES: usize = 128;
+
+    /// Builds the report from per-shard partials, deterministically:
+    /// occupancy entries are canonically ordered (largest first, then by
+    /// channel and VC) before the cap applies, and the oldest packet is
+    /// the minimum under the shard-count-invariant `(birth, src, dst)`
+    /// key — unique, because a node injects at most one packet per cycle.
+    pub(crate) fn assemble(
+        kind: StallKind,
+        cycle: u64,
+        last_delivery: u64,
+        ledger: ConservationLedger,
+        decisions: RoutingCounters,
+        parts: Vec<StallPartial>,
+    ) -> Self {
+        let mut occupancy = Vec::new();
+        let mut oldest: Option<OldestPacket> = None;
+        for p in parts {
+            occupancy.extend(p.occupancy);
+            oldest = match (oldest, p.oldest) {
+                (None, o) | (o, None) => o,
+                (Some(a), Some(b)) => Some(if (b.birth, b.src, b.dst) < (a.birth, a.src, a.dst) {
+                    b
+                } else {
+                    a
+                }),
+            };
+        }
+        occupancy.sort_unstable_by(|a, b| {
+            b.occupancy
+                .cmp(&a.occupancy)
+                .then(a.chan.cmp(&b.chan))
+                .then(a.vc.cmp(&b.vc))
+        });
+        occupancy.truncate(Self::MAX_OCCUPANCY_ENTRIES);
+        StallReport {
+            kind,
+            cycle,
+            last_delivery,
+            ledger,
+            occupancy,
+            oldest,
+            decisions,
+        }
+    }
 
     /// One-line summary for logs.
     pub fn oneline(&self) -> String {

@@ -318,12 +318,15 @@ impl ExperimentRunner {
 
     /// Validates the whole experiment up front: the (rates × seeds) grid
     /// via [`crate::validate_sweep`] and every series' [`Config`] via
-    /// [`Config::validate`] — so a malformed sweep is rejected before any
+    /// [`Config::validate`] plus [`Config::validate_shards`] against this
+    /// runner's topology — so a malformed sweep is rejected before any
     /// job is scheduled.
     pub fn validate(&self, rates: &[f64], seeds: &[u64]) -> Result<(), ConfigError> {
         crate::error::validate_sweep(rates, seeds)?;
+        let groups = self.topo.num_groups() as u32;
         for s in &self.series {
             s.cfg.validate()?;
+            s.cfg.validate_shards(groups)?;
         }
         Ok(())
     }
@@ -600,7 +603,36 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 #[cfg(test)]
 mod tests {
-    use super::RunSummary;
+    use super::{ExperimentRunner, RunSummary, SeriesSpec};
+    use crate::config::{Config, RoutingAlgorithm};
+    use crate::error::ConfigError;
+    use std::sync::Arc;
+    use tugal_routing::TableProvider;
+    use tugal_topology::{Dragonfly, DragonflyParams};
+    use tugal_traffic::Uniform;
+
+    #[test]
+    fn validate_rejects_shards_that_do_not_fit_the_topology() {
+        // dfly(2,4,2,5) has 5 groups: 3 shards cannot divide them.
+        let topo = Arc::new(Dragonfly::new(DragonflyParams::new(2, 4, 2, 5)).unwrap());
+        let mut cfg = Config::quick().for_routing(RoutingAlgorithm::Min);
+        cfg.shards = 3;
+        let runner = ExperimentRunner::new(topo.clone()).series(SeriesSpec {
+            label: "min".into(),
+            provider: Arc::new(TableProvider::all_paths(topo.clone())),
+            pattern: Arc::new(Uniform::new(&topo)),
+            routing: RoutingAlgorithm::Min,
+            cfg,
+            faults: None,
+        });
+        assert_eq!(
+            runner.validate(&[0.1], &[1]),
+            Err(ConfigError::ShardsDontDivideGroups {
+                shards: 3,
+                groups: 5
+            })
+        );
+    }
 
     fn summary(jobs: usize, wall_ms: f64, slowest: Option<(&str, f64, u64, f64)>) -> RunSummary {
         RunSummary {

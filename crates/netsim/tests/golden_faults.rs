@@ -14,58 +14,12 @@
 include!("common/cases.rs");
 
 use tugal_netsim::FaultSchedule;
-use tugal_topology::{FaultSet, SwitchId};
-
-fn links5() -> FaultSchedule {
-    FaultSchedule::immediate(FaultSet::sample_global_links(&golden_topo(), 0.05, 0xBEEF))
-}
-
-fn switch3() -> FaultSchedule {
-    let mut fs = FaultSet::empty();
-    fs.fail_switch(SwitchId(3));
-    FaultSchedule::at(2500, fs)
-}
+use tugal_topology::FaultSet;
 
 fn run_faulted(adversarial: bool, rate: f64, schedule: FaultSchedule) -> SimResult {
     simulator(RoutingAlgorithm::UgalL, adversarial, 7)
         .with_faults(schedule)
         .run(rate)
-}
-
-/// (scenario, adversarial, rate, expected) — UGAL-L, seed 7.
-const FAULT_CASES: [(&str, bool, f64, &str); 4] = [
-    (
-        "links5",
-        false,
-        0.3,
-        "SimResult { injection_rate: 0.3, avg_latency: 31.774841042264057, throughput: 0.3007875, avg_hops: 2.4619955948967296, delivered: 24063, injected: 24032, saturated: false, deadlock_suspected: false, vlb_fraction: 0.0822391010300697, latency_p50: 45.254833995939045, latency_p99: 90.50966799187809, max_channel_util: 0.374656335916021, mean_global_util: 0.27301299675081225, mean_local_util: 0.30814379738398734 }",
-    ),
-    (
-        "links5",
-        true,
-        0.15,
-        "SimResult { injection_rate: 0.15, avg_latency: 41.66718995290424, throughput: 0.1512875, avg_hops: 3.269189457159382, delivered: 12103, injected: 12088, saturated: false, deadlock_suspected: false, vlb_fraction: 0.31879530117470634, latency_p50: 45.254833995939045, latency_p99: 90.50966799187809, max_channel_util: 0.4798800299925019, mean_global_util: 0.19455136215946012, mean_local_util: 0.19660918103807387 }",
-    ),
-    (
-        "switch3",
-        false,
-        0.3,
-        "SimResult { injection_rate: 0.3, avg_latency: 31.069285939825882, throughput: 0.2771125, avg_hops: 2.402273444900537, delivered: 22169, injected: 23925, saturated: false, deadlock_suspected: false, vlb_fraction: 0.07652143770175705, latency_p50: 22.627416997969522, latency_p99: 90.50966799187809, max_channel_util: 0.33366658335416144, mean_global_util: 0.25811047238190454, mean_local_util: 0.28421644588852785 }",
-    ),
-    (
-        "switch3",
-        true,
-        0.15,
-        "SimResult { injection_rate: 0.15, avg_latency: 41.67745716862038, throughput: 0.138625, avg_hops: 3.2634806131650134, delivered: 11090, injected: 12059, saturated: false, deadlock_suspected: false, vlb_fraction: 0.30989470020015664, latency_p50: 45.254833995939045, latency_p99: 90.50966799187809, max_channel_util: 0.4513871532116971, mean_global_util: 0.1876280929767558, mean_local_util: 0.18420811463800718 }",
-    ),
-];
-
-fn schedule_of(name: &str) -> FaultSchedule {
-    match name {
-        "links5" => links5(),
-        "switch3" => switch3(),
-        other => panic!("unknown scenario {other}"),
-    }
 }
 
 #[test]
