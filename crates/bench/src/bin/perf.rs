@@ -111,6 +111,11 @@ struct BenchFile {
     id: String,
     /// True when the scenarios ran under paper-scale windows.
     full_fidelity: bool,
+    /// Host parallelism (`std::thread::available_parallelism`) the
+    /// baseline was produced under — throughput numbers from hosts with
+    /// different core counts are not comparable, and the scaling suite's
+    /// curve is only meaningful when this is > 1.
+    host_threads: u64,
     scenarios: Vec<Scenario>,
 }
 
@@ -388,6 +393,7 @@ fn main() {
     let file = BenchFile {
         id: "perf".into(),
         full_fidelity: tugal_bench::full_fidelity(),
+        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()) as u64,
         scenarios,
     };
     let json = match serde_json::to_string_pretty(&file) {

@@ -26,6 +26,7 @@ use std::sync::{Arc, Mutex};
 use tugal::{compute_tvlb, conventional_provider, TUgalConfig};
 use tugal_netsim::journal::Journal;
 use tugal_netsim::runner::{ExperimentRunner, JobBudget, JobRecord, RunSummary, SeriesSpec};
+use tugal_netsim::trace::TraceSink;
 use tugal_netsim::{
     Config, CurvePoint, FaultSchedule, NoopObserver, RoutingAlgorithm, SweepOptions,
 };
@@ -441,6 +442,40 @@ fn journal_from_env() -> Option<Arc<Journal>> {
     }
 }
 
+static TRACE_SINK: std::sync::OnceLock<Option<Arc<TraceSink>>> = std::sync::OnceLock::new();
+
+/// The trace sink named by `TUGAL_TRACE`, if any — opened once per
+/// process so every batch of a multi-sweep harness shares one JSONL file
+/// and one `t_ms` timebase.  An unusable path is a warning, not an error.
+pub fn trace_from_env() -> Option<Arc<TraceSink>> {
+    TRACE_SINK
+        .get_or_init(|| {
+            let path = std::env::var("TUGAL_TRACE").ok()?;
+            if path.is_empty() {
+                return None;
+            }
+            match TraceSink::open(std::path::Path::new(&path)) {
+                Ok(t) => Some(Arc::new(t)),
+                Err(e) => {
+                    eprintln!("warning: TUGAL_TRACE={path}: {e}; running without a trace");
+                    None
+                }
+            }
+        })
+        .clone()
+}
+
+/// True when `TUGAL_PROFILE=1`: every job runs with a live
+/// [`tugal_netsim::EngineProf`], so run summaries (and `job_end` trace
+/// spans) carry per-phase attribution.  Off by default — the profiled and
+/// unprofiled engines produce bit-identical results, but profiling is not
+/// free.
+pub fn profiling_on() -> bool {
+    std::env::var("TUGAL_PROFILE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
 /// Reports every failed job of a batch: a stderr diagnostic (with the
 /// rendered stall report where there is one), a replay capsule under
 /// `logs/capsules/`, and the process-wide failure count behind
@@ -495,9 +530,14 @@ fn run_flat(
     faults: Option<Arc<FaultSchedule>>,
 ) -> Vec<Series> {
     let budget = job_budget();
-    let mut runner = ExperimentRunner::new(topo.clone()).with_budget(budget);
+    let mut runner = ExperimentRunner::new(topo.clone())
+        .with_budget(budget)
+        .with_profiling(profiling_on());
     if let Some(journal) = journal_from_env() {
         runner = runner.with_journal(journal);
+    }
+    if let Some(trace) = trace_from_env() {
+        runner = runner.with_trace(trace);
     }
     for (label, provider, routing, cfg) in entries {
         runner = runner.series(SeriesSpec {
@@ -660,6 +700,10 @@ fn write_json(id: &str, series: &[Series]) {
         failed: u64,
         /// Jobs replayed from a resume journal instead of simulated.
         resumed: u64,
+        /// Host parallelism the batch was scheduled over.
+        host_threads: u64,
+        /// Largest engine shard count among the batch's series.
+        shards: u64,
     }
     #[derive(serde::Serialize)]
     struct Out {
@@ -709,6 +753,8 @@ fn write_json(id: &str, series: &[Series]) {
             slowest: s.slowest,
             failed: s.failed as u64,
             resumed: s.resumed as u64,
+            host_threads: s.host_threads as u64,
+            shards: s.shards as u64,
         }),
         metrics: series
             .iter()

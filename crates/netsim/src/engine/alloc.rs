@@ -2,13 +2,14 @@
 //! the per-cycle movement phases of the engine.
 
 use super::observer::SimObserver;
+use super::profile::EngineProfiler;
 use super::state::Packet;
 use super::{Engine, Msg, EPH_BIT, F_REVISABLE, F_ROUTED, SOURCE_QUEUE_CAP};
 use rand::Rng;
 use tugal_routing::{Path, PathRef};
 use tugal_topology::NodeId;
 
-impl<O: SimObserver> Engine<'_, O> {
+impl<O: SimObserver, P: EngineProfiler> Engine<'_, O, P> {
     /// Bernoulli injection at the configured rate: each node this shard
     /// owns draws once per cycle; new packets enter the (capped) source
     /// queue modelled by the injection channel's staging + downstream
@@ -253,6 +254,7 @@ impl<O: SimObserver> Engine<'_, O> {
                         });
                         self.free_packet(pi);
                         self.sent += 1;
+                        self.prof.flit_sent();
                     } else {
                         self.ws.arrivals[(due & self.ring_mask) as usize].push(pi);
                     }

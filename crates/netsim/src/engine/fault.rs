@@ -25,6 +25,7 @@
 //!   dropped.
 
 use super::observer::SimObserver;
+use super::profile::EngineProfiler;
 use super::{Engine, F_REVISABLE};
 use tugal_routing::{Path, PathRef};
 use tugal_topology::{ChannelKind, FaultSet, NodeId, SwitchId};
@@ -33,7 +34,7 @@ use tugal_topology::{ChannelKind, FaultSet, NodeId, SwitchId};
 /// draws before the packet is declared stuck and dropped.
 const REROUTE_VLB_TRIES: usize = 8;
 
-impl<'a, O: SimObserver> Engine<'a, O> {
+impl<'a, O: SimObserver, P: EngineProfiler> Engine<'a, O, P> {
     /// Kills the components of `faults` in the live workspace: ORs the
     /// dead masks and drains buffers that can no longer move traffic.
     /// Faults accumulate — nothing is ever revived within a run.

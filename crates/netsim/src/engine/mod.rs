@@ -46,15 +46,19 @@ mod alloc;
 mod collect;
 mod fault;
 mod observer;
+mod profile;
 mod routing;
 mod state;
 mod watchdog;
 
 pub use observer::{NoopObserver, SimObserver};
+pub use profile::{
+    EngineProf, EngineProfiler, NoopProfiler, Phase, ProfileReport, ShardProfile, PHASE_COUNT,
+};
 pub use state::{SimWorkspace, WorkspacePool};
 pub use watchdog::{
-    ConservationLedger, OldestPacket, RoutingCounters, StallKind, StallReport, VcSnapshot,
-    WatchdogConfig,
+    ConservationLedger, FlightFrame, OldestPacket, RoutingCounters, StallKind, StallReport,
+    VcSnapshot, WatchdogConfig,
 };
 
 use crate::config::{Config, RoutingAlgorithm};
@@ -312,6 +316,24 @@ impl Simulator {
         ws: &mut SimWorkspace,
         obs: &mut O,
     ) -> (SimResult, Option<StallReport>) {
+        self.run_profiled(rate, ws, obs, &mut NoopProfiler)
+    }
+
+    /// Like [`Simulator::run_reported`], with an [`EngineProfiler`]
+    /// attributing each shard worker's wall-clock to the cycle loop's
+    /// phases and counting its boundary traffic.  The engine is
+    /// monomorphized per profiler type; [`NoopProfiler`] (what every other
+    /// entry point passes) compiles to the unprofiled loop, and a real
+    /// profiler ([`EngineProf`]) is observational only — the `SimResult`
+    /// and `StallReport` are bit-identical either way (pinned by
+    /// `tests/profile.rs`).
+    pub fn run_profiled<O: SimObserver, P: EngineProfiler>(
+        &self,
+        rate: f64,
+        ws: &mut SimWorkspace,
+        obs: &mut O,
+        prof: &mut P,
+    ) -> (SimResult, Option<StallReport>) {
         assert!(
             rate > 0.0 && rate <= 1.0,
             "injection rate {rate} out of (0,1]"
@@ -349,21 +371,37 @@ impl Simulator {
         let snap = (self.routing == RoutingAlgorithm::UgalG).then(|| Snap::new(n_network));
 
         let (mut outs, global_in_flight) = if exec == 1 {
-            let eng = Engine::new(self, rate, &mut ws.shards[0], obs, None, snap.as_ref());
+            let eng = Engine::new(
+                self,
+                rate,
+                &mut ws.shards[0],
+                obs,
+                prof,
+                None,
+                snap.as_ref(),
+            );
             let out = eng.run();
             let gif = out.in_flight;
             (vec![out], gif)
         } else {
+            let mut pforks: Vec<P> = (0..exec).map(|_| prof.fork()).collect();
             let shared = SharedRun::new(exec);
-            let joined: Vec<(ShardOutcome, O)> = std::thread::scope(|scope| {
+            let joined: Vec<(ShardOutcome, O, P)> = std::thread::scope(|scope| {
                 let shared = &shared;
                 let snap = snap.as_ref();
                 let mut handles = Vec::with_capacity(exec);
-                for (st, fork) in ws.shards.iter_mut().zip(forks.drain(..)) {
+                for ((st, fork), pfork) in ws
+                    .shards
+                    .iter_mut()
+                    .zip(forks.drain(..))
+                    .zip(pforks.drain(..))
+                {
                     handles.push(scope.spawn(move || {
                         let mut fork = fork;
-                        let eng = Engine::new(self, rate, st, &mut fork, Some(shared), snap);
-                        (eng.run(), fork)
+                        let mut pfork = pfork;
+                        let eng =
+                            Engine::new(self, rate, st, &mut fork, &mut pfork, Some(shared), snap);
+                        (eng.run(), fork, pfork)
                     }));
                 }
                 handles
@@ -372,9 +410,27 @@ impl Simulator {
                     .collect()
             });
             let mut outs = Vec::with_capacity(exec);
-            for (out, fork) in joined {
+            for (out, fork, pfork) in joined {
                 obs.absorb(fork);
+                prof.absorb(pfork);
                 outs.push(out);
+            }
+            // Boundary messages nobody drained before the run stopped: the
+            // exact gap between the shards' sent and received counters
+            // (cold path, and only when a real profiler is attached).
+            if P::ENABLED {
+                let (mut uf, mut uc) = (0u64, 0u64);
+                for mb in &shared.boxes {
+                    for (_, msgs) in mb.lock().unwrap().iter() {
+                        for m in msgs {
+                            match m {
+                                Msg::Flit { .. } => uf += 1,
+                                Msg::Credit { .. } => uc += 1,
+                            }
+                        }
+                    }
+                }
+                prof.note_undrained(uf, uc);
             }
             // Global in-flight population: per-shard pools plus flits
             // still sitting in mailboxes (sent but never drained).
@@ -448,10 +504,13 @@ impl Simulator {
     }
 }
 
-pub(crate) struct Engine<'a, O: SimObserver> {
+pub(crate) struct Engine<'a, O: SimObserver, P: EngineProfiler> {
     pub(crate) sim: &'a Simulator,
     pub(crate) ws: &'a mut ShardState,
     pub(crate) obs: &'a mut O,
+    /// The profiling seam: every hook is an inline no-op for
+    /// [`NoopProfiler`], so the unprofiled engine is unchanged.
+    pub(crate) prof: &'a mut P,
     pub(crate) rate: f64,
     pub(crate) now: u64,
     /// One RNG stream per *owned group* (index = group − `ws.group_lo`).
@@ -490,14 +549,21 @@ pub(crate) struct Engine<'a, O: SimObserver> {
     pub(crate) outbox: Vec<Vec<Msg>>,
     /// UGAL-G queue snapshot (`None` for every other routing algorithm).
     snap: Option<&'a Snap>,
+    /// Flight-recorder ring (empty unless an armed watchdog sets
+    /// `flight_recorder > 0`): the last `fr_cap` cycles' frames, oldest at
+    /// `fr_pos` once the ring wraps.
+    fr_ring: Vec<FlightFrame>,
+    fr_pos: usize,
+    fr_cap: usize,
 }
 
-impl<'a, O: SimObserver> Engine<'a, O> {
+impl<'a, O: SimObserver, P: EngineProfiler> Engine<'a, O, P> {
     fn new(
         sim: &'a Simulator,
         rate: f64,
         st: &'a mut ShardState,
         obs: &'a mut O,
+        prof: &'a mut P,
         shared: Option<&'a SharedRun>,
         snap: Option<&'a Snap>,
     ) -> Self {
@@ -511,6 +577,7 @@ impl<'a, O: SimObserver> Engine<'a, O> {
             sim,
             ws: st,
             obs,
+            prof,
             rate,
             now: 0,
             rngs,
@@ -527,6 +594,9 @@ impl<'a, O: SimObserver> Engine<'a, O> {
             shared,
             outbox,
             snap,
+            fr_ring: Vec::new(),
+            fr_pos: 0,
+            fr_cap: 0,
         }
     }
 
@@ -600,6 +670,7 @@ impl<'a, O: SimObserver> Engine<'a, O> {
         if self.ws.owns_send[in_ch] {
             self.ws.credit_ring[(due & self.ring_mask) as usize].push(idx as u32);
         } else {
+            self.prof.credit_sent();
             self.outbox[self.ws.src_shard[in_ch] as usize].push(Msg::Credit {
                 idx: idx as u32,
                 due,
@@ -608,6 +679,7 @@ impl<'a, O: SimObserver> Engine<'a, O> {
     }
 
     fn run(mut self) -> ShardOutcome {
+        self.prof.shard_start(self.ws.id);
         let cfg = self.sim.cfg.clone();
         let warmup = cfg.warmup_windows as u64 * cfg.window as u64;
         let total = cfg.total_cycles();
@@ -622,6 +694,10 @@ impl<'a, O: SimObserver> Engine<'a, O> {
         // (pinned by the watchdog-armed golden variants).
         let wd = self.sim.cfg.watchdog.filter(|w| w.armed());
         let wall_armed = wd.as_ref().is_some_and(|w| w.wall_limit_ms > 0);
+        // Flight recorder: active only under an armed watchdog, so the
+        // default configuration allocates nothing and records nothing.
+        self.fr_cap = wd.as_ref().map_or(0, |w| w.flight_recorder as usize);
+        self.fr_ring = Vec::with_capacity(self.fr_cap);
         let wd_start = std::time::Instant::now();
         let mut kind: Option<StallKind> = None;
         let mut stall: Option<StallPartial> = None;
@@ -637,6 +713,7 @@ impl<'a, O: SimObserver> Engine<'a, O> {
         while self.now < total {
             if self.shared.is_some() {
                 self.drain_mailboxes();
+                self.prof.mark(profile::Phase::Drain);
             }
             if let Some(sched) = &sched {
                 let events = sched.events();
@@ -652,12 +729,18 @@ impl<'a, O: SimObserver> Engine<'a, O> {
             self.step();
             if let Some(sh) = self.shared {
                 self.flush_outbox(sh);
+                self.prof.mark(profile::Phase::Flush);
                 self.publish(sh, wall_armed, &wd_start);
+                self.prof.mark(profile::Phase::Publish);
                 sh.barrier.wait();
+                self.prof.mark(profile::Phase::Barrier);
             }
             // Every shard evaluates the stop conditions on the *same*
             // published global counters, so all workers break together.
             let g = self.globals(wall_armed, &wd_start);
+            if self.fr_cap > 0 {
+                self.record_frame(&g);
+            }
             if g.in_flight > inflight_cap {
                 self.stats.saturated_early = true;
                 break;
@@ -679,8 +762,11 @@ impl<'a, O: SimObserver> Engine<'a, O> {
                     break;
                 }
             }
+            self.prof.mark(profile::Phase::Stop);
+            self.prof.cycle_done();
             self.now += 1;
         }
+        self.prof.shard_end();
 
         ShardOutcome {
             stats: self.stats,
@@ -707,7 +793,25 @@ impl<'a, O: SimObserver> Engine<'a, O> {
             }
             loop {
                 let batch = {
-                    let mut q = sh.boxes[src * sh.n + me].lock().unwrap();
+                    // With a real profiler attached, probe the lock first
+                    // to count contended acquisitions; the same lock is
+                    // taken either way, so results are unchanged.  The
+                    // disabled profiler compiles this branch away.
+                    let mbox = &sh.boxes[src * sh.n + me];
+                    let mut q = if P::ENABLED {
+                        match mbox.try_lock() {
+                            Ok(q) => q,
+                            Err(std::sync::TryLockError::WouldBlock) => {
+                                self.prof.mailbox_stall();
+                                mbox.lock().unwrap()
+                            }
+                            Err(std::sync::TryLockError::Poisoned(e)) => {
+                                panic!("mailbox poisoned: {e}")
+                            }
+                        }
+                    } else {
+                        mbox.lock().unwrap()
+                    };
                     match q.front() {
                         Some((stamp, _)) if *stamp < self.now => q.pop_front(),
                         _ => None,
@@ -717,6 +821,7 @@ impl<'a, O: SimObserver> Engine<'a, O> {
                 for msg in msgs {
                     match msg {
                         Msg::Flit { due, pkt, path } => {
+                            self.prof.flit_recv();
                             let eph = pkt.path_id & EPH_BIT != 0;
                             let pi = self.alloc_packet(pkt);
                             if eph {
@@ -729,6 +834,7 @@ impl<'a, O: SimObserver> Engine<'a, O> {
                             self.ws.arrivals[(due & self.ring_mask) as usize].push(pi);
                         }
                         Msg::Credit { idx, due } => {
+                            self.prof.credit_recv();
                             self.ws.credit_ring[(due & self.ring_mask) as usize].push(idx);
                         }
                     }
@@ -746,10 +852,21 @@ impl<'a, O: SimObserver> Engine<'a, O> {
                 continue;
             }
             let batch = std::mem::take(&mut self.outbox[d]);
-            sh.boxes[me * sh.n + d]
-                .lock()
-                .unwrap()
-                .push_back((self.now, batch));
+            self.prof.batch_flushed(batch.len());
+            let mbox = &sh.boxes[me * sh.n + d];
+            let mut q = if P::ENABLED {
+                match mbox.try_lock() {
+                    Ok(q) => q,
+                    Err(std::sync::TryLockError::WouldBlock) => {
+                        self.prof.mailbox_stall();
+                        mbox.lock().unwrap()
+                    }
+                    Err(std::sync::TryLockError::Poisoned(e)) => panic!("mailbox poisoned: {e}"),
+                }
+            } else {
+                mbox.lock().unwrap()
+            };
+            q.push_back((self.now, batch));
         }
     }
 
@@ -840,6 +957,37 @@ impl<'a, O: SimObserver> Engine<'a, O> {
         None
     }
 
+    /// Captures one flight-recorder frame for the cycle that just
+    /// completed: the globally agreed counters plus this shard's
+    /// cumulative boundary traffic.  Read-only with respect to simulation
+    /// state, so an armed recorder cannot perturb results.
+    fn record_frame(&mut self, g: &CycleGlobals) {
+        let frame = FlightFrame {
+            cycle: self.now,
+            shard: self.ws.id,
+            in_flight: g.in_flight,
+            injected: g.injected,
+            delivered: g.delivered,
+            dropped: g.dropped,
+            boundary_sent: self.sent,
+            boundary_recv: self.recv,
+        };
+        if self.fr_ring.len() < self.fr_cap {
+            self.fr_ring.push(frame);
+        } else {
+            self.fr_ring[self.fr_pos] = frame;
+            self.fr_pos = (self.fr_pos + 1) % self.fr_cap;
+        }
+    }
+
+    /// The flight-recorder ring in chronological order (oldest first).
+    fn drain_frames(&self) -> Vec<FlightFrame> {
+        let mut recent = Vec::with_capacity(self.fr_ring.len());
+        recent.extend_from_slice(&self.fr_ring[self.fr_pos..]);
+        recent.extend_from_slice(&self.fr_ring[..self.fr_pos]);
+        recent
+    }
+
     /// This shard's contribution to the trip report: occupancy of the
     /// input buffers it owns and its oldest live packet.  Cold path —
     /// runs once per trip; merged deterministically by
@@ -886,7 +1034,11 @@ impl<'a, O: SimObserver> Engine<'a, O> {
                 cur_chan: p.cur_chan,
             });
 
-        StallPartial { occupancy, oldest }
+        StallPartial {
+            occupancy,
+            oldest,
+            recent: self.drain_frames(),
+        }
     }
 
     fn step(&mut self) {
@@ -964,9 +1116,11 @@ impl<'a, O: SimObserver> Engine<'a, O> {
         }
         arrived.clear();
         self.ws.arrival_scratch = arrived;
+        self.prof.mark(profile::Phase::Advance);
 
         // 3. Injection.
         self.inject();
+        self.prof.mark(profile::Phase::Inject);
 
         // 3b. UGAL-G snapshot: each owner publishes its staged-flit and
         // buffer-occupancy counters; a barrier separates the writes from
@@ -983,13 +1137,16 @@ impl<'a, O: SimObserver> Engine<'a, O> {
             if let Some(sh) = self.shared {
                 sh.barrier.wait();
             }
+            self.prof.mark(profile::Phase::Snapshot);
         }
 
         // 4. Switch allocation.
         self.allocate();
+        self.prof.mark(profile::Phase::Alloc);
 
         // 5. Wire transmission (1 flit/cycle/channel).
         self.transmit();
+        self.prof.mark(profile::Phase::Transmit);
     }
 
     /// The UGAL-G snapshot value for `chan` (staged flits + downstream

@@ -1,0 +1,507 @@
+//! Engine self-profiling: per-shard phase timers and boundary counters.
+//!
+//! The [`EngineProfiler`] seam mirrors the [`super::observer::SimObserver`]
+//! pattern: the engine is monomorphized per profiler type, every hook on
+//! [`NoopProfiler`] is an inline empty body, and the `ENABLED` associated
+//! const compiles the remaining instrumentation (the mailbox `try_lock`
+//! probe) out of the unprofiled loop — so a run without profiling executes
+//! the exact same instructions as before the seam existed, and stays
+//! bit-for-bit identical on every golden fixture.
+//!
+//! With [`EngineProf`] attached, each shard worker attributes its
+//! wall-clock to the named [`Phase`]s of the cycle loop and counts its
+//! boundary traffic (flits/credits sent and received through mailboxes,
+//! lock-acquire stalls, flushed batch sizes).  The phases tile the loop —
+//! every `mark` charges the time since the previous mark — so the summed
+//! phase times account for essentially all of a shard's wall-clock, and
+//! the per-shard [`ShardProfile`]s merge shard-ordered into a
+//! [`ProfileReport`].
+//!
+//! Profiling is *observational only*: the hooks never touch simulation
+//! state, so a profiled run returns bit-identical results (pinned by
+//! `tests/profile.rs`).
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Number of named phases ([`Phase::ALL`] has this length).
+pub const PHASE_COUNT: usize = 10;
+
+/// One phase of the shard worker's cycle loop.  The phases tile the loop
+/// body in this order; sequential (1-shard) runs never enter the
+/// mailbox/publication phases (`Drain`, `Flush`, `Publish`, `Barrier`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Draining boundary mailboxes from the other shards.
+    Drain,
+    /// Cycle bookkeeping: credit returns, arrival sorting, deliveries and
+    /// buffer pushes (plus observer occupancy sampling when armed).
+    Advance,
+    /// Source-queue injection draws.
+    Inject,
+    /// Publishing the UGAL-G queue snapshot (including its barrier);
+    /// absent for every other routing algorithm.
+    Snapshot,
+    /// Switch allocation (routing decisions run here, at queue heads).
+    Alloc,
+    /// Wire transmission.
+    Transmit,
+    /// Flushing this cycle's outgoing boundary batches.
+    Flush,
+    /// Publishing cycle-end counters into the shard's publication cell.
+    Publish,
+    /// Waiting on the end-of-cycle barrier for the other shards.
+    Barrier,
+    /// Evaluating the global stop conditions (saturation cap, deadlock
+    /// heuristic, armed watchdog checks, flight-recorder capture).
+    Stop,
+}
+
+impl Phase {
+    /// Every phase, in loop order.
+    pub const ALL: [Phase; PHASE_COUNT] = [
+        Phase::Drain,
+        Phase::Advance,
+        Phase::Inject,
+        Phase::Snapshot,
+        Phase::Alloc,
+        Phase::Transmit,
+        Phase::Flush,
+        Phase::Publish,
+        Phase::Barrier,
+        Phase::Stop,
+    ];
+
+    /// Short stable name (JSON/trace friendly).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Drain => "drain",
+            Phase::Advance => "advance",
+            Phase::Inject => "inject",
+            Phase::Snapshot => "snapshot",
+            Phase::Alloc => "alloc",
+            Phase::Transmit => "transmit",
+            Phase::Flush => "flush",
+            Phase::Publish => "publish",
+            Phase::Barrier => "barrier",
+            Phase::Stop => "stop",
+        }
+    }
+}
+
+/// The profiling seam of the cycle engine.  All hooks default to inline
+/// no-ops; [`NoopProfiler`] (the default everywhere) therefore compiles to
+/// the unprofiled engine.  Implementations must be cheap — `mark` runs up
+/// to ten times per simulated cycle.
+///
+/// Like the observer seam, a profiler *forks* one child per shard worker
+/// and *absorbs* the children after the workers join, in shard order.
+/// Unlike observers, forking is infallible (profilers carry no
+/// user-defined state that could refuse to split).
+pub trait EngineProfiler: Send + Sized {
+    /// `true` only for real profilers: gates the few instrumentation
+    /// points that are not pure hook calls (the mailbox `try_lock`
+    /// stall probe), so the disabled engine contains no trace of them.
+    const ENABLED: bool = false;
+
+    /// A shard worker is starting; `shard` is its index.
+    #[inline]
+    fn shard_start(&mut self, _shard: u32) {}
+
+    /// The phase that just ended; charges the time since the previous
+    /// mark (or since `shard_start`) to it.
+    #[inline]
+    fn mark(&mut self, _phase: Phase) {}
+
+    /// One full cycle of the loop completed (not counted on early breaks).
+    #[inline]
+    fn cycle_done(&mut self) {}
+
+    /// The shard worker is done; closes its wall-clock.
+    #[inline]
+    fn shard_end(&mut self) {}
+
+    /// A mailbox lock was contended (`try_lock` would have blocked).
+    #[inline]
+    fn mailbox_stall(&mut self) {}
+
+    /// A flit was handed to another shard's mailbox.
+    #[inline]
+    fn flit_sent(&mut self) {}
+
+    /// A flit was drained from another shard's mailbox.
+    #[inline]
+    fn flit_recv(&mut self) {}
+
+    /// A credit was handed to another shard's mailbox.
+    #[inline]
+    fn credit_sent(&mut self) {}
+
+    /// A credit was drained from another shard's mailbox.
+    #[inline]
+    fn credit_recv(&mut self) {}
+
+    /// An outgoing boundary batch of `msgs` messages was flushed.
+    #[inline]
+    fn batch_flushed(&mut self, _msgs: usize) {}
+
+    /// Boundary messages left undrained in mailboxes when the run
+    /// stopped (counted once, after the workers join).
+    #[inline]
+    fn note_undrained(&mut self, _flits: u64, _credits: u64) {}
+
+    /// A child profiler for one shard worker.
+    fn fork(&self) -> Self;
+
+    /// Merges a child back, called in shard order after the workers join.
+    fn absorb(&mut self, child: Self);
+}
+
+/// The do-nothing profiler: every run that does not opt into profiling is
+/// monomorphized against this, compiling the seam away entirely.
+pub struct NoopProfiler;
+
+impl EngineProfiler for NoopProfiler {
+    #[inline]
+    fn fork(&self) -> Self {
+        NoopProfiler
+    }
+
+    #[inline]
+    fn absorb(&mut self, _child: Self) {}
+}
+
+/// One shard's profile: wall-clock attributed to phases, plus boundary
+/// counters.  All times are nanoseconds.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardProfile {
+    /// Shard index.
+    pub shard: u32,
+    /// Wall-clock of the shard worker, `shard_start` to `shard_end`.
+    pub wall_ns: u64,
+    /// Full cycles completed (early-break cycles are not counted).
+    pub cycles: u64,
+    /// Nanoseconds attributed to each phase, indexed like [`Phase::ALL`].
+    pub phase_ns: [u64; PHASE_COUNT],
+    /// Flits handed to other shards' mailboxes.
+    pub flits_sent: u64,
+    /// Flits drained from other shards' mailboxes.
+    pub flits_recv: u64,
+    /// Credits handed to other shards' mailboxes.
+    pub credits_sent: u64,
+    /// Credits drained from other shards' mailboxes.
+    pub credits_recv: u64,
+    /// Contended mailbox lock acquisitions (`try_lock` would have blocked).
+    pub mailbox_stalls: u64,
+    /// Outgoing boundary batches flushed.
+    pub batches_flushed: u64,
+    /// Messages across all flushed batches (mean batch size =
+    /// `batch_msgs / batches_flushed`).
+    pub batch_msgs: u64,
+}
+
+impl ShardProfile {
+    /// Nanoseconds attributed to named phases (≤ `wall_ns` by
+    /// construction — marks only ever charge elapsed wall time).
+    pub fn attributed_ns(&self) -> u64 {
+        self.phase_ns.iter().sum()
+    }
+
+    fn add(&mut self, other: &ShardProfile) {
+        self.wall_ns += other.wall_ns;
+        self.cycles += other.cycles;
+        for (a, b) in self.phase_ns.iter_mut().zip(&other.phase_ns) {
+            *a += b;
+        }
+        self.flits_sent += other.flits_sent;
+        self.flits_recv += other.flits_recv;
+        self.credits_sent += other.credits_sent;
+        self.credits_recv += other.credits_recv;
+        self.mailbox_stalls += other.mailbox_stalls;
+        self.batches_flushed += other.batches_flushed;
+        self.batch_msgs += other.batch_msgs;
+    }
+}
+
+/// The merged, shard-ordered profile of one run (or the element-wise sum
+/// of several runs at the same shard count — see [`ProfileReport::absorb`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// Per-shard profiles, in shard order.
+    pub shards: Vec<ShardProfile>,
+    /// Flits still sitting in mailboxes when the run stopped (sent but
+    /// never drained): `Σ flits_sent == Σ flits_recv + undrained_flits`.
+    pub undrained_flits: u64,
+    /// Same for credits.
+    pub undrained_credits: u64,
+}
+
+impl ProfileReport {
+    /// Total shard wall-clock (sum over shards — the denominator of the
+    /// attribution table).
+    pub fn wall_ns(&self) -> u64 {
+        self.shards.iter().map(|s| s.wall_ns).sum()
+    }
+
+    /// Nanoseconds attributed to `phase`, summed over shards.
+    pub fn phase_total(&self, phase: Phase) -> u64 {
+        self.shards.iter().map(|s| s.phase_ns[phase as usize]).sum()
+    }
+
+    /// Fraction of shard wall-clock attributed to named phases
+    /// (the acceptance bar is ≥ 0.95; misses mean a gap in the marks).
+    pub fn attributed_fraction(&self) -> f64 {
+        let wall = self.wall_ns();
+        if wall == 0 {
+            return 1.0;
+        }
+        self.shards.iter().map(|s| s.attributed_ns()).sum::<u64>() as f64 / wall as f64
+    }
+
+    /// Element-wise accumulation of another report (shards matched by
+    /// index; a shape mismatch extends with the extra shards), for
+    /// aggregating the jobs of one scenario into one attribution table.
+    pub fn absorb(&mut self, other: &ProfileReport) {
+        for (i, s) in other.shards.iter().enumerate() {
+            if i < self.shards.len() {
+                self.shards[i].add(s);
+            } else {
+                self.shards.push(s.clone());
+            }
+        }
+        self.undrained_flits += other.undrained_flits;
+        self.undrained_credits += other.undrained_credits;
+    }
+
+    /// The `k` costliest phases as `"barrier 62% / alloc 21% / advance 9%"`
+    /// (phases with zero share are skipped).
+    pub fn top_phases(&self, k: usize) -> String {
+        let wall = self.wall_ns().max(1);
+        let mut totals: Vec<(Phase, u64)> = Phase::ALL
+            .iter()
+            .map(|&p| (p, self.phase_total(p)))
+            .collect();
+        totals.sort_by_key(|&(_, ns)| std::cmp::Reverse(ns));
+        totals
+            .iter()
+            .take(k)
+            .filter(|(_, ns)| *ns > 0)
+            .map(|(p, ns)| format!("{} {:.0}%", p.name(), 100.0 * *ns as f64 / wall as f64))
+            .collect::<Vec<_>>()
+            .join(" / ")
+    }
+}
+
+/// The real profiler: wall-clock phase attribution via monotonic
+/// timestamps, one [`ShardProfile`] per shard worker.
+#[derive(Debug)]
+pub struct EngineProf {
+    cur: ShardProfile,
+    start: Instant,
+    last: Instant,
+    children: Vec<ShardProfile>,
+    undrained_flits: u64,
+    undrained_credits: u64,
+}
+
+impl Default for EngineProf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineProf {
+    /// A fresh profiler, ready to attach to one run.
+    pub fn new() -> Self {
+        let now = Instant::now();
+        EngineProf {
+            cur: ShardProfile::default(),
+            start: now,
+            last: now,
+            children: Vec::new(),
+            undrained_flits: 0,
+            undrained_credits: 0,
+        }
+    }
+
+    /// The merged report: the absorbed children on multi-shard runs (in
+    /// shard order), this profiler's own shard on sequential ones.
+    pub fn report(&self) -> ProfileReport {
+        let shards = if self.children.is_empty() {
+            vec![self.cur.clone()]
+        } else {
+            self.children.clone()
+        };
+        ProfileReport {
+            shards,
+            undrained_flits: self.undrained_flits,
+            undrained_credits: self.undrained_credits,
+        }
+    }
+}
+
+impl EngineProfiler for EngineProf {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn shard_start(&mut self, shard: u32) {
+        self.cur.shard = shard;
+        self.start = Instant::now();
+        self.last = self.start;
+    }
+
+    #[inline]
+    fn mark(&mut self, phase: Phase) {
+        let now = Instant::now();
+        self.cur.phase_ns[phase as usize] += now.duration_since(self.last).as_nanos() as u64;
+        self.last = now;
+    }
+
+    #[inline]
+    fn cycle_done(&mut self) {
+        self.cur.cycles += 1;
+    }
+
+    #[inline]
+    fn shard_end(&mut self) {
+        self.cur.wall_ns = self.start.elapsed().as_nanos() as u64;
+    }
+
+    #[inline]
+    fn mailbox_stall(&mut self) {
+        self.cur.mailbox_stalls += 1;
+    }
+
+    #[inline]
+    fn flit_sent(&mut self) {
+        self.cur.flits_sent += 1;
+    }
+
+    #[inline]
+    fn flit_recv(&mut self) {
+        self.cur.flits_recv += 1;
+    }
+
+    #[inline]
+    fn credit_sent(&mut self) {
+        self.cur.credits_sent += 1;
+    }
+
+    #[inline]
+    fn credit_recv(&mut self) {
+        self.cur.credits_recv += 1;
+    }
+
+    #[inline]
+    fn batch_flushed(&mut self, msgs: usize) {
+        self.cur.batches_flushed += 1;
+        self.cur.batch_msgs += msgs as u64;
+    }
+
+    fn note_undrained(&mut self, flits: u64, credits: u64) {
+        self.undrained_flits += flits;
+        self.undrained_credits += credits;
+    }
+
+    fn fork(&self) -> Self {
+        EngineProf::new()
+    }
+
+    fn absorb(&mut self, child: Self) {
+        self.children.push(child.cur);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_all_is_dense_and_named() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(*p as usize, i);
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn marks_tile_wallclock() {
+        let mut prof = EngineProf::new();
+        prof.shard_start(0);
+        prof.mark(Phase::Advance);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        prof.mark(Phase::Alloc);
+        prof.cycle_done();
+        prof.shard_end();
+        let rep = prof.report();
+        assert_eq!(rep.shards.len(), 1);
+        let s = &rep.shards[0];
+        assert_eq!(s.cycles, 1);
+        assert!(s.phase_ns[Phase::Alloc as usize] >= 2_000_000);
+        assert!(s.attributed_ns() <= s.wall_ns);
+        assert!(
+            rep.attributed_fraction() > 0.5,
+            "{}",
+            rep.attributed_fraction()
+        );
+    }
+
+    #[test]
+    fn absorb_merges_in_shard_order_and_reports_sum() {
+        let mut root = EngineProf::new();
+        for shard in 0..3u32 {
+            let mut child = root.fork();
+            child.shard_start(shard);
+            child.flit_sent();
+            child.credit_sent();
+            child.shard_end();
+            root.absorb(child);
+        }
+        root.note_undrained(3, 0);
+        let rep = root.report();
+        assert_eq!(rep.shards.len(), 3);
+        assert_eq!(
+            rep.shards.iter().map(|s| s.shard).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(rep.shards.iter().map(|s| s.flits_sent).sum::<u64>(), 3);
+        assert_eq!(rep.undrained_flits, 3);
+
+        let mut acc = ProfileReport::default();
+        acc.absorb(&rep);
+        acc.absorb(&rep);
+        assert_eq!(acc.shards.len(), 3);
+        assert_eq!(acc.shards[0].flits_sent, 2);
+        assert_eq!(acc.undrained_flits, 6);
+    }
+
+    #[test]
+    fn top_phases_ranks_by_share() {
+        let mut rep = ProfileReport::default();
+        let mut s = ShardProfile {
+            wall_ns: 100,
+            ..ShardProfile::default()
+        };
+        s.phase_ns[Phase::Barrier as usize] = 60;
+        s.phase_ns[Phase::Alloc as usize] = 30;
+        rep.shards.push(s);
+        let line = rep.top_phases(2);
+        assert!(line.starts_with("barrier 60%"), "{line}");
+        assert!(line.contains("alloc 30%"), "{line}");
+        assert_eq!(rep.phase_total(Phase::Barrier), 60);
+        assert!((rep.attributed_fraction() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let mut prof = EngineProf::new();
+        prof.shard_start(1);
+        prof.mark(Phase::Advance);
+        prof.batch_flushed(4);
+        prof.shard_end();
+        let rep = prof.report();
+        let json = serde_json::to_string(&rep).unwrap();
+        let back: ProfileReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rep);
+    }
+}

@@ -9,12 +9,13 @@
 //! keeps the golden fixtures bit-for-bit.
 
 use super::observer::SimObserver;
+use super::profile::EngineProfiler;
 use super::{Engine, F_REVISABLE, F_ROUTED, F_VLB};
 use crate::config::RoutingAlgorithm;
 use tugal_routing::{vc_class, Path, PathProvider, PathRef};
 use tugal_topology::NodeId;
 
-impl<O: SimObserver> Engine<'_, O> {
+impl<O: SimObserver, P: EngineProfiler> Engine<'_, O, P> {
     /// UGAL-L queue metric of an output channel at its source router:
     /// consumed downstream credits plus flits staged on the wire slot.
     #[inline]

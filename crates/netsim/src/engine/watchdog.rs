@@ -25,7 +25,7 @@ use serde::{Deserialize, Serialize};
 
 /// Watchdog thresholds.  A field of `0` disables that check; a config with
 /// every field `0` is treated as no watchdog at all.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct WatchdogConfig {
     /// Cycle cadence of the flit-conservation check (`0` = off).
     pub conservation_every: u64,
@@ -40,6 +40,37 @@ pub struct WatchdogConfig {
     /// cycles.  A trip reports [`StallKind::WallClockExceeded`] — the
     /// runner maps it to a timed-out job.
     pub wall_limit_ms: u64,
+    /// Flight-recorder depth: each shard keeps a ring of its last N
+    /// cycles' [`FlightFrame`]s (globals snapshot + boundary traffic) and
+    /// a trip drains them into [`StallReport::recent`] (`0` = off, the
+    /// default).  Recording only happens while some *check* is armed —
+    /// a config whose only non-zero field is this one is still treated
+    /// as no watchdog at all.  Frame capture reads the same globally
+    /// agreed counters every shard already computes, so arming the
+    /// recorder cannot change simulation results.
+    pub flight_recorder: u64,
+}
+
+// Hand-written so `flight_recorder` can default when the field is missing:
+// the vendored minimal serde derive has no `#[serde(default)]`, and
+// watchdog configs serialized before the flight recorder existed (journals,
+// replay capsules) must keep deserializing to the same run they described.
+impl Deserialize for WatchdogConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(WatchdogConfig {
+            conservation_every: Deserialize::from_value(serde::obj_field(
+                v,
+                "conservation_every",
+            )?)?,
+            stall_cycles: Deserialize::from_value(serde::obj_field(v, "stall_cycles")?)?,
+            max_cycles: Deserialize::from_value(serde::obj_field(v, "max_cycles")?)?,
+            wall_limit_ms: Deserialize::from_value(serde::obj_field(v, "wall_limit_ms")?)?,
+            flight_recorder: match serde::obj_field(v, "flight_recorder") {
+                Ok(f) => Deserialize::from_value(f)?,
+                Err(_) => 0,
+            },
+        })
+    }
 }
 
 impl WatchdogConfig {
@@ -50,6 +81,7 @@ impl WatchdogConfig {
             stall_cycles: 0,
             max_cycles: 0,
             wall_limit_ms: 0,
+            flight_recorder: 0,
         }
     }
 
@@ -66,10 +98,13 @@ impl WatchdogConfig {
             stall_cycles: cfg.window as u64 + rtt,
             max_cycles: 4 * cfg.total_cycles(),
             wall_limit_ms: 0,
+            flight_recorder: 0,
         }
     }
 
-    /// True when at least one check is armed.
+    /// True when at least one check is armed.  The flight recorder is not
+    /// a check: it only captures context for a trip some check produces,
+    /// so it does not arm the watchdog by itself.
     pub fn armed(&self) -> bool {
         self.conservation_every > 0
             || self.stall_cycles > 0
@@ -162,6 +197,32 @@ pub struct OldestPacket {
     pub cur_chan: u32,
 }
 
+/// One cycle of one shard's flight-recorder ring: the globally agreed
+/// end-of-cycle counters (identical on every shard by the determinism
+/// contract) plus this shard's cumulative boundary traffic.  A trip drains
+/// the last `WatchdogConfig::flight_recorder` of these per shard into
+/// [`StallReport::recent`], so forensics show the cross-shard behavior
+/// leading up to the stall, not just its final state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlightFrame {
+    /// The cycle the frame describes.
+    pub cycle: u64,
+    /// The shard that recorded it.
+    pub shard: u32,
+    /// Global in-flight population at cycle end.
+    pub in_flight: u64,
+    /// Global packets injected so far.
+    pub injected: u64,
+    /// Global packets delivered so far.
+    pub delivered: u64,
+    /// Global packets dropped so far.
+    pub dropped: u64,
+    /// Flits this shard has handed to other shards' mailboxes so far.
+    pub boundary_sent: u64,
+    /// Flits this shard has drained from other shards' mailboxes so far.
+    pub boundary_recv: u64,
+}
+
 /// Routing-decision counters at trip time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RoutingCounters {
@@ -189,6 +250,10 @@ pub struct StallReport {
     pub oldest: Option<OldestPacket>,
     /// Routing-decision counters up to the trip.
     pub decisions: RoutingCounters,
+    /// Flight-recorder frames: the last `WatchdogConfig::flight_recorder`
+    /// cycles per shard, merged chronologically (then by shard within a
+    /// cycle).  Empty when the recorder is off (the default).
+    pub recent: Vec<FlightFrame>,
 }
 
 /// One shard's contribution to a [`StallReport`]: the occupancy of the
@@ -199,6 +264,8 @@ pub struct StallReport {
 pub(crate) struct StallPartial {
     pub(crate) occupancy: Vec<VcSnapshot>,
     pub(crate) oldest: Option<OldestPacket>,
+    /// This shard's flight-recorder ring, drained oldest-first.
+    pub(crate) recent: Vec<FlightFrame>,
 }
 
 impl StallReport {
@@ -220,9 +287,11 @@ impl StallReport {
         parts: Vec<StallPartial>,
     ) -> Self {
         let mut occupancy = Vec::new();
+        let mut recent = Vec::new();
         let mut oldest: Option<OldestPacket> = None;
         for p in parts {
             occupancy.extend(p.occupancy);
+            recent.extend(p.recent);
             oldest = match (oldest, p.oldest) {
                 (None, o) | (o, None) => o,
                 (Some(a), Some(b)) => Some(if (b.birth, b.src, b.dst) < (a.birth, a.src, a.dst) {
@@ -239,6 +308,7 @@ impl StallReport {
                 .then(a.vc.cmp(&b.vc))
         });
         occupancy.truncate(Self::MAX_OCCUPANCY_ENTRIES);
+        recent.sort_unstable_by_key(|f: &FlightFrame| (f.cycle, f.shard));
         StallReport {
             kind,
             cycle,
@@ -247,6 +317,7 @@ impl StallReport {
             occupancy,
             oldest,
             decisions,
+            recent,
         }
     }
 
@@ -335,10 +406,89 @@ mod tests {
                 routed: 5,
                 vlb_chosen: 2,
             },
+            recent: vec![],
         };
         let line = rep.oneline();
         assert!(line.contains("livelock"), "{line}");
         assert!(line.contains("1234"), "{line}");
         assert!(line.contains("334"), "{line}");
+    }
+
+    #[test]
+    fn flight_recorder_defaults_to_off_in_old_json() {
+        // Watchdog configs serialized before the flight recorder carry no
+        // `flight_recorder` key; they must deserialize to recorder-off.
+        let wd = WatchdogConfig {
+            conservation_every: 16,
+            stall_cycles: 100,
+            max_cycles: 0,
+            wall_limit_ms: 0,
+            flight_recorder: 8,
+        };
+        let serde::Value::Object(mut fields) = serde::Serialize::to_value(&wd) else {
+            panic!("WatchdogConfig serializes to an object");
+        };
+        fields.retain(|(k, _)| k != "flight_recorder");
+        let back: WatchdogConfig =
+            serde::Deserialize::from_value(&serde::Value::Object(fields)).unwrap();
+        assert_eq!(back.flight_recorder, 0);
+        assert_eq!(
+            back,
+            WatchdogConfig {
+                flight_recorder: 0,
+                ..wd
+            }
+        );
+
+        // A full roundtrip preserves the depth.
+        let json = serde_json::to_string(&wd).unwrap();
+        assert_eq!(serde_json::from_str::<WatchdogConfig>(&json).unwrap(), wd);
+
+        // The recorder alone does not arm the watchdog.
+        let only_recorder = WatchdogConfig {
+            flight_recorder: 8,
+            ..WatchdogConfig::disabled()
+        };
+        assert!(!only_recorder.armed());
+    }
+
+    #[test]
+    fn assemble_merges_flight_frames_chronologically() {
+        let frame = |cycle, shard| FlightFrame {
+            cycle,
+            shard,
+            in_flight: 1,
+            injected: 1,
+            delivered: 0,
+            dropped: 0,
+            boundary_sent: 0,
+            boundary_recv: 0,
+        };
+        let part = |frames: Vec<FlightFrame>| StallPartial {
+            occupancy: vec![],
+            oldest: None,
+            recent: frames,
+        };
+        let rep = StallReport::assemble(
+            StallKind::Livelock,
+            10,
+            2,
+            ConservationLedger {
+                injected: 1,
+                delivered: 0,
+                dropped: 0,
+                in_flight: 1,
+            },
+            RoutingCounters {
+                routed: 0,
+                vlb_chosen: 0,
+            },
+            vec![
+                part(vec![frame(9, 0), frame(10, 0)]),
+                part(vec![frame(8, 1), frame(9, 1), frame(10, 1)]),
+            ],
+        );
+        let order: Vec<(u64, u32)> = rep.recent.iter().map(|f| (f.cycle, f.shard)).collect();
+        assert_eq!(order, vec![(8, 1), (9, 0), (9, 1), (10, 0), (10, 1)]);
     }
 }

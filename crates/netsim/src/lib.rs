@@ -51,18 +51,20 @@ pub mod journal;
 pub mod runner;
 mod stats;
 mod sweep;
+pub mod trace;
 
 pub use config::{Config, RoutingAlgorithm};
 pub use engine::{
-    ConservationLedger, NoopObserver, OldestPacket, RoutingCounters, SimObserver, SimWorkspace,
-    Simulator, StallKind, StallReport, VcSnapshot, WatchdogConfig, WorkspacePool,
+    ConservationLedger, EngineProf, EngineProfiler, FlightFrame, NoopObserver, NoopProfiler,
+    OldestPacket, Phase, ProfileReport, RoutingCounters, ShardProfile, SimObserver, SimWorkspace,
+    Simulator, StallKind, StallReport, VcSnapshot, WatchdogConfig, WorkspacePool, PHASE_COUNT,
 };
 pub use error::{validate_sweep, ConfigError};
 pub use fault::{FaultEvent, FaultSchedule};
 pub use stats::SimResult;
 pub use sweep::{
-    aggregate_runs, latency_curve, run_job_observed, run_job_reported, saturation_throughput,
-    CurvePoint, SweepOptions,
+    aggregate_runs, latency_curve, run_job_observed, run_job_profiled, run_job_reported,
+    saturation_throughput, CurvePoint, SweepOptions,
 };
 
 #[cfg(test)]

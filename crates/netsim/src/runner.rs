@@ -17,11 +17,15 @@
 //! consumer can merge per-seed collections into per-point telemetry.
 
 use crate::config::{Config, RoutingAlgorithm};
-use crate::engine::{NoopObserver, SimObserver, StallKind, StallReport, WorkspacePool};
+use crate::engine::{
+    EngineProf, NoopObserver, NoopProfiler, ProfileReport, SimObserver, StallKind, StallReport,
+    WorkspacePool,
+};
 use crate::error::ConfigError;
 use crate::journal::{job_digest, Journal};
 use crate::stats::SimResult;
-use crate::sweep::{aggregate_runs, run_job_reported, CurvePoint};
+use crate::sweep::{aggregate_runs, run_job_profiled, CurvePoint};
+use crate::trace::{phase_totals, TraceSink, TraceSpan};
 use rayon::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -183,6 +187,10 @@ pub struct JobRecord {
     /// True when the result was replayed from the journal instead of
     /// simulated.
     pub resumed: bool,
+    /// The job's engine profile, when the runner ran with
+    /// [`ExperimentRunner::with_profiling`] and the job was simulated
+    /// (`None` for replays and unprofiled runs).
+    pub profile: Option<ProfileReport>,
 }
 
 /// Whole-batch timing summary of one [`ExperimentRunner`] run: where the
@@ -206,6 +214,15 @@ pub struct RunSummary {
     /// Jobs whose results were replayed from an attached journal instead
     /// of simulated.
     pub resumed: usize,
+    /// Host parallelism at run time
+    /// (`std::thread::available_parallelism`), so a summary from a
+    /// single-core container is self-describing.
+    pub host_threads: usize,
+    /// Largest engine shard count across the batch's series.
+    pub shards: u32,
+    /// The slowest job's engine profile (profiled runs only) — the
+    /// phase breakdown [`RunSummary::oneline`] prints.
+    pub slowest_profile: Option<ProfileReport>,
 }
 
 impl RunSummary {
@@ -227,9 +244,23 @@ impl RunSummary {
         } else {
             String::new()
         };
+        let phases = match &self.slowest_profile {
+            Some(p) => format!(" [slowest phases: {}]", p.top_phases(3)),
+            None => String::new(),
+        };
         format!(
-            "{} jobs in {:.0} ms wall ({:.1} jobs/s, {:.0} ms simulated){}{}{}",
-            self.jobs, self.wall_ms, self.jobs_per_sec, self.sim_ms, slowest, failed, resumed
+            "{} jobs in {:.0} ms wall ({:.1} jobs/s, {:.0} ms simulated, \
+             {} shard(s) on {} host threads){}{}{}{}",
+            self.jobs,
+            self.wall_ms,
+            self.jobs_per_sec,
+            self.sim_ms,
+            self.shards,
+            self.host_threads,
+            slowest,
+            phases,
+            failed,
+            resumed
         )
     }
 
@@ -247,20 +278,21 @@ impl RunSummary {
         } else {
             0.0
         };
+        self.host_threads = self.host_threads.max(other.host_threads);
+        self.shards = self.shards.max(other.shards);
         // A present entry always beats an absent one, regardless of its
         // time: mapping `None` to 0.0 ms would let an empty batch keep its
-        // `None` against a real (even 0 ms-rounded) slowest job.
-        self.slowest = match (self.slowest.take(), &other.slowest) {
-            (None, b) => b.clone(),
-            (a @ Some(_), None) => a,
-            (Some(a), Some(b)) => {
-                if a.3 >= b.3 {
-                    Some(a)
-                } else {
-                    Some(b.clone())
-                }
-            }
+        // `None` against a real (even 0 ms-rounded) slowest job.  The
+        // slowest job's profile travels with it.
+        let other_wins = match (&self.slowest, &other.slowest) {
+            (None, Some(_)) => true,
+            (Some(a), Some(b)) => b.3 > a.3,
+            _ => false,
         };
+        if other_wins {
+            self.slowest = other.slowest.clone();
+            self.slowest_profile = other.slowest_profile.clone();
+        }
     }
 }
 
@@ -278,6 +310,8 @@ pub struct ExperimentRunner {
     series: Vec<SeriesSpec>,
     budget: JobBudget,
     journal: Option<Arc<Journal>>,
+    trace: Option<Arc<TraceSink>>,
+    profiling: bool,
 }
 
 impl ExperimentRunner {
@@ -288,6 +322,8 @@ impl ExperimentRunner {
             series: Vec::new(),
             budget: JobBudget::default(),
             journal: None,
+            trace: None,
+            profiling: false,
         }
     }
 
@@ -308,6 +344,26 @@ impl ExperimentRunner {
     /// finish, and jobs already on record are replayed instead of re-run.
     pub fn with_journal(mut self, journal: Arc<Journal>) -> Self {
         self.journal = Some(journal);
+        self
+    }
+
+    /// Attaches a [`TraceSink`]: the runner emits `batch_start`/`job_start`/
+    /// `job_end`/`batch_end` span events as the batch executes (see
+    /// [`crate::trace`]).  Tracing is outside the engine, so results are
+    /// byte-identical with or without a sink.
+    pub fn with_trace(mut self, trace: Arc<TraceSink>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Turns on engine self-profiling: every simulated job runs with an
+    /// [`EngineProf`] attached, its [`ProfileReport`] lands in the job's
+    /// [`JobRecord::profile`], and the summary carries the slowest job's
+    /// phase breakdown.  Profiling never changes results (pinned by
+    /// `tests/profile.rs`); it costs a few timestamp reads per simulated
+    /// cycle.
+    pub fn with_profiling(mut self, on: bool) -> Self {
+        self.profiling = on;
         self
     }
 
@@ -459,6 +515,16 @@ impl ExperimentRunner {
                     .flat_map(move |&rate| seeds.iter().map(move |&seed| (si, rate, seed)))
             })
             .collect();
+        let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let batch_shards = self.series.iter().map(|s| s.cfg.shards).max().unwrap_or(1);
+        if let Some(trace) = &self.trace {
+            let mut span = TraceSpan::new("batch_start");
+            span.t_ms = trace.now_ms();
+            span.jobs = jobs.len() as u64;
+            span.shards = batch_shards as u64;
+            span.host_threads = host_threads as u64;
+            trace.emit(&span);
+        }
         let batch_start = Instant::now();
         let outcomes: Vec<(JobRecord, O)> = jobs
             .par_iter()
@@ -471,7 +537,16 @@ impl ExperimentRunner {
                     seed,
                 });
                 let digest = job_digest(&keys[si], rate, seed);
-                let record = |outcome, elapsed_ms, resumed| JobRecord {
+                let job_span = |ev: &str| {
+                    let mut span = TraceSpan::new(ev);
+                    span.label = s.label.clone();
+                    span.rate_bits = rate.to_bits();
+                    span.seed = seed;
+                    span.digest = digest;
+                    span.shards = cfgs[si].shards as u64;
+                    span
+                };
+                let record = |outcome, elapsed_ms, resumed, profile| JobRecord {
                     label: s.label.clone(),
                     series: si,
                     rate,
@@ -480,18 +555,32 @@ impl ExperimentRunner {
                     outcome,
                     elapsed_ms,
                     resumed,
+                    profile,
                 };
                 if let Some(journal) = &self.journal {
                     if let Some(result) = journal.lookup(digest) {
                         // Replayed: the observer never sees the run (it was
                         // simulated by the killed invocation), but the
                         // result is the recorded one, bit-for-bit.
-                        return (record(JobOutcome::Ok(result), 0.0, true), obs);
+                        if let Some(trace) = &self.trace {
+                            let mut span = job_span("job_end");
+                            span.t_ms = trace.now_ms();
+                            span.outcome = "ok".to_string();
+                            span.resumed = true;
+                            trace.emit(&span);
+                        }
+                        return (record(JobOutcome::Ok(result), 0.0, true, None), obs);
                     }
                 }
+                if let Some(trace) = &self.trace {
+                    let mut span = job_span("job_start");
+                    span.t_ms = trace.now_ms();
+                    trace.emit(&span);
+                }
                 let start = Instant::now();
-                let run = catch_unwind(AssertUnwindSafe(|| {
-                    run_job_reported(
+                let mut prof = self.profiling.then(EngineProf::new);
+                let run = catch_unwind(AssertUnwindSafe(|| match prof.as_mut() {
+                    Some(p) => run_job_profiled(
                         &pool,
                         &self.topo,
                         &s.provider,
@@ -502,8 +591,23 @@ impl ExperimentRunner {
                         seed,
                         s.faults.as_ref(),
                         &mut obs,
-                    )
+                        p,
+                    ),
+                    None => run_job_profiled(
+                        &pool,
+                        &self.topo,
+                        &s.provider,
+                        &s.pattern,
+                        s.routing,
+                        &cfgs[si],
+                        rate,
+                        seed,
+                        s.faults.as_ref(),
+                        &mut obs,
+                        &mut NoopProfiler,
+                    ),
                 }));
+                let profile = prof.map(|p| p.report());
                 let outcome = match run {
                     Ok((result, None, _)) => {
                         if let Some(journal) = &self.journal {
@@ -521,7 +625,17 @@ impl ExperimentRunner {
                     Err(payload) => JobOutcome::Panicked(panic_message(payload.as_ref())),
                 };
                 let ms = start.elapsed().as_secs_f64() * 1e3;
-                (record(outcome, ms, false), obs)
+                if let Some(trace) = &self.trace {
+                    let mut span = job_span("job_end");
+                    span.t_ms = trace.now_ms();
+                    span.outcome = outcome.name().to_string();
+                    span.elapsed_ms_bits = ms.to_bits();
+                    if let Some(p) = &profile {
+                        span.phase_ns = phase_totals(p);
+                    }
+                    trace.emit(&span);
+                }
+                (record(outcome, ms, false, profile), obs)
             })
             .collect();
         let wall_ms = batch_start.elapsed().as_secs_f64() * 1e3;
@@ -536,6 +650,29 @@ impl ExperimentRunner {
             .filter(|(rec, _)| rec.outcome.is_failure())
             .count();
         let resumed = outcomes.iter().filter(|(rec, _)| rec.resumed).count();
+        let slowest_profile = outcomes
+            .iter()
+            .map(|(rec, _)| rec)
+            .max_by(|a, b| a.elapsed_ms.total_cmp(&b.elapsed_ms))
+            .and_then(|rec| rec.profile.clone());
+        if let Some(trace) = &self.trace {
+            let mut span = TraceSpan::new("batch_end");
+            span.t_ms = trace.now_ms();
+            span.jobs = jobs.len() as u64;
+            span.failed = failed as u64;
+            span.shards = batch_shards as u64;
+            span.host_threads = host_threads as u64;
+            if self.profiling {
+                let mut agg = ProfileReport::default();
+                for (rec, _) in &outcomes {
+                    if let Some(p) = &rec.profile {
+                        agg.absorb(p);
+                    }
+                }
+                span.phase_ns = phase_totals(&agg);
+            }
+            trace.emit(&span);
+        }
         let summary = RunSummary {
             jobs: jobs.len(),
             wall_ms,
@@ -548,6 +685,9 @@ impl ExperimentRunner {
             slowest,
             failed,
             resumed,
+            host_threads,
+            shards: batch_shards,
+            slowest_profile,
         };
 
         let (records, observers): (Vec<JobRecord>, Vec<O>) = outcomes.into_iter().unzip();
@@ -647,6 +787,9 @@ mod tests {
             slowest: slowest.map(|(l, r, s, ms)| (l.to_string(), r, s, ms)),
             failed: 0,
             resumed: 0,
+            host_threads: 1,
+            shards: 1,
+            slowest_profile: None,
         }
     }
 

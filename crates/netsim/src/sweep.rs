@@ -169,6 +169,39 @@ pub fn run_job_reported<O: crate::engine::SimObserver>(
     faults: Option<&Arc<crate::fault::FaultSchedule>>,
     obs: &mut O,
 ) -> (SimResult, Option<crate::engine::StallReport>, f64) {
+    run_job_profiled(
+        pool,
+        topo,
+        provider,
+        pattern,
+        routing,
+        cfg,
+        rate,
+        seed,
+        faults,
+        obs,
+        &mut crate::engine::NoopProfiler,
+    )
+}
+
+/// Like [`run_job_reported`], with an [`crate::EngineProfiler`] attached
+/// to the engine — the job primitive of the runner's profiled path and of
+/// the `prof` bench harness.  Passing [`crate::NoopProfiler`] is exactly
+/// [`run_job_reported`]; a real profiler never changes the results.
+#[allow(clippy::too_many_arguments)]
+pub fn run_job_profiled<O: crate::engine::SimObserver, P: crate::engine::EngineProfiler>(
+    pool: &WorkspacePool,
+    topo: &Arc<Dragonfly>,
+    provider: &Arc<dyn PathProvider>,
+    pattern: &Arc<dyn TrafficPattern>,
+    routing: RoutingAlgorithm,
+    cfg: &Config,
+    rate: f64,
+    seed: u64,
+    faults: Option<&Arc<crate::fault::FaultSchedule>>,
+    obs: &mut O,
+    prof: &mut P,
+) -> (SimResult, Option<crate::engine::StallReport>, f64) {
     let mut c = cfg.clone();
     c.seed = seed;
     let mut sim = Simulator::new(topo.clone(), provider.clone(), pattern.clone(), routing, c);
@@ -176,7 +209,7 @@ pub fn run_job_reported<O: crate::engine::SimObserver>(
         sim = sim.with_fault_schedule(f.clone());
     }
     let start = Instant::now();
-    let (result, stall) = pool.with(|ws: &mut SimWorkspace| sim.run_reported(rate, ws, obs));
+    let (result, stall) = pool.with(|ws: &mut SimWorkspace| sim.run_profiled(rate, ws, obs, prof));
     (result, stall, start.elapsed().as_secs_f64() * 1e3)
 }
 

@@ -128,6 +128,7 @@ fn watchdog_trips_identically_at_every_shard_count() {
             stall_cycles: 0,
             max_cycles: 1500,
             wall_limit_ms: 0,
+            flight_recorder: 0,
         };
         let sim = sim8_watched(RoutingAlgorithm::UgalL, false, shards, Some(wd));
         let mut ws = SimWorkspace::new();
@@ -287,6 +288,7 @@ fn conservation_holds_at_every_shard_count() {
             stall_cycles: 0,
             max_cycles: 0,
             wall_limit_ms: 0,
+            flight_recorder: 0,
         };
         let sim = sim8_watched(RoutingAlgorithm::UgalG, false, shards, Some(wd));
         let mut ws = SimWorkspace::new();
@@ -308,6 +310,7 @@ fn stallkind_is_shared_between_shard_counts() {
         stall_cycles: 0,
         max_cycles: 500,
         wall_limit_ms: 0,
+        flight_recorder: 0,
     };
     let sim = sim8_watched(RoutingAlgorithm::Min, false, 2, Some(wd));
     let mut ws = SimWorkspace::new();

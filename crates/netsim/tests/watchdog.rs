@@ -45,6 +45,7 @@ fn generous() -> WatchdogConfig {
         stall_cycles: 1_000_000,
         max_cycles: 0,
         wall_limit_ms: 0,
+        flight_recorder: 0,
     }
 }
 
@@ -97,6 +98,7 @@ fn livelock_trips_forward_progress_check() {
         stall_cycles: 600,
         max_cycles: 0,
         wall_limit_ms: 0,
+        flight_recorder: 0,
     };
     let (result, stall) = watchdog_sim(RoutingAlgorithm::UgalL, true, 7, wd)
         .with_faults(FaultSchedule::immediate(dead))
@@ -131,6 +133,7 @@ fn cycle_ceiling_trips_at_the_configured_cycle() {
         stall_cycles: 0,
         max_cycles: 1_000,
         wall_limit_ms: 0,
+        flight_recorder: 0,
     };
     let (_, stall) = watchdog_sim(RoutingAlgorithm::UgalL, false, 7, wd).run_reported(
         0.2,

@@ -12,6 +12,10 @@ use tugal_topology::{ChannelKind, Dragonfly};
 /// How many occupancy lines [`render_stall`] prints before eliding.
 const MAX_OCCUPANCY_LINES: usize = 8;
 
+/// How many flight-recorder frames [`render_stall`] prints before eliding
+/// (the oldest frames are elided — the most recent cycles matter most).
+const MAX_FLIGHT_LINES: usize = 12;
+
 /// Renders `report` as an indented multi-line diagnostic.  With a
 /// topology, channels in the occupancy snapshot and the oldest packet's
 /// position are annotated with their class (local / global / terminal) and
@@ -87,6 +91,30 @@ pub fn render_stall(report: &StallReport, topo: Option<&Dragonfly>) -> String {
             );
         }
     }
+    if !report.recent.is_empty() {
+        let shown = report.recent.len().min(MAX_FLIGHT_LINES);
+        let _ = writeln!(
+            out,
+            "  flight recorder ({} shown of {} frames, most recent last):",
+            shown,
+            report.recent.len()
+        );
+        for f in report.recent.iter().skip(report.recent.len() - shown) {
+            let _ = writeln!(
+                out,
+                "    cycle {} shard {}: in flight {}, injected {}, delivered {}, \
+                 dropped {}, boundary {}/{} sent/recv",
+                f.cycle,
+                f.shard,
+                f.in_flight,
+                f.injected,
+                f.delivered,
+                f.dropped,
+                f.boundary_sent,
+                f.boundary_recv
+            );
+        }
+    }
     out
 }
 
@@ -146,6 +174,7 @@ mod tests {
                 routed: 88,
                 vlb_chosen: 44,
             },
+            recent: vec![],
         }
     }
 
@@ -168,6 +197,33 @@ mod tests {
         let text = render_stall(&r, None);
         assert!(text.contains("conservation-violation"), "{text}");
         assert!(text.contains("IMBALANCE +5"), "{text}");
+    }
+
+    #[test]
+    fn renders_flight_recorder_frames_most_recent_last() {
+        use tugal_netsim::FlightFrame;
+        let mut r = report();
+        r.recent = (0..20)
+            .map(|i| FlightFrame {
+                cycle: 4980 + i,
+                shard: (i % 2) as u32,
+                in_flight: 30,
+                injected: 90,
+                delivered: 40,
+                dropped: 20,
+                boundary_sent: i,
+                boundary_recv: i,
+            })
+            .collect();
+        let text = render_stall(&r, None);
+        assert!(
+            text.contains("flight recorder (12 shown of 20 frames"),
+            "{text}"
+        );
+        // The oldest frames are elided, the newest kept.
+        assert!(!text.contains("cycle 4980 "), "{text}");
+        assert!(text.contains("cycle 4999 shard 1"), "{text}");
+        assert!(text.contains("boundary 19/19 sent/recv"), "{text}");
     }
 
     #[test]
