@@ -79,7 +79,7 @@ pub enum PatternSpec {
 }
 
 /// One serializable fault event: the components that die at `cycle`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct FaultEventSpec {
     /// Cycle at which the components die.
     pub cycle: u64,
@@ -89,10 +89,33 @@ pub struct FaultEventSpec {
     pub local_links: Vec<(u32, u32)>,
     /// Failed switches.
     pub switches: Vec<u32>,
+    /// Failed individual lag siblings, as `(u, v, k)` — the `k`-th
+    /// parallel cable between switches `u` and `v` (see
+    /// [`FaultSet::fail_global_sibling`]).
+    pub global_siblings: Vec<(u32, u32, u32)>,
+}
+
+// Hand-written so `global_siblings` defaults to empty: the vendored
+// minimal serde derive has no `#[serde(default)]`, and capsules written
+// before per-sibling faults existed must keep deserializing to the same
+// job they described.
+impl Deserialize for FaultEventSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(FaultEventSpec {
+            cycle: Deserialize::from_value(serde::obj_field(v, "cycle")?)?,
+            global_links: Deserialize::from_value(serde::obj_field(v, "global_links")?)?,
+            local_links: Deserialize::from_value(serde::obj_field(v, "local_links")?)?,
+            switches: Deserialize::from_value(serde::obj_field(v, "switches")?)?,
+            global_siblings: match serde::obj_field(v, "global_siblings") {
+                Ok(s) => Deserialize::from_value(s)?,
+                Err(_) => Vec::new(),
+            },
+        })
+    }
 }
 
 /// A self-contained deterministic repro of one failed job.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct Capsule {
     /// [`CAPSULE_VERSION`] at write time.
     pub version: u32,
@@ -106,6 +129,11 @@ pub struct Capsule {
     pub trip_cycle: Option<u64>,
     /// Topology parameters.
     pub topology: DragonflyParams,
+    /// Global arrangement identity ([`tugal_topology::ArrangementSpec`]
+    /// syntax; `"absolute"` for the paper default).
+    pub arrangement: String,
+    /// Parallel copies of every global cable (`1` = the plain topology).
+    pub global_lag: u32,
     /// How to rebuild the candidate provider.
     pub provider: ProviderSpec,
     /// How to rebuild the traffic pattern.
@@ -128,6 +156,41 @@ pub struct Capsule {
     pub digest: u64,
     /// Fault schedule, if the series ran degraded.
     pub faults: Vec<FaultEventSpec>,
+}
+
+// Hand-written so `arrangement`/`global_lag` default to the paper shape:
+// capsules written before the topology zoo existed described absolute
+// lag-1 topologies, and must replay as exactly those.
+impl Deserialize for Capsule {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Capsule {
+            version: Deserialize::from_value(serde::obj_field(v, "version")?)?,
+            label: Deserialize::from_value(serde::obj_field(v, "label")?)?,
+            outcome: Deserialize::from_value(serde::obj_field(v, "outcome")?)?,
+            detail: Deserialize::from_value(serde::obj_field(v, "detail")?)?,
+            trip_cycle: Deserialize::from_value(serde::obj_field(v, "trip_cycle")?)?,
+            topology: Deserialize::from_value(serde::obj_field(v, "topology")?)?,
+            arrangement: match serde::obj_field(v, "arrangement") {
+                Ok(s) => Deserialize::from_value(s)?,
+                Err(_) => "absolute".to_string(),
+            },
+            global_lag: match serde::obj_field(v, "global_lag") {
+                Ok(s) => Deserialize::from_value(s)?,
+                Err(_) => 1,
+            },
+            provider: Deserialize::from_value(serde::obj_field(v, "provider")?)?,
+            pattern: Deserialize::from_value(serde::obj_field(v, "pattern")?)?,
+            routing: Deserialize::from_value(serde::obj_field(v, "routing")?)?,
+            cfg: Deserialize::from_value(serde::obj_field(v, "cfg")?)?,
+            budget_max_cycles: Deserialize::from_value(serde::obj_field(v, "budget_max_cycles")?)?,
+            budget_wall_ms: Deserialize::from_value(serde::obj_field(v, "budget_wall_ms")?)?,
+            rate: Deserialize::from_value(serde::obj_field(v, "rate")?)?,
+            rate_bits: Deserialize::from_value(serde::obj_field(v, "rate_bits")?)?,
+            seed: Deserialize::from_value(serde::obj_field(v, "seed")?)?,
+            digest: Deserialize::from_value(serde::obj_field(v, "digest")?)?,
+            faults: Deserialize::from_value(serde::obj_field(v, "faults")?)?,
+        })
+    }
 }
 
 /// `(provider pointer, spec)` pairs registered by the harness helpers.
@@ -206,6 +269,12 @@ pub fn fault_specs(faults: Option<&Arc<FaultSchedule>>) -> Vec<FaultEventSpec> {
                 .map(|&(u, v)| (u.0, v.0))
                 .collect(),
             switches: e.faults.switches().iter().map(|s| s.0).collect(),
+            global_siblings: e
+                .faults
+                .global_siblings()
+                .iter()
+                .map(|&(u, v, k)| (u.0, v.0, k))
+                .collect(),
         })
         .collect()
 }
@@ -236,6 +305,8 @@ pub fn capsule_for_failure(
         detail,
         trip_cycle,
         topology: topo.params(),
+        arrangement: topo.arrangement_id().to_string(),
+        global_lag: topo.global_lag(),
         provider: provider_spec(provider),
         pattern: pattern_spec(pattern),
         routing,
@@ -379,6 +450,9 @@ pub fn rebuild_faults(events: &[FaultEventSpec]) -> Option<Arc<FaultSchedule>> {
         for &s in &e.switches {
             set.fail_switch(SwitchId(s));
         }
+        for &(u, v, k) in &e.global_siblings {
+            set.fail_global_sibling(SwitchId(u), SwitchId(v), k);
+        }
         schedule = schedule.and_at(e.cycle, set);
     }
     Some(Arc::new(schedule))
@@ -400,8 +474,12 @@ pub struct Replay {
 /// wall-clock timeouts only the outcome kind (wall time is not
 /// deterministic).
 pub fn replay(capsule: &Capsule) -> Result<Replay, String> {
-    let topo =
-        Arc::new(Dragonfly::new(capsule.topology).map_err(|e| format!("invalid topology: {e:?}"))?);
+    let arr = tugal_topology::ArrangementSpec::parse(&capsule.arrangement)
+        .ok_or_else(|| format!("unknown arrangement {:?}", capsule.arrangement))?;
+    let topo = Arc::new(
+        Dragonfly::with_shape(capsule.topology, arr.build().as_ref(), capsule.global_lag)
+            .map_err(|e| format!("invalid topology: {e:?}"))?,
+    );
     let provider = rebuild_provider(&capsule.provider, &topo)?;
     let pattern = rebuild_pattern(&capsule.pattern, &topo)?;
     let faults = rebuild_faults(&capsule.faults);
@@ -475,6 +553,8 @@ mod tests {
             detail: "boom".into(),
             trip_cycle: None,
             topology: DragonflyParams::new(2, 4, 2, 5),
+            arrangement: "absolute".into(),
+            global_lag: 1,
             provider: ProviderSpec::Rule {
                 rule: VlbRule::ClassLimit {
                     max_hops: 4,
@@ -497,6 +577,7 @@ mod tests {
                 global_links: vec![(1, 9)],
                 local_links: vec![],
                 switches: vec![3],
+                global_siblings: vec![],
             }],
         }
     }
@@ -559,10 +640,33 @@ mod tests {
         let mut set = FaultSet::empty();
         set.fail_global_link(SwitchId(1), SwitchId(9));
         set.fail_switch(SwitchId(3));
+        set.fail_global_sibling(SwitchId(2), SwitchId(8), 1);
         let schedule = Arc::new(FaultSchedule::at(40, set));
         let specs = fault_specs(Some(&schedule));
+        assert_eq!(specs[0].global_siblings, vec![(2, 8, 1)]);
         let back = rebuild_faults(&specs).unwrap();
         assert_eq!(back.events(), schedule.events());
         assert!(rebuild_faults(&[]).is_none());
+    }
+
+    #[test]
+    fn pre_zoo_capsules_deserialize_to_the_paper_shape() {
+        // A capsule serialized before arrangement/global_lag/global_siblings
+        // existed: the fields are simply absent from the JSON.
+        let mut c = capsule(0x01d);
+        let mut json = serde_json::to_string(&c).unwrap();
+        for cut in [
+            "\"arrangement\":\"absolute\",",
+            "\"global_lag\":1,",
+            ",\"global_siblings\":[]",
+        ] {
+            assert!(json.contains(cut), "fixture drifted: {cut} not in {json}");
+            json = json.replace(cut, "");
+        }
+        let back: Capsule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.arrangement, "absolute");
+        assert_eq!(back.global_lag, 1);
+        c.faults[0].global_siblings.clear();
+        assert_eq!(back.faults, c.faults);
     }
 }

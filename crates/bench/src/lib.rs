@@ -179,6 +179,21 @@ pub fn dfly(p: u32, a: u32, h: u32, g: u32) -> Arc<Dragonfly> {
     }
 }
 
+/// A topology-zoo shape: `dfly(p,a,h,g)` under an arbitrary arrangement
+/// and global-lag multiplier.  `spec` accepts anything
+/// [`tugal_topology::ArrangementSpec::parse`] does (`"palmtree"`,
+/// `"random:0x2007"`, …).
+pub fn dfly_shape(p: u32, a: u32, h: u32, g: u32, spec: &str, lag: u32) -> Arc<Dragonfly> {
+    let ctx = format!("constructing dfly({p},{a},{h},{g}) {spec} lag{lag}");
+    let Some(arr) = tugal_topology::ArrangementSpec::parse(spec) else {
+        fatal(&ctx, format!("unknown arrangement {spec:?}"));
+    };
+    match Dragonfly::with_shape(DragonflyParams::new(p, a, h, g), arr.build().as_ref(), lag) {
+        Ok(t) => Arc::new(t),
+        Err(e) => fatal(&ctx, format!("{e:?}")),
+    }
+}
+
 /// Uniform random traffic, registered for capsule replay.
 pub fn uniform(topo: &Arc<Dragonfly>) -> Arc<dyn TrafficPattern> {
     let p: Arc<dyn TrafficPattern> = Arc::new(Uniform::new(topo));
@@ -235,7 +250,7 @@ pub fn tvlb_provider(topo: &Arc<Dragonfly>) -> (Arc<dyn PathProvider>, VlbRule) 
     // into a new run.
     let digest = format!("{:016x}", cfg.digest());
     record_digest(topo, &digest);
-    let key = format!("{}|{digest}", topo.params());
+    let key = format!("{}{}|{digest}", topo.params(), topo.shape_suffix());
     if let Some(rule) = cache_lookup(&key) {
         let mut table = tugal_routing::PathTable::build_with_rule(topo, rule, 0x7065);
         if !rule.is_all() {
@@ -270,7 +285,10 @@ static TVLB_DIGESTS: Mutex<BTreeMap<String, String>> = Mutex::new(BTreeMap::new(
 
 fn record_digest(topo: &Arc<Dragonfly>, digest: &str) {
     if let Ok(mut m) = TVLB_DIGESTS.lock() {
-        m.insert(topo.params().to_string(), digest.to_string());
+        m.insert(
+            format!("{}{}", topo.params(), topo.shape_suffix()),
+            digest.to_string(),
+        );
     }
 }
 

@@ -175,3 +175,110 @@ fn shift_theta_is_independent_of_switch_shift() {
         );
     }
 }
+
+/// Uniform all-to-all switch demands (fixed as a set by any relabeling).
+fn all_to_all(t: &Dragonfly) -> Vec<(u32, u32, u32)> {
+    let mut demands = Vec::new();
+    for s in 0..t.num_switches() as u32 {
+        for d in 0..t.num_switches() as u32 {
+            if s != d {
+                demands.push((s, d, t.params().p));
+            }
+        }
+    }
+    demands
+}
+
+/// The LP stays primal-feasible across the topology zoo: palmtree and
+/// random arrangements and `global_lag = 2` build solvable models whose
+/// allocations respect channel capacities.
+#[test]
+fn zoo_shapes_solve_to_feasible_allocations() {
+    let mut rng = SmallRng::seed_from_u64(0x200);
+    let params = DragonflyParams::new(2, 4, 2, 5);
+    for spec in tugal_topology::ArrangementSpec::zoo(0x2007) {
+        for lag in [1u32, 2] {
+            let t = Dragonfly::with_shape(params, spec.build().as_ref(), lag).unwrap();
+            let demands = random_demands(&t, 6, &mut rng);
+            let sol = modeled_primal(&t, &demands, VlbRule::All).unwrap();
+            assert!(
+                sol.theta > 0.0 && sol.theta <= 1.0001,
+                "{spec} lag{lag}: θ = {}",
+                sol.theta
+            );
+            for &(ch, load) in &sol.channel_load {
+                assert!(
+                    (-1e-5..=CAPACITY_TOL).contains(&load),
+                    "{spec} lag{lag}: channel {ch:?} load {load}"
+                );
+            }
+        }
+    }
+}
+
+/// Doubling the global cables (`global_lag = 2`) cannot hurt modeled
+/// throughput: under the globally-bottlenecked adversarial shift the LP
+/// sees strictly more inter-group capacity.
+#[test]
+fn lag_two_does_not_reduce_modeled_throughput() {
+    let params = DragonflyParams::new(2, 4, 2, 5);
+    let spec = tugal_topology::ArrangementSpec::Palmtree;
+    let t1 = Dragonfly::with_shape(params, spec.build().as_ref(), 1).unwrap();
+    let t2 = Dragonfly::with_shape(params, spec.build().as_ref(), 2).unwrap();
+    let mk = |t: &Dragonfly| {
+        let p = t.params();
+        (0..t.num_switches() as u32)
+            .map(|s| (s, ((s / p.a + 1) % p.g) * p.a + s % p.a, p.p))
+            .collect::<Vec<_>>()
+    };
+    let th1 =
+        modeled_throughput(&t1, &mk(&t1), VlbRule::All, ModelVariant::DrawProportional).unwrap();
+    let th2 =
+        modeled_throughput(&t2, &mk(&t2), VlbRule::All, ModelVariant::DrawProportional).unwrap();
+    assert!(
+        th2 + 1e-3 >= th1,
+        "lag 2 reduced modeled throughput: {th2} vs {th1}"
+    );
+}
+
+/// Palmtree is a relabeling of relative, and the all-to-all demand set is
+/// fixed by any relabeling — so their modeled throughputs agree up to
+/// solver noise.
+#[test]
+fn palmtree_theta_matches_its_relative_isomorph() {
+    let params = DragonflyParams::new(2, 4, 2, 5);
+    let palm = Dragonfly::with_shape(
+        params,
+        tugal_topology::ArrangementSpec::Palmtree.build().as_ref(),
+        1,
+    )
+    .unwrap();
+    let rel = Dragonfly::with_shape(
+        params,
+        tugal_topology::ArrangementSpec::Relative.build().as_ref(),
+        1,
+    )
+    .unwrap();
+    let rule = VlbRule::ClassLimit {
+        max_hops: 4,
+        frac_next: 0.5,
+    };
+    let a = modeled_throughput(
+        &palm,
+        &all_to_all(&palm),
+        rule,
+        ModelVariant::DrawProportional,
+    )
+    .unwrap();
+    let b = modeled_throughput(
+        &rel,
+        &all_to_all(&rel),
+        rule,
+        ModelVariant::DrawProportional,
+    )
+    .unwrap();
+    assert!(
+        (a - b).abs() <= 5e-3,
+        "isomorphic arrangements diverged: palmtree {a} vs relative {b}"
+    );
+}

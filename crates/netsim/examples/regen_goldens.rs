@@ -27,4 +27,8 @@ fn main() {
             .run(rate);
         println!("FAULT\t{scenario}\t{adversarial}\t{rate}\t{r:?}");
     }
+    for (spec, lag, routing, adversarial, rate, _) in ZOO_CASES {
+        let r = simulator_zoo(spec, lag, routing, adversarial, 7, 1).run(rate);
+        println!("ZOO\t{spec}\t{lag}\t{routing:?}\t{adversarial}\t{rate}\t{r:?}");
+    }
 }

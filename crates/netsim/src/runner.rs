@@ -388,7 +388,8 @@ impl ExperimentRunner {
     }
 
     /// The stable identity string of series `si`, from which each job's
-    /// journal digest is derived: label, topology parameters, routing,
+    /// journal digest is derived: label, topology parameters (plus the
+    /// shape suffix naming non-default arrangement / global lag), routing,
     /// config (seed zeroed — the per-job seed is hashed separately), the
     /// runner's budget and the fault schedule.  Any change to any of them
     /// changes every digest of the series, so stale journal entries are
@@ -400,9 +401,10 @@ impl ExperimentRunner {
         let mut cfg = s.cfg.clone();
         cfg.seed = 0;
         format!(
-            "{}|{:?}|{:?}|{:?}|{:?}|{:?}",
+            "{}|{:?}{}|{:?}|{:?}|{:?}|{:?}",
             s.label,
             self.topo.params(),
+            self.topo.shape_suffix(),
             s.routing,
             cfg,
             self.budget,

@@ -146,6 +146,79 @@ const CASES: [(RoutingAlgorithm, bool, f64, &str); 10] = [
     ),
 ];
 
+/// The golden topology re-wired as a zoo shape: same `dfly(2,4,2,5)`
+/// parameters under a non-default arrangement and/or `global_lag`.
+#[allow(dead_code)]
+fn zoo_topo(spec: &str, lag: u32) -> Arc<Dragonfly> {
+    let arr = tugal_topology::ArrangementSpec::parse(spec)
+        .unwrap_or_else(|| panic!("unknown arrangement {spec:?}"));
+    Arc::new(
+        Dragonfly::with_shape(DragonflyParams::new(2, 4, 2, 5), arr.build().as_ref(), lag)
+            .unwrap(),
+    )
+}
+
+#[allow(dead_code)]
+fn simulator_zoo(
+    spec: &str,
+    lag: u32,
+    routing: RoutingAlgorithm,
+    adversarial: bool,
+    seed: u64,
+    shards: u32,
+) -> Simulator {
+    let topo = zoo_topo(spec, lag);
+    let provider = Arc::new(TableProvider::all_paths(topo.clone()));
+    let pattern: Arc<dyn TrafficPattern> = if adversarial {
+        Arc::new(Shift::new(&topo, 1, 0))
+    } else {
+        Arc::new(Uniform::new(&topo))
+    };
+    let mut cfg = Config::quick().for_routing(routing);
+    cfg.seed = seed;
+    cfg.shards = shards;
+    Simulator::new(topo, provider, pattern, routing, cfg)
+}
+
+/// (arrangement, lag, routing, adversarial, rate, expected) — topology-zoo
+/// fixtures on `dfly(2,4,2,5)`, seed 7: palmtree at lag 1, and doubled
+/// global cables under the absolute and seeded-random arrangements.
+#[allow(dead_code)]
+const ZOO_CASES: [(&str, u32, RoutingAlgorithm, bool, f64, &str); 4] = [
+    (
+        "palmtree",
+        1,
+        RoutingAlgorithm::UgalL,
+        false,
+        0.3,
+        "SimResult { injection_rate: 0.3, avg_latency: 30.432687489560713, throughput: 0.29935, avg_hops: 2.3486303657925505, delivered: 23948, injected: 23919, saturated: false, deadlock_suspected: false, vlb_fraction: 0.07266804485372423, latency_p50: 22.627416997969522, latency_p99: 90.50966799187809, max_channel_util: 0.3026743314171457, mean_global_util: 0.2667333166708322, mean_local_util: 0.29141881196367575 }",
+    ),
+    (
+        "palmtree",
+        1,
+        RoutingAlgorithm::UgalL,
+        true,
+        0.15,
+        "SimResult { injection_rate: 0.15, avg_latency: 42.88713845127948, throughput: 0.1499625, avg_hops: 3.368008668833875, delivered: 11997, injected: 11962, saturated: false, deadlock_suspected: false, vlb_fraction: 0.3549288723874682, latency_p50: 45.254833995939045, latency_p99: 90.50966799187809, max_channel_util: 0.3911522119470133, mean_global_util: 0.20215571107223199, mean_local_util: 0.19983337498958592 }",
+    ),
+    (
+        "absolute",
+        2,
+        RoutingAlgorithm::UgalL,
+        false,
+        0.3,
+        "SimResult { injection_rate: 0.3, avg_latency: 30.341459342127234, throughput: 0.29945, avg_hops: 2.3411253965603604, delivered: 23956, injected: 23912, saturated: false, deadlock_suspected: false, vlb_fraction: 0.0693631957212101, latency_p50: 22.627416997969522, latency_p99: 90.50966799187809, max_channel_util: 0.30192451887028243, mean_global_util: 0.1328011747063235, mean_local_util: 0.2908564525535284 }",
+    ),
+    (
+        "random:0x2007",
+        2,
+        RoutingAlgorithm::UgalL,
+        true,
+        0.15,
+        "SimResult { injection_rate: 0.15, avg_latency: 42.95953950112622, throughput: 0.1498375, avg_hops: 3.3779928255610243, delivered: 11987, injected: 11970, saturated: false, deadlock_suspected: false, vlb_fraction: 0.3539468746090655, latency_p50: 45.254833995939045, latency_p99: 90.50966799187809, max_channel_util: 0.45388652836790805, mean_global_util: 0.10106535866033492, mean_local_util: 0.20108722819295174 }",
+    ),
+];
+
 /// (scenario, adversarial, rate, expected) — UGAL-L, seed 7, degraded by
 /// the fixture schedules above.
 #[allow(dead_code)]

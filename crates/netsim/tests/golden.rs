@@ -22,6 +22,21 @@ fn golden_results_bit_for_bit() {
 }
 
 #[test]
+fn zoo_golden_results_bit_for_bit() {
+    for (spec, lag, routing, adversarial, rate, expected) in ZOO_CASES {
+        let r = simulator_zoo(spec, lag, routing, adversarial, 7, 1).run(rate);
+        assert_eq!(
+            format!("{r:?}"),
+            expected,
+            "zoo golden mismatch for ({spec}, lag{lag}, {routing:?}, adversarial={adversarial}, rate={rate})"
+        );
+    }
+    // The shapes genuinely differ from the absolute/lag-1 baseline: the
+    // palmtree fixture must not just replay the plain UGAL-L case.
+    assert_ne!(ZOO_CASES[0].5, CASES[4].3);
+}
+
+#[test]
 fn golden_results_with_an_explicit_noop_observer() {
     // The observer seam must be invisible: the monomorphized NoopObserver
     // engine reproduces the pre-refactor fixtures bit-for-bit.

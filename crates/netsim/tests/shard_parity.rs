@@ -40,6 +40,18 @@ fn five_shards_reproduce_every_degraded_golden_case() {
     }
 }
 
+#[test]
+fn five_shards_reproduce_every_zoo_golden_case() {
+    for (spec, lag, routing, adversarial, rate, expected) in ZOO_CASES {
+        let r = simulator_zoo(spec, lag, routing, adversarial, 7, 5).run(rate);
+        assert_eq!(
+            format!("{r:?}"),
+            expected,
+            "5-shard zoo mismatch for ({spec}, lag{lag}, {routing:?}, adversarial={adversarial}, rate={rate})"
+        );
+    }
+}
+
 /// An 8-group dragonfly (`a·h = 7` spread over the 7 peer groups) so
 /// 2-, 4- and 8-way splits all exist.
 fn sim8(routing: RoutingAlgorithm, adversarial: bool, shards: u32) -> Simulator {
@@ -114,6 +126,75 @@ fn two_and_four_shards_match_sequential_under_faults() {
                 .run(0.3)
         );
         assert_eq!(par, seq, "{shards}-shard degraded divergence");
+    }
+}
+
+/// The 8-group topology re-wired as a zoo shape (see `sim8`): shard
+/// boundaries must stay bit-for-bit across arrangements and parallel
+/// global cables, whose per-pair channel sets the mailboxes canonicalize
+/// by channel id.
+fn sim8_zoo(spec: &str, lag: u32, routing: RoutingAlgorithm, shards: u32) -> Simulator {
+    let arr = tugal_topology::ArrangementSpec::parse(spec)
+        .unwrap_or_else(|| panic!("unknown arrangement {spec:?}"));
+    let topo = Arc::new(
+        Dragonfly::with_shape(DragonflyParams::new(2, 7, 1, 8), arr.build().as_ref(), lag).unwrap(),
+    );
+    let provider = Arc::new(TableProvider::all_paths(topo.clone()));
+    let pattern: Arc<dyn TrafficPattern> = Arc::new(Shift::new(&topo, 1, 0));
+    let mut cfg = Config::quick().for_routing(routing);
+    cfg.seed = 7;
+    cfg.shards = shards;
+    Simulator::new(topo, provider, pattern, routing, cfg)
+}
+
+#[test]
+fn zoo_shards_match_sequential_pristine() {
+    for (spec, lag) in [("palmtree", 1), ("palmtree", 2), ("absolute", 2)] {
+        let seq = format!(
+            "{:?}",
+            sim8_zoo(spec, lag, RoutingAlgorithm::UgalL, 1).run(0.15)
+        );
+        for shards in [2, 4] {
+            let par = format!(
+                "{:?}",
+                sim8_zoo(spec, lag, RoutingAlgorithm::UgalL, shards).run(0.15)
+            );
+            assert_eq!(par, seq, "{shards}-shard divergence for {spec} lag{lag}");
+        }
+    }
+}
+
+#[test]
+fn zoo_shards_match_sequential_under_faults() {
+    // Cable attrition plus a *single lag sibling* dying mid-run: the dead
+    // masks for individual parallel channels must broadcast identically
+    // across shard boundaries.
+    for (spec, lag) in [("palmtree", 2), ("random:0x2007", 2)] {
+        let run_at = |shards: u32| {
+            let arr = tugal_topology::ArrangementSpec::parse(spec).unwrap();
+            let topo = Arc::new(
+                Dragonfly::with_shape(DragonflyParams::new(2, 7, 1, 8), arr.build().as_ref(), lag)
+                    .unwrap(),
+            );
+            let mut fs = tugal_topology::FaultSet::sample_global_links(&topo, 0.05, 0xBEEF);
+            let (_, v) = topo.global_out(tugal_topology::SwitchId(0))[0];
+            fs.fail_global_sibling(tugal_topology::SwitchId(0), v, 1);
+            let schedule = tugal_netsim::FaultSchedule::at(2500, fs);
+            format!(
+                "{:?}",
+                sim8_zoo(spec, lag, RoutingAlgorithm::UgalL, shards)
+                    .with_faults(schedule)
+                    .run(0.15)
+            )
+        };
+        let seq = run_at(1);
+        for shards in [2, 4] {
+            assert_eq!(
+                run_at(shards),
+                seq,
+                "{shards}-shard degraded divergence for {spec} lag{lag}"
+            );
+        }
     }
 }
 

@@ -102,6 +102,9 @@ pub fn all_vlb_paths(topo: &Dragonfly, s: SwitchId, d: SwitchId) -> Vec<Path> {
 ///
 /// A zero-hop path is alive iff its single switch is.  Channel death is
 /// cable-level, so checking the forward direction of each hop suffices.
+/// Under `global_lag > 1` a hop between two switches is backed by several
+/// parallel cables, and per-sibling faults can kill them individually: a
+/// hop stays alive while *any* of its parallel channels survives.
 pub fn path_alive(topo: &Dragonfly, deg: &Degraded, p: &Path) -> bool {
     if deg.switch_dead(p.src()) {
         return false;
@@ -111,9 +114,17 @@ pub fn path_alive(topo: &Dragonfly, deg: &Degraded, p: &Path) -> bool {
         if deg.switch_dead(v) {
             return false;
         }
-        match topo.channel_between(u, v) {
-            Some(c) if !deg.channel_dead(c) => {}
-            _ => return false,
+        let alive = match topo.channel_between(u, v) {
+            None => false,
+            Some(c) if !deg.channel_dead(c) => true,
+            // First channel dead — a parallel global sibling may survive.
+            Some(_) => topo
+                .global_out(u)
+                .iter()
+                .any(|&(c, t)| t == v && !deg.channel_dead(c)),
+        };
+        if !alive {
+            return false;
         }
     }
     true

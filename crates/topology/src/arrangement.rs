@@ -19,6 +19,10 @@
 
 use crate::ids::SwitchId;
 use crate::params::DragonflyParams;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::fmt;
 
 /// Maps each group's global ports onto peer groups.
 ///
@@ -28,6 +32,13 @@ use crate::params::DragonflyParams;
 pub trait GlobalArrangement {
     /// Human-readable arrangement name (used in reports).
     fn name(&self) -> &'static str;
+
+    /// Stable identity for digests and cache keys.  Defaults to
+    /// [`GlobalArrangement::name`]; seeded arrangements append their seed
+    /// so distinct wirings never share an identity.
+    fn id(&self) -> String {
+        self.name().to_string()
+    }
 
     /// All undirected global links, each reported once as
     /// `(lower switch, higher switch)` in unspecified order.
@@ -153,6 +164,171 @@ impl GlobalArrangement for CirculantArrangement {
     }
 }
 
+/// The *palmtree* arrangement (the caminos-lib default): port
+/// `k = r·(g−1) + o` of group `gi` targets group `(gi − o − 1) mod g`, so
+/// each switch's consecutive ports walk consecutively *descending* peer
+/// groups.  The peer reaches back with offset `g − 2 − o` in the same
+/// round, making the wiring bidirectionally consistent for every valid
+/// `g`.  Palmtree is group-relabeling-isomorphic to the relative
+/// arrangement (reflect the group indices — pinned by the differential
+/// test in `tests/properties.rs`) but wires different switch pairs than
+/// the absolute arrangement, which is what earns it a zoo slot.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PalmtreeArrangement;
+
+impl GlobalArrangement for PalmtreeArrangement {
+    fn name(&self) -> &'static str {
+        "palmtree"
+    }
+
+    fn links(&self, params: &DragonflyParams) -> Vec<(SwitchId, SwitchId)> {
+        let (a, h, g) = (params.a, params.h, params.g);
+        let mut links = Vec::new();
+        for gi in 0..g {
+            for k in 0..a * h {
+                let r = k / (g - 1);
+                let o = k % (g - 1);
+                let gj = (gi + g - o - 1) % g;
+                // The peer reaches back with o' = g - 2 - o (same round);
+                // emit each undirected cable once, tie-broken as in the
+                // relative arrangement.
+                let o_back = g - 2 - o;
+                if o > o_back || (o == o_back && gi > gj) {
+                    continue;
+                }
+                let k_back = r * (g - 1) + o_back;
+                links.push((port_switch(params, gi, k), port_switch(params, gj, k_back)));
+            }
+        }
+        links
+    }
+}
+
+/// A seeded *random* arrangement: an independent random permutation of
+/// each group's `a·h` global ports, applied on top of the absolute base
+/// pairing.  The group-level cable structure is untouched — every pair of
+/// groups keeps exactly `a·h/(g−1)` cables, so gateway counts and even
+/// spread hold like for the named arrangements — while the switch-level
+/// endpoints are shuffled deterministically in `seed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomArrangement {
+    /// Seed of the per-group port permutations; equal seeds give equal
+    /// wirings.
+    pub seed: u64,
+}
+
+impl GlobalArrangement for RandomArrangement {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn id(&self) -> String {
+        format!("random:{:#x}", self.seed)
+    }
+
+    fn links(&self, params: &DragonflyParams) -> Vec<(SwitchId, SwitchId)> {
+        let (a, h, g) = (params.a, params.h, params.g);
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let perms: Vec<Vec<u32>> = (0..g)
+            .map(|_| {
+                let mut p: Vec<u32> = (0..a * h).collect();
+                p.shuffle(&mut rng);
+                p
+            })
+            .collect();
+        let mut links = Vec::new();
+        for gi in 0..g {
+            for k in 0..a * h {
+                let r = k / (g - 1);
+                let o = k % (g - 1);
+                let gj = if o < gi { o } else { o + 1 };
+                if gj < gi {
+                    continue;
+                }
+                let o_back = if gi < gj { gi } else { gi - 1 };
+                let k_back = r * (g - 1) + o_back;
+                links.push((
+                    port_switch(params, gi, perms[gi as usize][k as usize]),
+                    port_switch(params, gj, perms[gj as usize][k_back as usize]),
+                ));
+            }
+        }
+        links
+    }
+}
+
+/// A named, copyable description of a global-link arrangement — the form
+/// configs, replay capsules and CLI grids carry, round-tripping through
+/// the identity strings of [`GlobalArrangement::id`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrangementSpec {
+    /// [`AbsoluteArrangement`] (the default).
+    Absolute,
+    /// [`RelativeArrangement`].
+    Relative,
+    /// [`CirculantArrangement`].
+    Circulant,
+    /// [`PalmtreeArrangement`].
+    Palmtree,
+    /// [`RandomArrangement`] with the given seed.
+    Random(u64),
+}
+
+impl ArrangementSpec {
+    /// The whole zoo: every fixed-name arrangement plus a random one under
+    /// `seed` — the grid benches and property suites iterate.
+    pub fn zoo(seed: u64) -> [ArrangementSpec; 5] {
+        [
+            ArrangementSpec::Absolute,
+            ArrangementSpec::Relative,
+            ArrangementSpec::Circulant,
+            ArrangementSpec::Palmtree,
+            ArrangementSpec::Random(seed),
+        ]
+    }
+
+    /// Builds the arrangement this spec names.
+    pub fn build(&self) -> Box<dyn GlobalArrangement> {
+        match *self {
+            ArrangementSpec::Absolute => Box::new(AbsoluteArrangement),
+            ArrangementSpec::Relative => Box::new(RelativeArrangement),
+            ArrangementSpec::Circulant => Box::new(CirculantArrangement),
+            ArrangementSpec::Palmtree => Box::new(PalmtreeArrangement),
+            ArrangementSpec::Random(seed) => Box::new(RandomArrangement { seed }),
+        }
+    }
+
+    /// Parses the identity format produced by [`GlobalArrangement::id`]:
+    /// a plain arrangement name, or `random:<seed>` with a decimal or
+    /// `0x`-hex seed (`random` alone means seed 0).
+    pub fn parse(s: &str) -> Option<ArrangementSpec> {
+        match s {
+            "absolute" => Some(ArrangementSpec::Absolute),
+            "relative" => Some(ArrangementSpec::Relative),
+            "circulant" => Some(ArrangementSpec::Circulant),
+            "palmtree" => Some(ArrangementSpec::Palmtree),
+            "random" => Some(ArrangementSpec::Random(0)),
+            other => {
+                let seed = other.strip_prefix("random:")?;
+                let seed = if let Some(hex) = seed.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16).ok()?
+                } else {
+                    seed.parse().ok()?
+                };
+                Some(ArrangementSpec::Random(seed))
+            }
+        }
+    }
+}
+
+impl fmt::Display for ArrangementSpec {
+    /// Renders the same identity string [`GlobalArrangement::id`] reports
+    /// (so `parse(spec.to_string())` round-trips).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.build().id())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,5 +408,71 @@ mod tests {
         let params = DragonflyParams::new(2, 4, 2, 9);
         let links = AbsoluteArrangement.links(&params);
         assert_eq!(links.len(), 36); // C(9,2)
+    }
+
+    #[test]
+    fn palmtree_wiring() {
+        check_wiring(&PalmtreeArrangement, DragonflyParams::new(2, 4, 2, 9));
+        check_wiring(&PalmtreeArrangement, DragonflyParams::new(2, 4, 2, 5));
+        check_wiring(&PalmtreeArrangement, DragonflyParams::new(2, 4, 2, 2));
+        check_wiring(&PalmtreeArrangement, DragonflyParams::new(4, 8, 4, 17));
+        check_wiring(&PalmtreeArrangement, DragonflyParams::new(4, 8, 4, 9));
+    }
+
+    #[test]
+    fn palmtree_ports_walk_descending_groups() {
+        // Maximal topology, L = 1: port k of group gi reaches gi - k - 1.
+        let params = DragonflyParams::new(2, 4, 2, 9);
+        let links = PalmtreeArrangement.links(&params);
+        let g = params.g;
+        for gi in 0..g {
+            for k in 0..params.a * params.h {
+                let u = port_switch(&params, gi, k);
+                let expect = (gi + g - k - 1) % g;
+                assert!(
+                    links
+                        .iter()
+                        .any(|&(x, y)| (x == u && y.0 / params.a == expect)
+                            || (y == u && x.0 / params.a == expect)),
+                    "group {gi} port {k}: no cable toward group {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_wiring_is_valid_and_seed_deterministic() {
+        for seed in [0u64, 7, 0xDEAD_BEEF] {
+            let arr = RandomArrangement { seed };
+            check_wiring(&arr, DragonflyParams::new(2, 4, 2, 9));
+            check_wiring(&arr, DragonflyParams::new(2, 4, 2, 5));
+            check_wiring(&arr, DragonflyParams::new(4, 8, 4, 9));
+        }
+        let params = DragonflyParams::new(2, 4, 2, 5);
+        let a = RandomArrangement { seed: 7 }.links(&params);
+        let b = RandomArrangement { seed: 7 }.links(&params);
+        assert_eq!(a, b, "equal seeds must give equal wirings");
+        let c = RandomArrangement { seed: 8 }.links(&params);
+        assert_ne!(a, c, "different seeds should shuffle differently here");
+    }
+
+    #[test]
+    fn spec_round_trips_through_identity_strings() {
+        for spec in ArrangementSpec::zoo(0x2007) {
+            let id = spec.build().id();
+            assert_eq!(ArrangementSpec::parse(&id), Some(spec), "{id}");
+            assert_eq!(spec.to_string(), id);
+        }
+        assert_eq!(
+            ArrangementSpec::parse("random:12"),
+            Some(ArrangementSpec::Random(12))
+        );
+        assert_eq!(
+            ArrangementSpec::parse("random"),
+            Some(ArrangementSpec::Random(0))
+        );
+        assert_eq!(ArrangementSpec::parse("banyan"), None);
+        assert_eq!(ArrangementSpec::parse("random:xyz"), None);
+        assert_eq!(AbsoluteArrangement.id(), "absolute");
     }
 }

@@ -21,6 +21,12 @@ use crate::params::{DragonflyParams, TopologyError};
 pub struct Dragonfly {
     params: DragonflyParams,
     arrangement_name: &'static str,
+    /// Stable arrangement identity (seeded arrangements carry their seed).
+    arrangement_id: String,
+    /// Parallel copies of each global cable (`1` = the plain arrangement).
+    global_lag: u32,
+    /// Precomputed digest/cache-key suffix: empty for the default shape.
+    shape_suffix: String,
     channels: Vec<Channel>,
     /// Outgoing global channels per switch: `(channel, remote switch)`.
     global_out: Vec<Vec<(ChannelId, SwitchId)>>,
@@ -47,20 +53,40 @@ impl Dragonfly {
         Self::with_arrangement(params, &AbsoluteArrangement)
     }
 
-    /// Builds the topology with an explicit global-link arrangement.
+    /// Builds the topology with an explicit global-link arrangement (and
+    /// `global_lag = 1`).
     pub fn with_arrangement(
         params: DragonflyParams,
         arrangement: &dyn GlobalArrangement,
     ) -> Result<Self, TopologyError> {
+        Self::with_shape(params, arrangement, 1)
+    }
+
+    /// Builds the topology with an explicit arrangement and `global_lag`
+    /// parallel copies of every global cable (caminos-lib's `global_lag`):
+    /// each switch then has `h · global_lag` physical global ports and
+    /// every pair of groups is joined by `lag × a·h/(g−1)` cables.
+    ///
+    /// `with_shape(params, &AbsoluteArrangement, 1)` is byte-identical to
+    /// [`Dragonfly::new`] — the default shape is not a special case, it is
+    /// the lag-1 point of this constructor.
+    pub fn with_shape(
+        params: DragonflyParams,
+        arrangement: &dyn GlobalArrangement,
+        global_lag: u32,
+    ) -> Result<Self, TopologyError> {
         params.validate()?;
+        if global_lag == 0 {
+            return Err(TopologyError::ZeroGlobalLag);
+        }
         let (a, g, p, h) = (params.a, params.g, params.p, params.h);
         let s_count = params.num_switches();
         let n_count = params.num_nodes();
 
         let n_local = s_count * (a as usize - 1);
         let undirected = arrangement.links(&params);
-        let n_global = undirected.len() * 2;
-        debug_assert_eq!(n_global, s_count * h as usize);
+        let n_global = undirected.len() * 2 * global_lag as usize;
+        debug_assert_eq!(n_global, s_count * (h * global_lag) as usize);
         let mut channels = Vec::with_capacity(n_local + n_global + 2 * n_count);
 
         // 1. Local channels: for each switch, one to every other switch of
@@ -80,19 +106,24 @@ impl Dragonfly {
                 });
             }
         }
-        // 2. Global channels: both directions of every cable.
+        // 2. Global channels: both directions of every cable, `global_lag`
+        //    sibling cables consecutively per arrangement cable — so the
+        //    cable-partner relation stays "flip the low id bit" and the
+        //    lag-1 layout is bit-identical to the historical one.
         let mut global_out: Vec<Vec<(ChannelId, SwitchId)>> =
-            vec![Vec::with_capacity(h as usize); s_count];
+            vec![Vec::with_capacity((h * global_lag) as usize); s_count];
         for &(u, v) in &undirected {
-            for (x, y) in [(u, v), (v, u)] {
-                let id = ChannelId::from_index(channels.len());
-                channels.push(Channel {
-                    id,
-                    src: Endpoint::Switch(x),
-                    dst: Endpoint::Switch(y),
-                    kind: ChannelKind::Global,
-                });
-                global_out[x.index()].push((id, y));
+            for _ in 0..global_lag {
+                for (x, y) in [(u, v), (v, u)] {
+                    let id = ChannelId::from_index(channels.len());
+                    channels.push(Channel {
+                        id,
+                        src: Endpoint::Switch(x),
+                        dst: Endpoint::Switch(y),
+                        kind: ChannelKind::Global,
+                    });
+                    global_out[x.index()].push((id, y));
+                }
             }
         }
         let base_injection = channels.len();
@@ -144,9 +175,20 @@ impl Dragonfly {
             }
         }
 
+        let arrangement_id = arrangement.id();
+        // Empty for the default shape, so every digest/cache key that
+        // appends it stays byte-identical to pre-zoo runs.
+        let shape_suffix = if arrangement_id == "absolute" && global_lag == 1 {
+            String::new()
+        } else {
+            format!("|{arrangement_id}|lag{global_lag}")
+        };
         Ok(Self {
             params,
             arrangement_name: arrangement.name(),
+            arrangement_id,
+            global_lag,
+            shape_suffix,
             channels,
             global_out,
             gateways,
@@ -168,6 +210,27 @@ impl Dragonfly {
         self.arrangement_name
     }
 
+    /// Stable arrangement identity: the name, plus the seed for seeded
+    /// arrangements (e.g. `random:0x2007`).
+    pub fn arrangement_id(&self) -> &str {
+        &self.arrangement_id
+    }
+
+    /// Parallel copies of each global cable (`1` unless built through
+    /// [`Dragonfly::with_shape`] with a larger lag).
+    #[inline]
+    pub fn global_lag(&self) -> u32 {
+        self.global_lag
+    }
+
+    /// Shape-identity suffix for digests and cache keys: the empty string
+    /// for the default shape (absolute arrangement, `global_lag = 1`) —
+    /// keeping historical keys byte-identical — otherwise
+    /// `"|<arrangement id>|lag<l>"`.
+    pub fn shape_suffix(&self) -> &str {
+        &self.shape_suffix
+    }
+
     /// Number of switches, `g · a`.
     #[inline]
     pub fn num_switches(&self) -> usize {
@@ -186,10 +249,11 @@ impl Dragonfly {
         self.params.g as usize
     }
 
-    /// Parallel global links between each pair of groups.
+    /// Parallel global links between each pair of groups,
+    /// `global_lag × a·h/(g−1)`.
     #[inline]
     pub fn links_per_group_pair(&self) -> u32 {
-        self.params.links_per_group_pair()
+        self.params.links_per_group_pair() * self.global_lag
     }
 
     /// All directed channels, densely indexed by [`ChannelId`].
@@ -302,6 +366,22 @@ impl Dragonfly {
             .iter()
             .find(|&&(_, t)| t == v)
             .map(|&(c, _)| c)
+    }
+
+    /// The opposite direction of a global cable: global channels are laid
+    /// out as consecutive `(forward, reverse)` pairs per physical cable,
+    /// so the partner is one id away.
+    ///
+    /// # Panics
+    /// (Debug builds) if `c` is not a global channel.
+    #[inline]
+    pub fn cable_partner(&self, c: ChannelId) -> ChannelId {
+        let base = self.num_switches() * (self.params.a as usize - 1);
+        debug_assert!(
+            c.index() >= base && c.index() < self.base_injection,
+            "{c:?} is not a global channel"
+        );
+        ChannelId::from_index(base + ((c.index() - base) ^ 1))
     }
 
     /// The global links from group `from` toward group `to`:

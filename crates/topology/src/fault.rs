@@ -21,17 +21,41 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::HashSet;
+use std::fmt;
 
 /// A set of failed components of a dragonfly.
 ///
 /// Links are stored as unordered switch pairs (both directions of the
-/// cable fail together).  The set is purely descriptive; resolution
-/// against a concrete topology happens in [`Dragonfly::degrade`].
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// cable fail together).  A *pair-level* global fault kills every
+/// parallel cable between its switches (a cut conduit); a *sibling*
+/// fault ([`FaultSet::fail_global_sibling`]) kills exactly one of the
+/// `global_lag × L` parallel cables.  The set is purely descriptive;
+/// resolution against a concrete topology happens in
+/// [`Dragonfly::degrade`].
+#[derive(Clone, Default, PartialEq, Eq)]
 pub struct FaultSet {
     global_links: Vec<(SwitchId, SwitchId)>,
     local_links: Vec<(SwitchId, SwitchId)>,
     switches: Vec<SwitchId>,
+    /// `(u, v, k)`: the `k`-th parallel global cable between `u` and `v`,
+    /// counted in channel-id order from the lower switch.
+    global_siblings: Vec<(SwitchId, SwitchId, u32)>,
+}
+
+// Hand-written to render exactly like the old three-field derive when no
+// sibling faults are present: journal digests and golden strings format
+// fault sets through `Debug`, and pre-zoo runs must keep their identity.
+impl fmt::Debug for FaultSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("FaultSet");
+        d.field("global_links", &self.global_links)
+            .field("local_links", &self.local_links)
+            .field("switches", &self.switches);
+        if !self.global_siblings.is_empty() {
+            d.field("global_siblings", &self.global_siblings);
+        }
+        d.finish()
+    }
 }
 
 fn normalize(u: SwitchId, v: SwitchId) -> (SwitchId, SwitchId) {
@@ -50,7 +74,10 @@ impl FaultSet {
 
     /// True when nothing is marked failed.
     pub fn is_empty(&self) -> bool {
-        self.global_links.is_empty() && self.local_links.is_empty() && self.switches.is_empty()
+        self.global_links.is_empty()
+            && self.local_links.is_empty()
+            && self.switches.is_empty()
+            && self.global_siblings.is_empty()
     }
 
     /// Marks the global cable between `u` and `v` (both directions) failed.
@@ -80,6 +107,21 @@ impl FaultSet {
         self
     }
 
+    /// Marks only the `k`-th parallel global cable between `u` and `v`
+    /// failed (both directions), leaving its siblings alive — the
+    /// per-sibling alternative to the pair-level
+    /// [`FaultSet::fail_global_link`], which kills all parallel cables
+    /// together.  Cables are counted in channel-id order from the
+    /// lower-indexed switch, so `k` is stable across shard counts and
+    /// reruns.
+    pub fn fail_global_sibling(&mut self, u: SwitchId, v: SwitchId, k: u32) -> &mut Self {
+        let (lo, hi) = normalize(u, v);
+        if !self.global_siblings.contains(&(lo, hi, k)) {
+            self.global_siblings.push((lo, hi, k));
+        }
+        self
+    }
+
     /// Failed global cables, as normalized `(low, high)` switch pairs.
     pub fn global_links(&self) -> &[(SwitchId, SwitchId)] {
         &self.global_links
@@ -93,6 +135,12 @@ impl FaultSet {
     /// Failed switches.
     pub fn switches(&self) -> &[SwitchId] {
         &self.switches
+    }
+
+    /// Failed single parallel cables, as normalized `(low, high, k)`
+    /// triples.
+    pub fn global_siblings(&self) -> &[(SwitchId, SwitchId, u32)] {
+        &self.global_siblings
     }
 
     /// Samples `fraction` of the global cables of `topo` (rounded to the
@@ -126,8 +174,7 @@ impl FaultSet {
         chosen.dedup();
         FaultSet {
             global_links: chosen,
-            local_links: Vec::new(),
-            switches: Vec::new(),
+            ..FaultSet::default()
         }
     }
 
@@ -143,9 +190,8 @@ impl FaultSet {
             .collect();
         chosen.sort_unstable();
         FaultSet {
-            global_links: Vec::new(),
-            local_links: Vec::new(),
             switches: chosen,
+            ..FaultSet::default()
         }
     }
 }
@@ -256,6 +302,24 @@ impl Dragonfly {
             check_link(u, v, false);
             dead_local.insert((u.0.min(v.0), u.0.max(v.0)));
         }
+        // Sibling faults resolve to exactly one physical cable: the k-th
+        // directed channel u→v in channel-id order plus its reverse
+        // direction (the cable partner).
+        let mut dead_sibling: HashSet<u32> = HashSet::new();
+        for &(u, v, k) in faults.global_siblings() {
+            check_link(u, v, true);
+            let c = self
+                .global_out(u)
+                .iter()
+                .filter(|&&(_, t)| t == v)
+                .nth(k as usize)
+                .map(|&(c, _)| c)
+                .unwrap_or_else(|| {
+                    panic!("fault names non-existent parallel cable {k} between {u}-{v}")
+                });
+            dead_sibling.insert(c.0);
+            dead_sibling.insert(self.cable_partner(c).0);
+        }
 
         let mut dead_channel = vec![false; self.num_channels()];
         let mut n_dead = 0usize;
@@ -266,7 +330,9 @@ impl Dragonfly {
                     dead_switch[u.index()]
                         || dead_switch[v.index()]
                         || match ch.kind {
-                            ChannelKind::Global => dead_global.contains(&pair),
+                            ChannelKind::Global => {
+                                dead_global.contains(&pair) || dead_sibling.contains(&ch.id.0)
+                            }
                             _ => dead_local.contains(&pair),
                         }
                 }

@@ -19,7 +19,9 @@
 //!
 //! Global links are wired with a *minor variation of the absolute
 //! arrangement* (Hastings et al., CLUSTER'15), the paper's default; the
-//! relative and circulant arrangements are also provided.
+//! relative, circulant, palmtree and seeded random arrangements are also
+//! provided (the topology zoo), along with a `global_lag` multiplier that
+//! replicates every global cable — see [`Dragonfly::with_shape`].
 //!
 //! ```
 //! use tugal_topology::{Dragonfly, DragonflyParams};
@@ -41,7 +43,8 @@ mod ids;
 mod params;
 
 pub use arrangement::{
-    AbsoluteArrangement, CirculantArrangement, GlobalArrangement, RelativeArrangement,
+    AbsoluteArrangement, ArrangementSpec, CirculantArrangement, GlobalArrangement,
+    PalmtreeArrangement, RandomArrangement, RelativeArrangement,
 };
 pub use channels::{Channel, ChannelId, ChannelKind, Endpoint};
 pub use dragonfly::Dragonfly;

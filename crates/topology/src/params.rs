@@ -59,6 +59,8 @@ pub enum TopologyError {
         /// `g - 1` peer groups.
         peers: u32,
     },
+    /// `global_lag` must be at least 1 (one copy of each global cable).
+    ZeroGlobalLag,
 }
 
 impl fmt::Display for TopologyError {
@@ -73,6 +75,7 @@ impl fmt::Display for TopologyError {
                 f,
                 "a*h = {ports} global ports per group cannot be spread evenly over {peers} peer groups"
             ),
+            TopologyError::ZeroGlobalLag => write!(f, "global_lag must be at least 1"),
         }
     }
 }

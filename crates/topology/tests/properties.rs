@@ -7,7 +7,9 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use tugal_topology::{ChannelKind, Dragonfly, DragonflyParams, FaultSet, SwitchId};
+use tugal_topology::{
+    ArrangementSpec, ChannelKind, Dragonfly, DragonflyParams, FaultSet, SwitchId,
+};
 
 /// Every valid dragonfly with p ≤ 3, a ≤ 6, h ≤ 4, g ≤ 9 — the validation
 /// rules (balanced global links, enough groups) prune the rest.
@@ -202,6 +204,182 @@ fn switch_failure_kills_exactly_the_incident_channels() {
             };
         assert_eq!(deg.channel_dead(c.id), incident, "channel {:?}", c.id);
     }
+}
+
+/// A representative spread of valid shapes for the zoo contract: maximal
+/// (`L = 1`), dense (`L > 1`), tiny `g`, and a paper topology.
+fn zoo_params() -> [DragonflyParams; 5] {
+    [
+        DragonflyParams::new(2, 4, 2, 9),
+        DragonflyParams::new(2, 4, 2, 5),
+        DragonflyParams::new(1, 2, 1, 3),
+        DragonflyParams::new(2, 3, 2, 4),
+        DragonflyParams::new(4, 8, 4, 9),
+    ]
+}
+
+/// The arrangement contract, checked for every zoo arrangement × lag:
+///
+/// * global links are symmetric (equal directed multiplicity both ways),
+/// * no global link stays within a group,
+/// * each group emits exactly `a·h·lag` directed global channels,
+/// * `channel_between` agrees with a brute-force scan of the channel list.
+#[test]
+fn arrangement_contract_across_the_zoo() {
+    for params in zoo_params() {
+        for spec in ArrangementSpec::zoo(0x2007) {
+            for lag in [1u32, 2, 3] {
+                let t = Dragonfly::with_shape(params, spec.build().as_ref(), lag)
+                    .unwrap_or_else(|e| panic!("{params} {spec} lag{lag}: {e}"));
+                let tag = format!("{params} {spec} lag{lag}");
+                let a = params.a;
+
+                // Directed global multiplicity per ordered switch pair.
+                let mut mult = std::collections::HashMap::<(u32, u32), u32>::new();
+                let mut per_group = vec![0u32; params.g as usize];
+                for c in t
+                    .channels()
+                    .iter()
+                    .filter(|c| c.kind == ChannelKind::Global)
+                {
+                    let (u, v) = (c.src_switch().unwrap(), c.dst_switch().unwrap());
+                    assert_ne!(u.0 / a, v.0 / a, "{tag}: intra-group global {u}->{v}");
+                    *mult.entry((u.0, v.0)).or_default() += 1;
+                    per_group[(u.0 / a) as usize] += 1;
+                }
+                for (&(u, v), &n) in &mult {
+                    assert_eq!(
+                        mult.get(&(v, u)),
+                        Some(&n),
+                        "{tag}: asymmetric multiplicity {u}->{v}"
+                    );
+                }
+                for (gi, &n) in per_group.iter().enumerate() {
+                    assert_eq!(
+                        n,
+                        params.a * params.h * lag,
+                        "{tag}: group {gi} emits {n} global channels"
+                    );
+                }
+
+                // Gateway lists grow by exactly the lag factor.
+                for from in 0..params.g {
+                    for to in 0..params.g {
+                        if from == to {
+                            continue;
+                        }
+                        let gw =
+                            t.gateways(tugal_topology::GroupId(from), tugal_topology::GroupId(to));
+                        assert_eq!(
+                            gw.len() as u32,
+                            t.links_per_group_pair(),
+                            "{tag}: gateways {from}->{to}"
+                        );
+                    }
+                }
+
+                // channel_between == first matching network channel by id.
+                let n_net = t.num_network_channels();
+                for u in 0..t.num_switches() as u32 {
+                    for v in 0..t.num_switches() as u32 {
+                        let (u, v) = (SwitchId(u), SwitchId(v));
+                        let brute = t.channels()[..n_net]
+                            .iter()
+                            .find(|c| c.src_switch() == Some(u) && c.dst_switch() == Some(v))
+                            .map(|c| c.id);
+                        assert_eq!(t.channel_between(u, v), brute, "{tag}: {u}->{v}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Palmtree is the relative arrangement with the group indices reflected:
+/// mapping switch `(G, j) → ((g − G) mod g, j)` carries the relative
+/// wiring cable-for-cable onto the palmtree wiring (the literature's
+/// palmtree is "relative, walked downward").
+#[test]
+fn palmtree_is_a_group_reflection_of_relative() {
+    for params in [
+        DragonflyParams::new(4, 8, 4, 9),
+        DragonflyParams::new(4, 8, 4, 17),
+        DragonflyParams::new(2, 4, 2, 5),
+    ] {
+        let palm =
+            Dragonfly::with_shape(params, ArrangementSpec::Palmtree.build().as_ref(), 1).unwrap();
+        let rel =
+            Dragonfly::with_shape(params, ArrangementSpec::Relative.build().as_ref(), 1).unwrap();
+        let (a, g) = (params.a, params.g);
+        let reflect = |s: SwitchId| SwitchId(((g - s.0 / a) % g) * a + s.0 % a);
+        assert_eq!(
+            cable_multiset(&palm, |s| s),
+            cable_multiset(&rel, reflect),
+            "{params}: palmtree != reflected relative"
+        );
+    }
+}
+
+/// Undirected global cable multiset under a switch relabeling.
+fn cable_multiset(
+    t: &Dragonfly,
+    map: impl Fn(SwitchId) -> SwitchId,
+) -> std::collections::BTreeMap<(u32, u32), u32> {
+    let mut cables = std::collections::BTreeMap::new();
+    for c in t
+        .channels()
+        .iter()
+        .filter(|c| c.kind == ChannelKind::Global)
+    {
+        let (u, v) = (map(c.src_switch().unwrap()), map(c.dst_switch().unwrap()));
+        if u.0 < v.0 {
+            *cables.entry((u.0, v.0)).or_default() += 1;
+        }
+    }
+    cables
+}
+
+/// Triangle count of the switch-level global graph (boolean adjacency) —
+/// invariant under any switch relabeling.
+fn global_triangles(t: &Dragonfly) -> usize {
+    let n = t.num_switches();
+    let mut adj = vec![false; n * n];
+    for c in t
+        .channels()
+        .iter()
+        .filter(|c| c.kind == ChannelKind::Global)
+    {
+        let (u, v) = (c.src_switch().unwrap(), c.dst_switch().unwrap());
+        adj[u.index() * n + v.index()] = true;
+    }
+    let mut count = 0;
+    for x in 0..n {
+        for y in x + 1..n {
+            if !adj[x * n + y] {
+                continue;
+            }
+            for z in y + 1..n {
+                if adj[x * n + z] && adj[y * n + z] {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Palmtree is *not* a relabeling of the paper's absolute arrangement: the
+/// triangle count of the switch-level global graph is invariant under any
+/// relabeling, and on `dfly(4,8,4,9)` absolute has 80 triangles while
+/// palmtree (like relative, its reflection) has none.
+#[test]
+fn palmtree_genuinely_differs_from_absolute() {
+    let params = DragonflyParams::new(4, 8, 4, 9);
+    let palm =
+        Dragonfly::with_shape(params, ArrangementSpec::Palmtree.build().as_ref(), 1).unwrap();
+    let abs = Dragonfly::with_shape(params, ArrangementSpec::Absolute.build().as_ref(), 1).unwrap();
+    assert_eq!(global_triangles(&abs), 80);
+    assert_eq!(global_triangles(&palm), 0);
 }
 
 #[test]
