@@ -15,13 +15,20 @@
 //!   bit-for-bit equal to the plain `Dragonfly::new` baseline that
 //!   `fig_linkload` runs — the zoo layer must be invisible at the default
 //!   shape;
-//! * every grid point must deliver traffic under both routings.
+//! * every grid point must deliver traffic under both routings;
+//! * each arrangement's coarse-grain LP solve chains a warm-start basis
+//!   from lag 1 into lag 2 (the keyed cache re-maps whatever survives the
+//!   channel renumbering), and every warm θ is asserted bit-identical to
+//!   the plain cold model of the same shape.  Chain counters land in the
+//!   `lp_stats` section of `results/fig_zoo.json`.
 //!
 //! `TUGAL_ZOO_TINY=1` swaps in `dfly(2,4,2,5)` for CI smoke runs.
 
 use tugal_bench::*;
+use tugal_model::{modeled_throughput, modeled_throughput_warm, ModelVariant, ModelWarmCache};
 use tugal_netsim::RoutingAlgorithm;
 use tugal_obs::MetricsConfig;
+use tugal_routing::VlbRule;
 
 /// Seed of the random arrangement in the zoo grid.
 const ZOO_SEED: u64 = 0x2007;
@@ -71,6 +78,10 @@ fn main() {
         rates[last]
     );
     for spec in arrangements.iter().copied().chain([random_id.as_str()]) {
+        // The LP basis chains lag 1 → lag 2 within one arrangement; lag 2
+        // renumbers the global channels, so the keyed cache re-maps the
+        // surviving rows/columns and the solver repairs the rest.
+        let mut model_chain = ModelWarmCache::new();
         for lag in [1u32, 2] {
             let topo = dfly_shape(p, a, h, g, spec, lag);
             let (tvlb, chosen) = tvlb_provider(&topo);
@@ -121,7 +132,38 @@ fn main() {
                 );
             }
             all_series.extend(series);
+
+            // Coarse-grain LP throughput of this shape, warm-chained from
+            // the previous lag; the plain (cache-free) model is the
+            // bit-identity oracle.
+            if let Some(demands) = pattern.demands() {
+                match modeled_throughput_warm(
+                    &topo,
+                    &demands,
+                    VlbRule::All,
+                    ModelVariant::DrawProportional,
+                    &mut model_chain,
+                ) {
+                    Ok(theta) => {
+                        let plain = modeled_throughput(
+                            &topo,
+                            &demands,
+                            VlbRule::All,
+                            ModelVariant::DrawProportional,
+                        )
+                        .unwrap_or_else(|e| fatal("plain model solve", e));
+                        assert_eq!(
+                            theta.to_bits(),
+                            plain.to_bits(),
+                            "{spec} lag{lag}: warm-chained θ {theta} diverged from plain {plain}"
+                        );
+                        println!("# model[{spec} lag{lag}]: Γ = {theta:.4}");
+                    }
+                    Err(e) => println!("# model[{spec} lag{lag}]: failed ({e})"),
+                }
+            }
         }
+        record_lp_stats(&format!("{spec} lag-chain"), &model_chain.stats);
     }
 
     print_figure(

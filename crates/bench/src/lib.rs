@@ -153,6 +153,50 @@ pub fn run_summary() -> Option<RunSummary> {
     RUN_SUMMARY.lock().ok().and_then(|m| m.clone())
 }
 
+/// Serializable mirror of [`tugal_model::LpStats`], recorded per
+/// harness-chosen label into the `lp_stats` section of
+/// `results/<id>.json` so stored numbers carry the LP solver's work
+/// profile (pivots, refactorizations, warm-start hit rate, wall-clock)
+/// next to the throughput figures they produced.
+#[derive(Clone, serde::Serialize)]
+pub struct LpStatsOut {
+    /// LP solves performed.
+    pub solves: u64,
+    /// Simplex pivots across all solves.
+    pub pivots: u64,
+    /// Basis refactorizations across all solves.
+    pub refactorizations: u64,
+    /// Solves that entered with a non-empty warm basis.
+    pub warm_attempts: u64,
+    /// Warm attempts whose basis was accepted (no cold fallback).
+    pub warm_hits: u64,
+    /// Wall-clock spent inside the LP solver, in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// LP solve counters recorded by [`record_lp_stats`] in this process.
+static LP_STATS: Mutex<BTreeMap<String, LpStatsOut>> = Mutex::new(BTreeMap::new());
+
+/// Records the LP solve counters of one warm-start chain under `label`;
+/// the next [`print_figure`] writes every recorded chain into the JSON
+/// record.  Recording the same label twice keeps the later snapshot
+/// (chains accumulate, so the last snapshot is the complete one).
+pub fn record_lp_stats(label: &str, stats: &tugal_model::LpStats) {
+    if let Ok(mut m) = LP_STATS.lock() {
+        m.insert(
+            label.to_string(),
+            LpStatsOut {
+                solves: stats.solves as u64,
+                pivots: stats.pivots as u64,
+                refactorizations: stats.refactorizations as u64,
+                warm_attempts: stats.warm_attempts as u64,
+                warm_hits: stats.warm_hits as u64,
+                wall_ms: stats.wall_ms,
+            },
+        );
+    }
+}
+
 /// Sweep options (replication seeds, bisection resolution) for the mode.
 pub fn sweep_options() -> SweepOptions {
     if full_fidelity() {
@@ -736,6 +780,10 @@ fn write_json(id: &str, series: &[Series]) {
         /// Per-series telemetry, parallel to `series` rows; empty when the
         /// metrics layer was off.
         metrics: Vec<(String, Vec<MetricsReport>)>,
+        /// LP solver work profile per warm-start chain (see
+        /// [`record_lp_stats`]); empty when the harness ran no coarse-grain
+        /// model solves.
+        lp_stats: BTreeMap<String, LpStatsOut>,
     }
     let out = Out {
         id: id.to_string(),
@@ -779,6 +827,7 @@ fn write_json(id: &str, series: &[Series]) {
             .filter(|s| !s.metrics.is_empty())
             .map(|s| (s.label.clone(), s.metrics.clone()))
             .collect(),
+        lp_stats: LP_STATS.lock().map(|m| m.clone()).unwrap_or_default(),
     };
     if std::fs::create_dir_all("results").is_ok() {
         if let Ok(f) = std::fs::File::create(format!("results/{id}.json")) {

@@ -1,27 +1,40 @@
 //! # From-scratch linear programming
 //!
 //! The paper's Step-1 coarse-grain estimation solves linear programs with
-//! the proprietary IBM CPLEX optimizer.  This crate is the open substitute:
+//! the proprietary IBM CPLEX optimizer.  This crate is the open
+//! substitute, organized as a production solver pinned by two independent
+//! references:
 //!
-//! * [`LinearProgram`] (the `simplex` module) — a dense two-phase primal simplex
-//!   solver supporting `≤`, `=`, `≥` constraints and non-negative
-//!   variables.  The throughput models this repository builds are
-//!   origin-feasible (`≤` rows with non-negative right-hand sides), for
-//!   which the solver skips phase 1 entirely.
-//! * [`ConcurrentFlow`] (the `mcf` module) — a Garg–Könemann multiplicative-weights approximation for
-//!   maximum concurrent flow, used to cross-validate the simplex on the
-//!   flow LPs this repository generates and as a fast fallback for very
-//!   large instances.
+//! * [`LinearProgram::solve_sparse`] (the `sparse` module) — the
+//!   production solver: a sparse revised simplex over a
+//!   compressed-sparse-column matrix, with LU basis factorization, a
+//!   bounded eta file with periodic refactorization, and
+//!   steepest-edge-lite pricing over nonzeros only.  It also supports
+//!   [`WarmStart`] handles that reuse the final basis across
+//!   structurally-similar solves (rate sweeps, `FaultSet` superset
+//!   chains), skipping phase 1 and most pivots while returning the same
+//!   optimum.
+//! * [`LinearProgram::solve`] (the `simplex` module) — the dense
+//!   two-phase tableau simplex, kept as the *differential oracle*: it
+//!   shares no solve-path code with the sparse solver, and the test layer
+//!   (`tests/differential.rs`) pins the two against each other on seeded
+//!   random grids and on the real path-rate programs of `tugal-model`.
+//! * [`ConcurrentFlow`] (the `mcf` module) — a Garg–Könemann
+//!   multiplicative-weights approximation for maximum concurrent flow,
+//!   parallelized over commodities with deterministic (thread-count
+//!   independent) results; a third, algorithm-independent check on the
+//!   flow LPs this repository generates.
 //!
-//! The solver is deliberately dense: the UGAL throughput model keeps its
-//! instances small (hundreds to a few thousands of rows, see
-//! `tugal-model`), and a dense tableau with Dantzig pricing plus Bland
-//! anti-cycling is simple to make robust.
+//! Both simplex implementations share the [`LinearProgram`] builder API
+//! and the same input normalization (negative right-hand sides flip the
+//! row), so every program can be solved by either path.
 
 #![warn(missing_docs)]
 
 mod mcf;
 mod simplex;
+mod sparse;
 
 pub use mcf::{ConcurrentFlow, FlowPath, McfSolution};
 pub use simplex::{LinearProgram, Relation, Solution, SolveError, VarId};
+pub use sparse::{BasisVar, SparseSolution, WarmStart};

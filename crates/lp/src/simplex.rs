@@ -1,4 +1,11 @@
-//! Dense two-phase primal simplex.
+//! Dense two-phase primal simplex — the crate's *differential oracle*.
+//!
+//! This solver keeps the full tableau in memory and is O(rows × cols) per
+//! pivot, so it only scales to small and medium programs.  Production
+//! solves go through the sparse revised simplex in [`crate::sparse`]
+//! (`LinearProgram::solve_sparse`); this dense solver is retained as the
+//! independent reference implementation that the differential test layer
+//! (`tests/differential.rs`) pins the sparse solver against.
 
 use std::fmt;
 
@@ -76,10 +83,10 @@ impl Solution {
     }
 }
 
-struct Constraint {
-    terms: Vec<(usize, f64)>,
-    rel: Relation,
-    rhs: f64,
+pub(crate) struct Constraint {
+    pub(crate) terms: Vec<(usize, f64)>,
+    pub(crate) rel: Relation,
+    pub(crate) rhs: f64,
 }
 
 /// A linear program `maximize cᵀx  s.t.  Ax {≤,=,≥} b,  x ≥ 0`.
@@ -99,9 +106,9 @@ struct Constraint {
 /// ```
 #[derive(Default)]
 pub struct LinearProgram {
-    objective: Vec<f64>,
-    constraints: Vec<Constraint>,
-    max_iterations: Option<usize>,
+    pub(crate) objective: Vec<f64>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) max_iterations: Option<usize>,
 }
 
 const EPS: f64 = 1e-9;

@@ -1,0 +1,1571 @@
+//! Sparse revised simplex with basis factorization and warm starts.
+//!
+//! The production solver of this crate.  Instead of carrying a dense
+//! tableau (O(rows × cols) memory and per-pivot work, as the oracle in
+//! [`crate::simplex`] does), this solver keeps the constraint matrix in
+//! compressed-sparse-column form and represents the basis inverse as an LU
+//! factorization plus a bounded *eta file* of rank-one pivot updates:
+//!
+//! * **FTRAN** (`B z = a`) and **BTRAN** (`Bᵀ y = c_B`) solve against the
+//!   LU factors and then replay the eta file (forward for FTRAN, reverse
+//!   for BTRAN), so a pivot costs O(nnz) instead of O(rows × cols);
+//! * the eta file is folded back into a fresh LU factorization every
+//!   [`ETA_LIMIT`] pivots (and the basic solution recomputed from the
+//!   right-hand side), bounding both drift and per-solve memory;
+//! * pricing is Dantzig over nonzeros only, scaled by a static
+//!   steepest-edge-lite column norm `γ_j = √(1 + ‖a_j‖²)`, with a
+//!   stall-triggered Bland fallback against cycling, like the dense
+//!   oracle.
+//!
+//! **Warm starts.**  Every [`SparseSolution`] exposes its final basis as a
+//! [`WarmStart`]: a list of [`BasisVar`]s naming each basic column either
+//! as a structural variable ([`BasisVar::Structural`]) or as the unit
+//! column of a row ([`BasisVar::Row`]).  A follow-up solve of a
+//! *structurally similar* program (same columns with a new right-hand side
+//! or objective; or a program with a few columns/rows dropped, as in
+//! `FaultSet` superset chains) can pass the handle to
+//! [`LinearProgram::solve_sparse_warm`]: the basis is re-factorized
+//! against the new matrix, unpivoted rows are repaired with their own
+//! slack or artificial column, then the start is nursed back to the
+//! optimum in two stages tuned to stay near the carried basis —
+//!
+//! 1. *objective-aware repair*: infeasibility left by the program change
+//!    (carried basics whose B⁻¹b went negative) is driven out by a
+//!    composite phase 1 from that basis — a longest-step ratio test over
+//!    the total-infeasibility objective, with the entering column chosen
+//!    by *real* reduced cost among the competitively-gaining candidates
+//!    ([`REPAIR_WINDOW`]), so the repair lands on a near-optimal feasible
+//!    vertex instead of a merely feasible one; a dual-style repair and
+//!    finally a cold start are the fallbacks;
+//! 2. *steered phase 2*: pricing prefers re-admitting carried-basis
+//!    columns over fresh ones whenever they are competitively improving
+//!    ([`PREF_FACTOR`]), so the walk reconstructs the old neighborhood
+//!    instead of wandering.
+//!
+//! If the basis is singular, or the repair stalls, the solver silently
+//! falls back to a cold start, so warm starting never changes feasibility
+//! or optimality, only the pivot count.  Callers remapping a basis across
+//! programs with different variable/row numbering use
+//! [`WarmStart::remap`].
+//!
+//! **Determinism.**  For a fixed program and a fixed (possibly empty) warm
+//! start, the solve is bit-reproducible.  The returned solution is always
+//! produced by a *canonical refactorization*: the optimal basis is
+//! re-factorized with its columns in ascending order, and the primal
+//! values, duals and objective are recomputed from that fresh
+//! factorization in ascending column order.  Two solves that reach the
+//! same optimal basis therefore return bit-identical objectives even when
+//! their pivot paths differ — the property the warm-vs-cold equivalence
+//! tests pin.
+
+use crate::simplex::{LinearProgram, Relation, SolveError, VarId};
+
+const EPS: f64 = 1e-9;
+const PIVOT_EPS: f64 = 1e-7;
+/// Entering threshold of the tie-resolution polish pass: just above the
+/// float noise floor of reduced-cost computation, far below [`EPS`], so
+/// micro-perturbation tie-breaks (e.g. `tugal-model`'s 1e-7-scale
+/// objective jitter) are resolved identically from any starting basis.
+const POLISH_EPS: f64 = 1e-12;
+
+/// Warm-start pricing bias: a carried-basis column wins the entering
+/// choice when its (scaled) score is at least this fraction of the best
+/// score over all columns.  See `Solver::prefer`.
+const PREF_FACTOR: f64 = 0.5;
+/// Entering window of the warm-start composite repair
+/// ([`Solver::repair_feasibility`]): columns whose scaled infeasibility
+/// gain is at least this fraction of the best gain compete on *real*
+/// reduced cost instead of gain alone, so the repair path tracks the
+/// true objective while it restores feasibility.
+const REPAIR_WINDOW: f64 = 0.5;
+/// Bound-violation slack of the Harris two-pass ratio test in
+/// [`Solver::optimize`]: blockers whose exact ratio lies within this much
+/// feasibility slack of the tightest one compete on pivot-element size
+/// instead of ratio order.  Kept below [`PIVOT_EPS`] so the tolerance the
+/// rest of the solver grants to basic values is never exceeded.
+const RATIO_DELTA: f64 = 5e-8;
+/// Eta-file length that triggers a refactorization.
+const ETA_LIMIT: usize = 64;
+/// Absolute singularity threshold for LU pivots.
+const LU_EPS: f64 = 1e-10;
+
+/// Identity of a basic variable, stable across structurally-similar
+/// programs (the currency of [`WarmStart`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BasisVar {
+    /// A caller-added variable, by [`VarId`] index.
+    Structural(usize),
+    /// The unit column attached to a row (slack of a `≤` row, surplus of a
+    /// `≥` row, artificial of an `=` row), by constraint index.
+    Row(usize),
+}
+
+/// The final basis of a solve, reusable to warm-start a structurally
+/// similar program.  Obtained from [`SparseSolution::warm_start`].
+#[derive(Debug, Clone, Default)]
+pub struct WarmStart {
+    entries: Vec<BasisVar>,
+}
+
+impl WarmStart {
+    /// Basis members, sorted.
+    pub fn entries(&self) -> &[BasisVar] {
+        &self.entries
+    }
+
+    /// Builds a handle from explicit basis members (sorted, deduplicated).
+    pub fn from_entries(mut entries: Vec<BasisVar>) -> Self {
+        entries.sort_unstable();
+        entries.dedup();
+        WarmStart { entries }
+    }
+
+    /// Translates the basis into another program's variable/row numbering.
+    /// `f` maps each member to its identity in the target program, or
+    /// `None` to drop it (e.g. a column deleted by a fault); rows left
+    /// uncovered are repaired by the warm-start factorization.
+    pub fn remap<F: FnMut(BasisVar) -> Option<BasisVar>>(&self, mut f: F) -> WarmStart {
+        WarmStart::from_entries(self.entries.iter().copied().filter_map(&mut f).collect())
+    }
+
+    /// True when the handle carries no basis (solving with it is a cold
+    /// start).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// An optimal solution of the sparse revised simplex.
+#[derive(Debug, Clone)]
+pub struct SparseSolution {
+    /// Optimal objective value (of the maximization).
+    pub objective: f64,
+    /// Simplex pivots performed (phase 1 + phase 2).
+    pub pivots: usize,
+    /// LU (re)factorizations performed, including the initial and the
+    /// final canonical one.
+    pub refactorizations: usize,
+    /// Whether the supplied warm start was actually used (a rejected warm
+    /// basis falls back to a cold start and reports `false`).
+    pub warm_used: bool,
+    values: Vec<f64>,
+    duals: Vec<f64>,
+    basis: WarmStart,
+}
+
+impl SparseSolution {
+    /// Value of a variable at the optimum.
+    pub fn value(&self, v: VarId) -> f64 {
+        self.values[v.0]
+    }
+
+    /// Values of all variables, indexed by [`VarId`] order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Dual value of each constraint, in insertion order; same sign
+    /// convention as [`crate::Solution::duals`].
+    pub fn duals(&self) -> &[f64] {
+        &self.duals
+    }
+
+    /// The optimal basis, for warm-starting a follow-up solve.
+    pub fn warm_start(&self) -> &WarmStart {
+        &self.basis
+    }
+}
+
+impl LinearProgram {
+    /// Solves with the sparse revised simplex (cold start).  Agrees with
+    /// the dense oracle [`LinearProgram::solve`] to within LP tolerance;
+    /// the differential test suite pins the two against each other.
+    pub fn solve_sparse(&self) -> Result<SparseSolution, SolveError> {
+        solve(self, None)
+    }
+
+    /// Sparse solve warm-started from a prior optimal basis.  Returns the
+    /// same optimum as [`LinearProgram::solve_sparse`] (bit-identical when
+    /// the optimal basis is unique), usually in far fewer pivots.
+    pub fn solve_sparse_warm(&self, warm: &WarmStart) -> Result<SparseSolution, SolveError> {
+        solve(self, Some(warm))
+    }
+}
+
+/// The normalized program `max cᵀx  s.t.  Ax {≤,=,≥} b, x ≥ 0, b ≥ 0` in
+/// CSC form, with slack/surplus and artificial unit columns appended after
+/// the `n` structural columns.
+struct Instance {
+    m: usize,
+    n: usize,
+    /// Total columns: `n` structural, then slacks/surpluses, then
+    /// artificials.
+    total: usize,
+    /// First artificial column.
+    art_start: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    vals: Vec<f64>,
+    b: Vec<f64>,
+    /// Phase-2 objective over all columns (zero beyond the structurals).
+    cost: Vec<f64>,
+    /// Steepest-edge-lite pricing scale `√(1 + ‖a_j‖²)` per column.
+    gamma: Vec<f64>,
+    /// Per row: its slack/surplus column, `usize::MAX` if none.
+    slack_of_row: Vec<usize>,
+    /// Per row: its artificial column, `usize::MAX` if none.
+    art_of_row: Vec<usize>,
+    /// Per column: the row a unit column belongs to (`usize::MAX` for
+    /// structural columns).
+    row_of_unit: Vec<usize>,
+}
+
+impl Instance {
+    fn build(lp: &LinearProgram) -> Instance {
+        let m = lp.constraints.len();
+        let n = lp.objective.len();
+
+        // Normalize rows exactly like the dense oracle: a negative rhs
+        // flips the row's sign and relation.
+        let mut rels = Vec::with_capacity(m);
+        let mut b = Vec::with_capacity(m);
+        let mut col_entries: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for (i, c) in lp.constraints.iter().enumerate() {
+            let flip = c.rhs < 0.0;
+            let sign = if flip { -1.0 } else { 1.0 };
+            let rel = match (flip, c.rel) {
+                (false, r) => r,
+                (true, Relation::Le) => Relation::Ge,
+                (true, Relation::Ge) => Relation::Le,
+                (true, Relation::Eq) => Relation::Eq,
+            };
+            rels.push(rel);
+            b.push(sign * c.rhs);
+            for &(v, coef) in &c.terms {
+                if coef != 0.0 {
+                    col_entries[v].push((i, sign * coef));
+                }
+            }
+        }
+        // Repeated variables within a row are summed (same contract as the
+        // dense oracle's tableau accumulation).
+        for col in &mut col_entries {
+            col.sort_unstable_by_key(|e| e.0);
+            let mut merged: Vec<(usize, f64)> = Vec::with_capacity(col.len());
+            for &(r, v) in col.iter() {
+                match merged.last_mut() {
+                    Some(last) if last.0 == r => last.1 += v,
+                    _ => merged.push((r, v)),
+                }
+            }
+            merged.retain(|&(_, v)| v != 0.0);
+            *col = merged;
+        }
+
+        let mut slack_of_row = vec![usize::MAX; m];
+        let mut art_of_row = vec![usize::MAX; m];
+        let mut next = n;
+        for (i, rel) in rels.iter().enumerate() {
+            if matches!(rel, Relation::Le | Relation::Ge) {
+                slack_of_row[i] = next;
+                next += 1;
+            }
+        }
+        let art_start = next;
+        for (i, rel) in rels.iter().enumerate() {
+            if matches!(rel, Relation::Ge | Relation::Eq) {
+                art_of_row[i] = next;
+                next += 1;
+            }
+        }
+        let total = next;
+
+        let mut col_ptr = Vec::with_capacity(total + 1);
+        let mut row_idx = Vec::new();
+        let mut vals = Vec::new();
+        col_ptr.push(0);
+        for col in &col_entries {
+            for &(r, v) in col {
+                row_idx.push(r);
+                vals.push(v);
+            }
+            col_ptr.push(row_idx.len());
+        }
+        for (i, rel) in rels.iter().enumerate() {
+            match rel {
+                Relation::Le => {
+                    row_idx.push(i);
+                    vals.push(1.0);
+                    col_ptr.push(row_idx.len());
+                }
+                Relation::Ge => {
+                    row_idx.push(i);
+                    vals.push(-1.0);
+                    col_ptr.push(row_idx.len());
+                }
+                Relation::Eq => {}
+            }
+        }
+        for (i, rel) in rels.iter().enumerate() {
+            if matches!(rel, Relation::Ge | Relation::Eq) {
+                row_idx.push(i);
+                vals.push(1.0);
+                col_ptr.push(row_idx.len());
+            }
+        }
+        debug_assert_eq!(col_ptr.len(), total + 1);
+
+        let mut row_of_unit = vec![usize::MAX; total];
+        for (i, &c) in slack_of_row.iter().enumerate() {
+            if c != usize::MAX {
+                row_of_unit[c] = i;
+            }
+        }
+        for (i, &c) in art_of_row.iter().enumerate() {
+            if c != usize::MAX {
+                row_of_unit[c] = i;
+            }
+        }
+
+        let mut cost = vec![0.0; total];
+        cost[..n].copy_from_slice(&lp.objective);
+        let mut gamma = vec![1.0; total];
+        for (j, g) in gamma.iter_mut().enumerate() {
+            let (lo, hi) = (col_ptr[j], col_ptr[j + 1]);
+            let norm2: f64 = vals[lo..hi].iter().map(|v| v * v).sum();
+            *g = (1.0 + norm2).sqrt();
+        }
+
+        Instance {
+            m,
+            n,
+            total,
+            art_start,
+            col_ptr,
+            row_idx,
+            vals,
+            b,
+            cost,
+            gamma,
+            slack_of_row,
+            art_of_row,
+            row_of_unit,
+        }
+    }
+
+    fn col(&self, j: usize) -> (&[usize], &[f64]) {
+        let (lo, hi) = (self.col_ptr[j], self.col_ptr[j + 1]);
+        (&self.row_idx[lo..hi], &self.vals[lo..hi])
+    }
+}
+
+/// LU factors of a basis matrix, built column by column with partial
+/// pivoting (left-looking Gilbert–Peierls scheme).  Position `k` pivoted
+/// on original row `prow[k]`; `lcols[k]` holds the below-diagonal
+/// multipliers `(original row, l)`, `ucols[k]` the above-diagonal U
+/// entries `(position j < k, u)`, and `udiag[k]` the U diagonal.
+struct Lu {
+    m: usize,
+    prow: Vec<usize>,
+    lcols: Vec<Vec<(usize, f64)>>,
+    ucols: Vec<Vec<(usize, f64)>>,
+    udiag: Vec<f64>,
+}
+
+impl Lu {
+    /// Solves `B z = rhs`.  `rhs` is in original row space and is consumed
+    /// as scratch; the result is in basis *position* space.
+    fn ftran(&self, rhs: &mut [f64]) -> Vec<f64> {
+        // Replay the recorded row eliminations (apply L⁻¹).
+        for (pr, lc) in self.prow.iter().zip(&self.lcols) {
+            let v = rhs[*pr];
+            if v != 0.0 {
+                for &(i, l) in lc {
+                    rhs[i] -= v * l;
+                }
+            }
+        }
+        // Back-substitute U z = y in position space (column-oriented).
+        let mut z = vec![0.0; self.m];
+        for (k, &pr) in self.prow.iter().enumerate() {
+            z[k] = rhs[pr];
+        }
+        for k in (0..self.m).rev() {
+            let x = z[k] / self.udiag[k];
+            z[k] = x;
+            if x != 0.0 {
+                for &(j, u) in &self.ucols[k] {
+                    z[j] -= u * x;
+                }
+            }
+        }
+        z
+    }
+
+    /// Solves `Bᵀ y = c`.  `c` is in position space and is consumed as
+    /// scratch; the result is in original row space.
+    fn btran(&self, c: &mut [f64]) -> Vec<f64> {
+        // Forward-solve Uᵀ w = c (Uᵀ is lower triangular in position
+        // space; row k's off-diagonal entries are exactly ucols[k]).
+        for k in 0..self.m {
+            let mut s = c[k];
+            for &(j, u) in &self.ucols[k] {
+                s -= u * c[j];
+            }
+            c[k] = s / self.udiag[k];
+        }
+        // Scatter to row space and apply the transposed eliminations in
+        // reverse order.
+        let mut y = vec![0.0; self.m];
+        for (k, &pr) in self.prow.iter().enumerate() {
+            y[pr] = c[k];
+        }
+        for (pr, lc) in self.prow.iter().zip(&self.lcols).rev() {
+            let mut s = y[*pr];
+            for &(i, l) in lc {
+                s -= l * y[i];
+            }
+            y[*pr] = s;
+        }
+        y
+    }
+}
+
+struct Factored {
+    lu: Lu,
+    basis: Vec<usize>,
+}
+
+/// Eliminates `col` against the partial factorization and pivots it on an
+/// unpivoted row (largest magnitude, or `prefer` when numerically
+/// acceptable).  Returns false — leaving the factorization untouched — if
+/// the column is numerically dependent on the columns already accepted.
+fn try_col(
+    inst: &Instance,
+    lu: &mut Lu,
+    pivoted: &mut [bool],
+    basis: &mut Vec<usize>,
+    x: &mut [f64],
+    col: usize,
+    prefer: Option<usize>,
+) -> bool {
+    let (rs, vs) = inst.col(col);
+    for (&r, &v) in rs.iter().zip(vs) {
+        x[r] = v;
+    }
+    let mut ucol = Vec::new();
+    for (j, (&pr, lc)) in lu.prow.iter().zip(&lu.lcols).enumerate() {
+        let v = x[pr];
+        if v != 0.0 {
+            ucol.push((j, v));
+            for &(i, l) in lc {
+                x[i] -= v * l;
+            }
+        }
+    }
+    let mut best = usize::MAX;
+    let mut best_abs = 0.0;
+    for (i, &xi) in x.iter().enumerate() {
+        if !pivoted[i] && xi.abs() > best_abs {
+            best_abs = xi.abs();
+            best = i;
+        }
+    }
+    let mut r = best;
+    if let Some(p) = prefer {
+        if !pivoted[p] && x[p].abs() > LU_EPS && x[p].abs() >= 1e-3 * best_abs {
+            r = p;
+        }
+    }
+    if r == usize::MAX || x[r].abs() <= LU_EPS {
+        for v in x.iter_mut() {
+            *v = 0.0;
+        }
+        return false;
+    }
+    let piv = x[r];
+    let mut lcol = Vec::new();
+    for (i, v) in x.iter_mut().enumerate() {
+        if i != r && !pivoted[i] && *v != 0.0 {
+            lcol.push((i, *v / piv));
+        }
+        *v = 0.0;
+    }
+    pivoted[r] = true;
+    lu.prow.push(r);
+    lu.udiag.push(piv);
+    lu.ucols.push(ucol);
+    lu.lcols.push(lcol);
+    basis.push(col);
+    true
+}
+
+/// Factorizes the basis given by `candidates` (in order), repairing rank
+/// deficiency: dependent candidates are skipped, and every row left
+/// unpivoted is filled with its own slack (preferred) or artificial
+/// column.  Returns `None` when no nonsingular completion is found.
+fn factorize(inst: &Instance, candidates: &[usize]) -> Option<Factored> {
+    let m = inst.m;
+    let mut lu = Lu {
+        m,
+        prow: Vec::with_capacity(m),
+        lcols: Vec::with_capacity(m),
+        ucols: Vec::with_capacity(m),
+        udiag: Vec::with_capacity(m),
+    };
+    let mut pivoted = vec![false; m];
+    let mut basis = Vec::with_capacity(m);
+    let mut x = vec![0.0; m];
+    let mut used = vec![false; inst.total];
+
+    for &c in candidates {
+        if basis.len() == m {
+            break;
+        }
+        if !used[c] && try_col(inst, &mut lu, &mut pivoted, &mut basis, &mut x, c, None) {
+            used[c] = true;
+        }
+    }
+    if basis.len() < m {
+        for r in 0..m {
+            if pivoted[r] {
+                continue;
+            }
+            for cand in [inst.slack_of_row[r], inst.art_of_row[r]] {
+                if cand != usize::MAX
+                    && !used[cand]
+                    && try_col(
+                        inst,
+                        &mut lu,
+                        &mut pivoted,
+                        &mut basis,
+                        &mut x,
+                        cand,
+                        Some(r),
+                    )
+                {
+                    used[cand] = true;
+                    break;
+                }
+            }
+        }
+    }
+    // A fill column may have pivoted away from its own row; mop up with
+    // any remaining unit columns.
+    if basis.len() < m {
+        for (c, u) in used.iter_mut().enumerate().skip(inst.n) {
+            if basis.len() == m {
+                break;
+            }
+            if !*u && try_col(inst, &mut lu, &mut pivoted, &mut basis, &mut x, c, None) {
+                *u = true;
+            }
+        }
+    }
+    (basis.len() == m).then_some(Factored { lu, basis })
+}
+
+/// A rank-one basis update: the entering column's FTRAN image `w` replaced
+/// basis slot `slot` (pivot element `w[slot]`; `entries` are the other
+/// nonzeros of `w`).
+struct Eta {
+    slot: usize,
+    pivot: f64,
+    entries: Vec<(usize, f64)>,
+}
+
+struct Solver<'a> {
+    inst: &'a Instance,
+    lu: Lu,
+    etas: Vec<Eta>,
+    /// Slot → basic column.
+    basis: Vec<usize>,
+    /// Column → currently basic?
+    in_basis: Vec<bool>,
+    /// Slot → basic variable value.
+    xb: Vec<f64>,
+    pivots: usize,
+    refactorizations: usize,
+    budget: usize,
+    /// Column → preferred entering candidate.  Warm starts seed this with
+    /// the carried basis: the new optimum is combinatorially close to it
+    /// (a fault step moves a few percent of the basis), but the repair
+    /// pivots evict carried members, and unbiased pricing then wanders far
+    /// from the old neighborhood before finding its way back.  Preferring
+    /// improving carried columns steers phase 2 along the short path.
+    /// Empty means no preference (cold solves).
+    prefer: Vec<bool>,
+}
+
+impl<'a> Solver<'a> {
+    fn new(inst: &'a Instance, f: Factored, budget: usize) -> Solver<'a> {
+        let mut in_basis = vec![false; inst.total];
+        for &c in &f.basis {
+            in_basis[c] = true;
+        }
+        let mut s = Solver {
+            inst,
+            lu: f.lu,
+            etas: Vec::new(),
+            basis: f.basis,
+            in_basis,
+            xb: Vec::new(),
+            pivots: 0,
+            refactorizations: 1,
+            budget,
+            prefer: Vec::new(),
+        };
+        s.xb = s.compute_xb();
+        s
+    }
+
+    fn compute_xb(&self) -> Vec<f64> {
+        let mut rhs = self.inst.b.clone();
+        let mut z = self.lu.ftran(&mut rhs);
+        self.apply_etas(&mut z);
+        z
+    }
+
+    fn apply_etas(&self, z: &mut [f64]) {
+        for eta in &self.etas {
+            let zr = z[eta.slot] / eta.pivot;
+            z[eta.slot] = zr;
+            if zr != 0.0 {
+                for &(i, w) in &eta.entries {
+                    z[i] -= w * zr;
+                }
+            }
+        }
+    }
+
+    /// FTRAN of column `j`: `w = B⁻¹ a_j` in position space.
+    fn ftran_col(&self, j: usize) -> Vec<f64> {
+        let mut work = vec![0.0; self.inst.m];
+        let (rs, vs) = self.inst.col(j);
+        for (&r, &v) in rs.iter().zip(vs) {
+            work[r] = v;
+        }
+        let mut z = self.lu.ftran(&mut work);
+        self.apply_etas(&mut z);
+        z
+    }
+
+    /// BTRAN of a position-space vector: `y = B⁻ᵀ c` in row space.
+    fn btran_pos(&self, mut c: Vec<f64>) -> Vec<f64> {
+        for eta in self.etas.iter().rev() {
+            let mut s = c[eta.slot];
+            for &(i, w) in &eta.entries {
+                s -= w * c[i];
+            }
+            c[eta.slot] = s / eta.pivot;
+        }
+        self.lu.btran(&mut c)
+    }
+
+    /// Simplex multipliers `y = B⁻ᵀ c_B` for the given objective.
+    fn btran_costs(&self, cost: &[f64]) -> Vec<f64> {
+        self.btran_pos(self.basis.iter().map(|&c| cost[c]).collect())
+    }
+
+    fn objective_of(&self, cost: &[f64]) -> f64 {
+        self.basis
+            .iter()
+            .zip(&self.xb)
+            .map(|(&c, &x)| cost[c] * x)
+            .sum()
+    }
+
+    fn apply_pivot(&mut self, l: usize, enter: usize, w: &[f64], t: f64) -> Result<(), SolveError> {
+        for (x, &wi) in self.xb.iter_mut().zip(w) {
+            if wi != 0.0 {
+                *x -= t * wi;
+            }
+        }
+        self.xb[l] = t;
+        self.in_basis[self.basis[l]] = false;
+        self.in_basis[enter] = true;
+        self.basis[l] = enter;
+        self.etas.push(Eta {
+            slot: l,
+            pivot: w[l],
+            entries: w
+                .iter()
+                .enumerate()
+                .filter(|&(i, &v)| i != l && v != 0.0)
+                .map(|(i, &v)| (i, v))
+                .collect(),
+        });
+        self.pivots += 1;
+        if self.etas.len() >= ETA_LIMIT {
+            self.refactorize()?;
+        }
+        Ok(())
+    }
+
+    fn refactorize(&mut self) -> Result<(), SolveError> {
+        let f = factorize(self.inst, &self.basis).ok_or(SolveError::IterationLimit)?;
+        // The repair path may have substituted unit columns for
+        // numerically dependent basis members.
+        if f.basis != self.basis {
+            for v in self.in_basis.iter_mut() {
+                *v = false;
+            }
+            for &c in &f.basis {
+                self.in_basis[c] = true;
+            }
+        }
+        self.basis = f.basis;
+        self.lu = f.lu;
+        self.etas.clear();
+        self.refactorizations += 1;
+        self.xb = self.compute_xb();
+        Ok(())
+    }
+
+    /// Primal simplex iterations until optimality for `cost`.  Phase 1
+    /// allows artificial columns to move; phase 2 prices only real
+    /// columns and ejects any still-basic artificial at ratio 0 before a
+    /// regular ratio test may grow it.
+    fn optimize(&mut self, cost: &[f64], phase1: bool) -> Result<(), SolveError> {
+        let allow = if phase1 {
+            self.inst.total
+        } else {
+            self.inst.art_start
+        };
+        let mut stall = 0usize;
+        let mut bland = false;
+        let mut last_obj = self.objective_of(cost);
+        loop {
+            if self.pivots >= self.budget {
+                return Err(SolveError::IterationLimit);
+            }
+            let y = self.btran_costs(cost);
+            let mut enter = usize::MAX;
+            let mut best_score = EPS;
+            let mut enter_pref = usize::MAX;
+            let mut best_pref = EPS;
+            for (j, &cj) in cost.iter().enumerate().take(allow) {
+                if self.in_basis[j] {
+                    continue;
+                }
+                let (rs, vs) = self.inst.col(j);
+                let mut d = cj;
+                for (&r, &v) in rs.iter().zip(vs) {
+                    d -= y[r] * v;
+                }
+                if bland {
+                    if d > EPS {
+                        enter = j;
+                        break;
+                    }
+                } else {
+                    let score = d / self.inst.gamma[j];
+                    if score > best_score {
+                        best_score = score;
+                        enter = j;
+                    }
+                    if !self.prefer.is_empty() && self.prefer[j] && score > best_pref {
+                        best_pref = score;
+                        enter_pref = j;
+                    }
+                }
+            }
+            // A competitively-improving carried column outranks the global
+            // Dantzig pick: re-admitting the old basis first keeps a warm
+            // phase 2 inside the carried neighborhood (see `prefer`).  The
+            // factor keeps a barely-improving carried column from starving
+            // genuinely profitable work.  Optimality is still certified
+            // over *all* columns, so the preference changes the path,
+            // never the terminal vertex.
+            if enter_pref != usize::MAX && best_pref >= PREF_FACTOR * best_score {
+                enter = enter_pref;
+            }
+            if enter == usize::MAX {
+                return Ok(());
+            }
+            let w = self.ftran_col(enter);
+            if !phase1 {
+                let mut guard = usize::MAX;
+                let mut ga = PIVOT_EPS;
+                for (i, &c) in self.basis.iter().enumerate() {
+                    if c >= self.inst.art_start && w[i].abs() > ga {
+                        ga = w[i].abs();
+                        guard = i;
+                    }
+                }
+                if guard != usize::MAX {
+                    self.apply_pivot(guard, enter, &w, 0.0)?;
+                    continue;
+                }
+            }
+            // Harris-style two-pass ratio test (skipped under Bland, whose
+            // termination proof needs the exact lexicographic rule).  Pass
+            // one finds the tightest ratio with a small slack on each
+            // bound; pass two picks, among blockers inside that relaxed
+            // limit, the largest pivot element.  On heavily degenerate
+            // bases (a warm start patches near-zero slacks into binding
+            // rows) the exact test walks long chains of zero-step pivots
+            // on tiny pivot elements; the relaxed window converts most of
+            // them into one well-conditioned pivot.  The chosen step is
+            // still the blocker's exact ratio, so basics never go negative
+            // beyond the existing [`PIVOT_EPS`] tolerance.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            if bland {
+                for (i, &wi) in w.iter().enumerate() {
+                    if wi > PIVOT_EPS {
+                        let ratio = self.xb[i].max(0.0) / wi;
+                        let better = ratio < best_ratio - EPS
+                            || (ratio < best_ratio + EPS
+                                && leave.is_none_or(|l| self.basis[i] < self.basis[l]));
+                        if better {
+                            best_ratio = ratio;
+                            leave = Some(i);
+                        }
+                    }
+                }
+            } else {
+                let mut limit = f64::INFINITY;
+                for (i, &wi) in w.iter().enumerate() {
+                    if wi > PIVOT_EPS {
+                        let r = (self.xb[i].max(0.0) + RATIO_DELTA) / wi;
+                        if r < limit {
+                            limit = r;
+                        }
+                    }
+                }
+                for (i, &wi) in w.iter().enumerate() {
+                    if wi > PIVOT_EPS {
+                        let ratio = self.xb[i].max(0.0) / wi;
+                        if ratio <= limit {
+                            // Inside the window, keep carried-basis columns
+                            // basic when a non-carried blocker is available
+                            // (warm starts only; `prefer` is empty cold) —
+                            // evicting a carried member just to re-admit it
+                            // later wastes two pivots.
+                            let cand_keep = !self.prefer.is_empty() && self.prefer[self.basis[i]];
+                            let better = match leave {
+                                None => true,
+                                Some(l) => {
+                                    let cur_keep =
+                                        !self.prefer.is_empty() && self.prefer[self.basis[l]];
+                                    if cand_keep != cur_keep {
+                                        !cand_keep
+                                    } else {
+                                        wi > w[l] + EPS
+                                            || (wi > w[l] - EPS && self.basis[i] < self.basis[l])
+                                    }
+                                }
+                            };
+                            if better {
+                                best_ratio = ratio;
+                                leave = Some(i);
+                            }
+                        }
+                    }
+                }
+            }
+            let Some(l) = leave else {
+                return Err(SolveError::Unbounded);
+            };
+            self.apply_pivot(l, enter, &w, best_ratio)?;
+            let obj = self.objective_of(cost);
+            if (obj - last_obj).abs() <= 1e-9 * (1.0 + last_obj.abs()) {
+                stall += 1;
+                if stall > 2 * (self.inst.m + self.inst.n) + 10 {
+                    // Latched: Bland's rule is slow but cannot cycle.
+                    bland = true;
+                }
+            } else {
+                if !bland {
+                    stall = 0;
+                }
+                last_obj = obj;
+            }
+        }
+    }
+
+    /// Tie-resolution polish: [`Self::optimize`] stops as soon as no
+    /// reduced cost exceeds [`EPS`], which leaves objective differences
+    /// *below* that tolerance — e.g. the 1e-7-scale tie-breaking
+    /// perturbations `tugal-model` puts on its path-rate columns, whose
+    /// pairwise gaps sit well under 1e-9 — unresolved, so two starting
+    /// bases can stop at two different near-optimal vertices.  This pass
+    /// continues with Bland's rule down to [`POLISH_EPS`], driving every
+    /// start to the same micro-resolved vertex.
+    ///
+    /// Every exit here is benign: the basis is already feasible and
+    /// [`EPS`]-optimal, so numerical trouble, a sub-tolerance ray, or the
+    /// pivot budget simply ends the polish instead of failing the solve.
+    fn polish(&mut self, cost: &[f64]) {
+        let cap = 2 * (self.inst.m + self.inst.n) + 50;
+        for _ in 0..cap {
+            if self.pivots >= self.budget {
+                return;
+            }
+            let y = self.btran_costs(cost);
+            let mut enter = usize::MAX;
+            for (j, &cj) in cost.iter().enumerate().take(self.inst.art_start) {
+                if self.in_basis[j] {
+                    continue;
+                }
+                let (rs, vs) = self.inst.col(j);
+                let mut d = cj;
+                for (&r, &v) in rs.iter().zip(vs) {
+                    d -= y[r] * v;
+                }
+                if d > POLISH_EPS {
+                    enter = j;
+                    break;
+                }
+            }
+            if enter == usize::MAX {
+                return;
+            }
+            let w = self.ftran_col(enter);
+            // Same artificial guard as phase 2: eject a pinned artificial
+            // at ratio 0 before a regular ratio test may grow it.
+            let mut guard = usize::MAX;
+            let mut ga = PIVOT_EPS;
+            for (i, &c) in self.basis.iter().enumerate() {
+                if c >= self.inst.art_start && w[i].abs() > ga {
+                    ga = w[i].abs();
+                    guard = i;
+                }
+            }
+            if guard != usize::MAX {
+                if self.apply_pivot(guard, enter, &w, 0.0).is_err() {
+                    return;
+                }
+                continue;
+            }
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for (i, &wi) in w.iter().enumerate() {
+                if wi > PIVOT_EPS {
+                    let ratio = self.xb[i].max(0.0) / wi;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave.is_none_or(|l| self.basis[i] < self.basis[l]));
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            // A ray whose gain sits below the main pricing tolerance is
+            // "unbounded" only at a scale the solver's contract ignores.
+            let Some(l) = leave else {
+                return;
+            };
+            if self.apply_pivot(l, enter, &w, best_ratio).is_err() {
+                return;
+            }
+        }
+    }
+
+    /// Dual-simplex repair from a warm basis: leaving-row-first pivots
+    /// that drive the negative basics out while preserving the carried
+    /// basis's (approximate) dual feasibility — the property that makes
+    /// warm starts cheap.  The carried basis was *optimal* for the
+    /// previous program; when only right-hand sides and a minority of
+    /// columns changed, its reduced costs stay (near-)nonnegative, the
+    /// classic dual ratio test keeps them so, and on reaching primal
+    /// feasibility the basis is already (near-)optimal — the following
+    /// primal phase 2 only has to fix the columns the program change
+    /// actually touched, instead of re-deriving the whole vertex.
+    ///
+    /// `Ok(false)` means the repair stalled (no eligible entering column,
+    /// a positive basic artificial, or the pivot budget): the caller
+    /// falls back to the composite primal repair or a cold start; this
+    /// path never declares infeasibility itself.
+    fn dual_repair(&mut self, cost: &[f64]) -> Result<bool, SolveError> {
+        let max_rounds = self.inst.m + self.inst.n + 100;
+        for _ in 0..max_rounds {
+            // Leaving row: most negative basic (ties to the lowest row).
+            let mut leave = usize::MAX;
+            let mut worst = -PIVOT_EPS;
+            for (i, (&c, &x)) in self.basis.iter().zip(&self.xb).enumerate() {
+                if c >= self.inst.art_start && x > PIVOT_EPS {
+                    // A positive basic artificial needs the composite
+                    // repair's two-sided objective; bail out.
+                    return Ok(false);
+                }
+                if x < worst {
+                    worst = x;
+                    leave = i;
+                }
+            }
+            if leave == usize::MAX {
+                return Ok(true);
+            }
+            if self.pivots >= self.budget {
+                return Ok(false);
+            }
+            // Row `leave` of B⁻¹A via ρ = B⁻ᵀ e_leave, and the dual ratio
+            // test: among columns that can raise x_leave (α < 0), the one
+            // whose reduced cost hits zero first keeps every other
+            // reduced cost nonnegative.
+            let mut e = vec![0.0; self.inst.m];
+            e[leave] = 1.0;
+            let rho = self.btran_pos(e);
+            let y = self.btran_costs(cost);
+            let mut enter = usize::MAX;
+            let mut best_ratio = f64::INFINITY;
+            for (j, &cj) in cost.iter().enumerate().take(self.inst.art_start) {
+                if self.in_basis[j] {
+                    continue;
+                }
+                let (rs, vs) = self.inst.col(j);
+                let mut alpha = 0.0;
+                let mut d = cj;
+                for (&r, &v) in rs.iter().zip(vs) {
+                    alpha += rho[r] * v;
+                    d -= y[r] * v;
+                }
+                if alpha < -PIVOT_EPS {
+                    // Carried bases are only *near* dual feasible (the
+                    // program change re-prices its columns); clamping
+                    // keeps slightly-negative d from hijacking the test.
+                    let ratio = d.max(0.0) / -alpha;
+                    // Strict improvement, with one deterministic override:
+                    // among (near-)tied ratios — common, since every
+                    // clamped column ties at zero — a carried-basis column
+                    // (`prefer`) beats an uncarried one.  Repair evictions
+                    // then recycle the old basis instead of dragging in
+                    // fresh columns, keeping the repaired vertex close to
+                    // the carried neighborhood that phase 2 wants.
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && enter != usize::MAX
+                            && !self.prefer.is_empty()
+                            && self.prefer[j]
+                            && !self.prefer[enter]);
+                    if better {
+                        // Near-tie overrides keep the true minimum so the
+                        // tolerance cannot creep across many candidates.
+                        best_ratio = best_ratio.min(ratio);
+                        enter = j;
+                    }
+                }
+            }
+            if enter == usize::MAX {
+                return Ok(false);
+            }
+            let w = self.ftran_col(enter);
+            if w[leave].abs() <= PIVOT_EPS {
+                return Ok(false);
+            }
+            let t = self.xb[leave] / w[leave];
+            self.apply_pivot(leave, enter, &w, t)?;
+        }
+        Ok(false)
+    }
+
+    /// Composite phase 1 from an arbitrary starting basis (warm starts):
+    /// maximizes the negated total primal infeasibility
+    /// `Σ_{x_B<0} x_B − Σ_{basic artificial >0} x_B` with a two-sided
+    /// ratio test, re-deriving the piecewise-linear objective each pivot.
+    /// Returns `true` once the basis is primal feasible; `false` means
+    /// fall back to a cold solve — this path never declares the program
+    /// infeasible itself, the cold phase 1 stays authoritative for that.
+    fn repair_feasibility(&mut self, cost: &[f64]) -> Result<bool, SolveError> {
+        let max_rounds = self.inst.m + self.inst.n + 100;
+        for _ in 0..max_rounds {
+            let mut d = vec![0.0; self.inst.m];
+            let mut infeasible = false;
+            for (i, (&c, &x)) in self.basis.iter().zip(&self.xb).enumerate() {
+                if x < -PIVOT_EPS {
+                    d[i] = 1.0;
+                    infeasible = true;
+                } else if c >= self.inst.art_start && x > PIVOT_EPS {
+                    d[i] = -1.0;
+                    infeasible = true;
+                }
+            }
+            if !infeasible {
+                return Ok(true);
+            }
+            if self.pivots >= self.budget {
+                return Ok(false);
+            }
+            // Entering, in two passes.  Pass one: moving x_j up changes
+            // the infeasibility objective by −yᵀa_j per unit; find the
+            // best positive (scaled) gain.  Pass two: among the
+            // competitively-gaining columns (within [`REPAIR_WINDOW`] of
+            // the best) the *real* reduced cost picks the winner — the
+            // carried basis was optimal for the previous program, so a
+            // repair that also respects the true objective lands on a
+            // near-optimal feasible vertex and leaves phase 2 almost
+            // nothing to do, where feasibility-first pivots reach a vertex
+            // phase 2 then has to unwind.
+            let y = self.btran_pos(d.clone());
+            let y_cost = self.btran_costs(cost);
+            let mut scores = vec![f64::NEG_INFINITY; self.inst.art_start];
+            let mut best = PIVOT_EPS;
+            for (j, s) in scores.iter_mut().enumerate() {
+                if self.in_basis[j] {
+                    continue;
+                }
+                let (rs, vs) = self.inst.col(j);
+                let mut g = 0.0;
+                for (&r, &v) in rs.iter().zip(vs) {
+                    g -= y[r] * v;
+                }
+                let score = g / self.inst.gamma[j];
+                *s = score;
+                if score > best {
+                    best = score;
+                }
+            }
+            if best <= PIVOT_EPS {
+                return Ok(false);
+            }
+            let mut enter = usize::MAX;
+            let mut best_rc = f64::NEG_INFINITY;
+            for (j, &score) in scores.iter().enumerate() {
+                if score < REPAIR_WINDOW * best {
+                    continue;
+                }
+                let (rs, vs) = self.inst.col(j);
+                let mut rc = cost[j];
+                for (&r, &v) in rs.iter().zip(vs) {
+                    rc -= y_cost[r] * v;
+                }
+                let rc = rc / self.inst.gamma[j];
+                if enter == usize::MAX || rc > best_rc {
+                    best_rc = rc;
+                    enter = j;
+                }
+            }
+            if enter == usize::MAX {
+                return Ok(false);
+            }
+            let w = self.ftran_col(enter);
+            // Longest-step ratio test (piecewise-linear line search): the
+            // total infeasibility s(t) is convex in the step t with a
+            // slope kink at every basic's zero crossing.  Walk the sorted
+            // crossings, accumulating slope, and stop at the first point
+            // where s stops decreasing — one pivot then clears *every*
+            // infeasibility passed along the way, instead of blocking at
+            // the nearest crossing.
+            // s'(0) = Σ d_i·w_i = −gain < 0: guaranteed improving.
+            let mut slope: f64 = d.iter().zip(&w).map(|(&di, &wi)| di * wi).sum();
+            let mut crossings: Vec<(f64, f64, usize)> = Vec::new();
+            for (i, &wi) in w.iter().enumerate() {
+                let x = self.xb[i];
+                let artificial = self.basis[i] >= self.inst.art_start;
+                if x < -PIVOT_EPS {
+                    if wi < -PIVOT_EPS {
+                        // Infeasible basic reaches 0: its −slope term
+                        // drops out (and an artificial must then *stay*
+                        // at 0, kinking twice as hard).
+                        let dd = if artificial { -2.0 * wi } else { -wi };
+                        crossings.push((x / wi, dd, i));
+                    }
+                } else if artificial && x > PIVOT_EPS {
+                    if wi > PIVOT_EPS {
+                        crossings.push((x / wi, 2.0 * wi, i));
+                    }
+                } else if wi > PIVOT_EPS {
+                    crossings.push((x.max(0.0) / wi, wi, i));
+                } else if artificial && wi < -PIVOT_EPS {
+                    // Artificial resting at 0 pushed positive: blocks
+                    // immediately.
+                    crossings.push((0.0, -wi, i));
+                }
+            }
+            crossings.sort_by(|a, b| a.0.total_cmp(&b.0).then(b.1.total_cmp(&a.1)));
+            let mut leave: Option<(usize, f64)> = None;
+            for &(t, dd, i) in &crossings {
+                leave = Some((i, t));
+                slope += dd;
+                if slope >= -EPS {
+                    break;
+                }
+            }
+            let Some((l, t)) = leave else {
+                return Ok(false);
+            };
+            if w[l].abs() <= PIVOT_EPS {
+                return Ok(false);
+            }
+            self.apply_pivot(l, enter, &w, t)?;
+        }
+        Ok(false)
+    }
+
+    /// Phase 1: drive the artificial variables to zero, then pivot basic
+    /// artificials out (or leave them pinned at zero on redundant rows).
+    fn phase1(&mut self) -> Result<(), SolveError> {
+        if !self.basis.iter().any(|&c| c >= self.inst.art_start) {
+            return Ok(());
+        }
+        let mut cost1 = vec![0.0; self.inst.total];
+        for c in cost1.iter_mut().skip(self.inst.art_start) {
+            *c = -1.0;
+        }
+        self.optimize(&cost1, true)?;
+        let infeas: f64 = self
+            .basis
+            .iter()
+            .zip(&self.xb)
+            .filter(|&(&c, _)| c >= self.inst.art_start)
+            .map(|(_, &x)| x.max(0.0))
+            .sum();
+        if infeas > PIVOT_EPS {
+            return Err(SolveError::Infeasible);
+        }
+        for slot in 0..self.inst.m {
+            if self.basis[slot] < self.inst.art_start {
+                continue;
+            }
+            // Row `slot` of B⁻¹A, via ρ = B⁻ᵀ e_slot: any real column with
+            // a nonzero entry can replace the artificial at value 0.
+            let mut e = vec![0.0; self.inst.m];
+            e[slot] = 1.0;
+            let rho = self.btran_pos(e);
+            for j in 0..self.inst.art_start {
+                if self.in_basis[j] {
+                    continue;
+                }
+                let (rs, vs) = self.inst.col(j);
+                let dot: f64 = rs.iter().zip(vs).map(|(&r, &v)| rho[r] * v).sum();
+                if dot.abs() > PIVOT_EPS {
+                    let w = self.ftran_col(j);
+                    if w[slot].abs() > 0.5 * PIVOT_EPS {
+                        self.apply_pivot(slot, j, &w, 0.0)?;
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Canonical final refactorization: rebuild a basis from the optimal
+    /// *support* — the basic columns with value above tolerance, in
+    /// ascending order — and let [`factorize`]'s deterministic fill
+    /// complete the degenerate rows with unit columns.  Values, duals and
+    /// the objective are recomputed from the fresh factors.  The result
+    /// therefore depends only on the optimal *vertex*, not on the pivot
+    /// path or even on which of the vertex's (degenerate-)alternative
+    /// bases the iteration stopped at — the property that makes warm and
+    /// cold solves bit-identical.
+    fn finalize(mut self, warm_used: bool) -> Result<SparseSolution, SolveError> {
+        let inst = self.inst;
+        let mut sorted: Vec<usize> = self
+            .basis
+            .iter()
+            .zip(&self.xb)
+            .filter(|&(_, &x)| x.abs() > EPS)
+            .map(|(&c, _)| c)
+            .collect();
+        sorted.sort_unstable();
+        let f = factorize(inst, &sorted).ok_or(SolveError::IterationLimit)?;
+        self.refactorizations += 1;
+        let mut rhs = inst.b.clone();
+        let xb = f.lu.ftran(&mut rhs);
+        let mut values = vec![0.0; inst.n];
+        let mut objective = 0.0;
+        for (k, &c) in f.basis.iter().enumerate() {
+            if c < inst.n {
+                values[c] = xb[k];
+            }
+            objective += inst.cost[c] * xb[k];
+        }
+        let mut c_pos: Vec<f64> = f.basis.iter().map(|&c| inst.cost[c]).collect();
+        let duals = f.lu.btran(&mut c_pos);
+        let basis = WarmStart::from_entries(
+            f.basis
+                .iter()
+                .map(|&c| {
+                    if c < inst.n {
+                        BasisVar::Structural(c)
+                    } else {
+                        BasisVar::Row(inst.row_of_unit[c])
+                    }
+                })
+                .collect(),
+        );
+        Ok(SparseSolution {
+            objective,
+            pivots: self.pivots,
+            refactorizations: self.refactorizations,
+            warm_used,
+            values,
+            duals,
+            basis,
+        })
+    }
+}
+
+/// Attempts a warm-started solve; `Ok(None)` means the warm basis was
+/// rejected (singular or infeasible here) and the caller should start
+/// cold.
+fn try_warm(
+    inst: &Instance,
+    ws: &WarmStart,
+    budget: usize,
+) -> Result<Option<SparseSolution>, SolveError> {
+    let mut cands = Vec::with_capacity(inst.m);
+    for &e in ws.entries() {
+        match e {
+            BasisVar::Structural(j) if j < inst.n => cands.push(j),
+            BasisVar::Row(r) if r < inst.m => {
+                let c = if inst.slack_of_row[r] != usize::MAX {
+                    inst.slack_of_row[r]
+                } else {
+                    inst.art_of_row[r]
+                };
+                if c != usize::MAX {
+                    cands.push(c);
+                }
+            }
+            _ => {}
+        }
+    }
+    let Some(f) = factorize(inst, &cands) else {
+        return Ok(None);
+    };
+    let mut s = Solver::new(inst, f, budget);
+    s.prefer = vec![false; inst.total];
+    for &c in &cands {
+        s.prefer[c] = true;
+    }
+    // Whatever infeasibility survives the slack patching is driven out by
+    // pivoting: the composite primal repair (longest-step phase 1 from
+    // this basis) first — it empirically lands closest to the carried
+    // neighborhood — then the dual-style repair for the residue, and a
+    // failure of both falls back to a cold start.
+    let cost = inst.cost.clone();
+    match s.repair_feasibility(&cost) {
+        Ok(true) => {}
+        Ok(false) => match s.dual_repair(&cost) {
+            Ok(true) => {}
+            // Stuck (possibly genuinely infeasible) or numerical
+            // trouble: the cold path decides.
+            Ok(false) | Err(_) => return Ok(None),
+        },
+        Err(_) => return Ok(None),
+    }
+    match s.optimize(&cost, false) {
+        Ok(()) => {
+            s.polish(&cost);
+            s.finalize(true).map(Some)
+        }
+        // A feasible warm basis witnessing unboundedness is conclusive.
+        Err(SolveError::Unbounded) => Err(SolveError::Unbounded),
+        // Numerical trouble: retry cold.
+        Err(_) => Ok(None),
+    }
+}
+
+fn solve(lp: &LinearProgram, warm: Option<&WarmStart>) -> Result<SparseSolution, SolveError> {
+    let inst = Instance::build(lp);
+    let budget = lp.max_iterations.unwrap_or(50 * (inst.m + inst.n) + 1000);
+    if let Some(ws) = warm.filter(|w| !w.is_empty()) {
+        if let Some(sol) = try_warm(&inst, ws, budget)? {
+            return Ok(sol);
+        }
+    }
+    let cands: Vec<usize> = (0..inst.m)
+        .map(|r| {
+            if inst.art_of_row[r] != usize::MAX {
+                inst.art_of_row[r]
+            } else {
+                inst.slack_of_row[r]
+            }
+        })
+        .collect();
+    let f = factorize(&inst, &cands).ok_or(SolveError::IterationLimit)?;
+    let mut s = Solver::new(&inst, f, budget);
+    s.phase1()?;
+    let cost = inst.cost.clone();
+    s.optimize(&cost, false)?;
+    s.polish(&cost);
+    s.finalize(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::{LinearProgram, Relation};
+
+    fn lp(obj: &[f64], rows: &[(&[f64], Relation, f64)]) -> LinearProgram {
+        let mut p = LinearProgram::new();
+        let vars: Vec<VarId> = obj.iter().map(|&c| p.add_var(c)).collect();
+        for (coefs, rel, rhs) in rows {
+            let terms: Vec<(VarId, f64)> = vars
+                .iter()
+                .zip(coefs.iter())
+                .map(|(&v, &c)| (v, c))
+                .collect();
+            p.add_constraint(&terms, *rel, *rhs);
+        }
+        p
+    }
+
+    #[test]
+    fn textbook_le() {
+        let p = lp(
+            &[3.0, 2.0],
+            &[
+                (&[1.0, 1.0], Relation::Le, 4.0),
+                (&[1.0, 0.0], Relation::Le, 2.0),
+            ],
+        );
+        let s = p.solve_sparse().unwrap();
+        assert!((s.objective - 10.0).abs() < 1e-9);
+        assert!((s.value(VarId(0)) - 2.0).abs() < 1e-9);
+        assert!((s.value(VarId(1)) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase1_ge_and_eq() {
+        // max x + y  s.t.  x + y = 3, x ≥ 1, y ≤ 5
+        let p = lp(
+            &[1.0, 1.0],
+            &[
+                (&[1.0, 1.0], Relation::Eq, 3.0),
+                (&[1.0, 0.0], Relation::Ge, 1.0),
+                (&[0.0, 1.0], Relation::Le, 5.0),
+            ],
+        );
+        let s = p.solve_sparse().unwrap();
+        assert!((s.objective - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let p = lp(
+            &[1.0],
+            &[(&[1.0], Relation::Le, 1.0), (&[1.0], Relation::Ge, 2.0)],
+        );
+        assert_eq!(p.solve_sparse().unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let p = lp(&[1.0], &[(&[-1.0], Relation::Le, 1.0)]);
+        assert_eq!(p.solve_sparse().unwrap_err(), SolveError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // x ≥ 2 written as -x ≤ -2.
+        let p = lp(&[-1.0], &[(&[-1.0], Relation::Le, -2.0)]);
+        let s = p.solve_sparse().unwrap();
+        assert!((s.objective + 2.0).abs() < 1e-9);
+        assert!((s.value(VarId(0)) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beale_cycling_instance() {
+        // Beale's classic degenerate LP; Bland fallback must terminate.
+        let p = lp(
+            &[0.75, -150.0, 0.02, -6.0],
+            &[
+                (&[0.25, -60.0, -0.04, 9.0], Relation::Le, 0.0),
+                (&[0.5, -90.0, -0.02, 3.0], Relation::Le, 0.0),
+                (&[0.0, 0.0, 1.0, 0.0], Relation::Le, 1.0),
+            ],
+        );
+        let s = p.solve_sparse().unwrap();
+        assert!(
+            (s.objective - 0.05).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
+    }
+
+    #[test]
+    fn agrees_with_dense_oracle_on_mixed_relations() {
+        let p = lp(
+            &[2.0, 3.0, 1.0],
+            &[
+                (&[1.0, 1.0, 1.0], Relation::Le, 10.0),
+                (&[1.0, 0.0, 2.0], Relation::Ge, 2.0),
+                (&[0.0, 1.0, -1.0], Relation::Eq, 1.0),
+                (&[3.0, 1.0, 0.0], Relation::Le, 15.0),
+            ],
+        );
+        let dense = p.solve().unwrap();
+        let sparse = p.solve_sparse().unwrap();
+        assert!(
+            (dense.objective - sparse.objective).abs() <= 1e-9 * (1.0 + dense.objective.abs()),
+            "dense {} vs sparse {}",
+            dense.objective,
+            sparse.objective
+        );
+        for (d, s) in dense.duals().iter().zip(sparse.duals()) {
+            assert!((d - s).abs() < 1e-6, "dual mismatch {d} vs {s}");
+        }
+    }
+
+    #[test]
+    fn duals_satisfy_strong_duality() {
+        let p = lp(
+            &[3.0, 2.0],
+            &[
+                (&[1.0, 1.0], Relation::Le, 4.0),
+                (&[1.0, 0.0], Relation::Le, 2.0),
+            ],
+        );
+        let s = p.solve_sparse().unwrap();
+        let dual_obj: f64 = s.duals().iter().zip([4.0, 2.0]).map(|(y, b)| y * b).sum();
+        assert!((dual_obj - s.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_reaches_same_optimum_with_fewer_pivots() {
+        // A chain of programs differing only in one rhs.
+        let build = |cap: f64| {
+            lp(
+                &[3.0, 2.0, 1.0],
+                &[
+                    (&[1.0, 1.0, 1.0], Relation::Le, cap),
+                    (&[1.0, 0.0, 0.0], Relation::Le, 2.0),
+                    (&[0.0, 1.0, 2.0], Relation::Le, 3.0),
+                ],
+            )
+        };
+        let first = build(4.0).solve_sparse().unwrap();
+        let mut warm = first.warm_start().clone();
+        for cap in [4.5, 5.0, 5.5] {
+            let p = build(cap);
+            let cold = p.solve_sparse().unwrap();
+            let hot = p.solve_sparse_warm(&warm).unwrap();
+            assert_eq!(
+                cold.objective.to_bits(),
+                hot.objective.to_bits(),
+                "warm diverged at cap {cap}"
+            );
+            assert!(hot.pivots <= cold.pivots, "warm start pivoted more");
+            warm = hot.warm_start().clone();
+        }
+    }
+
+    #[test]
+    fn empty_warm_start_is_cold() {
+        let p = lp(&[1.0], &[(&[1.0], Relation::Le, 1.0)]);
+        let s = p.solve_sparse_warm(&WarmStart::default()).unwrap();
+        assert!(!s.warm_used);
+        assert!((s.objective - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remap_drops_and_translates() {
+        let ws = WarmStart::from_entries(vec![
+            BasisVar::Structural(0),
+            BasisVar::Structural(3),
+            BasisVar::Row(1),
+        ]);
+        let out = ws.remap(|v| match v {
+            BasisVar::Structural(3) => None,
+            BasisVar::Structural(j) => Some(BasisVar::Structural(j + 1)),
+            r => Some(r),
+        });
+        assert_eq!(out.entries(), &[BasisVar::Structural(1), BasisVar::Row(1)]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Warm-start equivalence pins: a warm solve must be an *optimization*,
+//! never a different answer.
+//!
+//! Two reuse shapes mirror the production call sites in `tugal-model`:
+//!
+//! * a **rate sweep** — the same constraint matrix with right-hand sides
+//!   moving point to point, each solve warm-started from its predecessor
+//!   (the `modeled_throughput_multi` shape);
+//! * a **column drop** — variables removed between solves, the carried
+//!   basis translated through [`WarmStart::remap`] (the `FaultSet`
+//!   superset-chain shape, where dead channels delete path-rate columns).
+//!
+//! In both cases the warm objective must be **bit-identical** to the cold
+//! objective of the same program (the solver canonicalizes its final basis
+//! factorization, so equal final bases give equal bits), and the warm
+//! pivot counts must be strictly lower over the chain's tail.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tugal_lp::{BasisVar, LinearProgram, Relation, VarId};
+
+/// Deterministic all-`≤` bounded family: coefficients fixed by `seed`,
+/// right-hand sides scaled row-wise by `t` so the optimal basis drifts
+/// across a sweep.
+fn sweep_instance(seed: u64, t: f64) -> LinearProgram {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = rng.gen_range(4usize..=12);
+    let m = rng.gen_range(3usize..=10);
+    let mut lp = LinearProgram::new();
+    let vars: Vec<VarId> = (0..n)
+        .map(|_| lp.add_var(rng.gen_range(0.1f64..3.0)))
+        .collect();
+    for i in 0..m {
+        let mut terms = Vec::new();
+        for &v in &vars {
+            if rng.gen_bool(0.6) {
+                terms.push((v, rng.gen_range(0.05f64..2.0)));
+            }
+        }
+        if terms.is_empty() {
+            terms.push((vars[0], 1.0));
+        }
+        let base = rng.gen_range(1.0f64..8.0);
+        // Odd rows move quadratically in t, even rows linearly — the
+        // binding set reshuffles along the sweep instead of just scaling.
+        let rhs = if i % 2 == 0 { base * t } else { base * t * t };
+        lp.add_constraint(&terms, Relation::Le, rhs);
+    }
+    let all: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
+    lp.add_constraint(&all, Relation::Le, rng.gen_range(2.0f64..9.0) * t);
+    lp
+}
+
+#[test]
+fn rate_sweep_warm_is_bit_identical_with_fewer_pivots() {
+    let points = [1.0, 0.95, 0.9, 0.85, 0.8, 0.75];
+    let mut tail_warm = 0usize;
+    let mut tail_cold = 0usize;
+    let mut hits = 0usize;
+    let mut attempts = 0usize;
+    for seed in 0..40u64 {
+        let mut carried = None;
+        for (k, &t) in points.iter().enumerate() {
+            let lp = sweep_instance(seed, t);
+            let cold = lp.solve_sparse().expect("all-Le positive-rhs is solvable");
+            let warm = match &carried {
+                Some(ws) => lp.solve_sparse_warm(ws).expect("warm solve"),
+                None => lp.solve_sparse().expect("cold head"),
+            };
+            assert_eq!(
+                warm.objective.to_bits(),
+                cold.objective.to_bits(),
+                "seed {seed} t {t}: warm {} vs cold {}",
+                warm.objective,
+                cold.objective
+            );
+            if k > 0 {
+                // A carried basis the shrunk rhs made primally infeasible
+                // is *rejected* (warm_used = false, full cold solve) — the
+                // answer stays identical either way; only the pivot-count
+                // benefit requires the basis to survive.
+                attempts += 1;
+                hits += warm.warm_used as usize;
+                tail_warm += warm.pivots;
+                tail_cold += cold.pivots;
+            }
+            carried = Some(warm.warm_start().clone());
+        }
+    }
+    assert!(
+        hits * 2 > attempts,
+        "warm basis accepted only {hits}/{attempts} times across the sweep"
+    );
+    assert!(
+        tail_warm < tail_cold,
+        "warm tails took {tail_warm} pivots vs cold {tail_cold}"
+    );
+}
+
+#[test]
+fn column_drop_remap_is_bit_identical_to_cold() {
+    let mut warm_hits = 0usize;
+    let mut total = 0usize;
+    for seed in 100..140u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = rng.gen_range(5usize..=12);
+        let m = rng.gen_range(3usize..=9);
+        let objective: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1f64..3.0)).collect();
+        let mut rows: Vec<(Vec<(usize, f64)>, f64)> = Vec::new();
+        for _ in 0..m {
+            let mut terms = Vec::new();
+            for j in 0..n {
+                if rng.gen_bool(0.6) {
+                    terms.push((j, rng.gen_range(0.05f64..2.0)));
+                }
+            }
+            if terms.is_empty() {
+                terms.push((0, 1.0));
+            }
+            rows.push((terms, rng.gen_range(1.0f64..8.0)));
+        }
+        rows.push((
+            (0..n).map(|j| (j, 1.0)).collect(),
+            rng.gen_range(2.0f64..9.0),
+        ));
+
+        // `keep(j)` builds the program restricted to columns where
+        // `j != dropped`, preserving original column order.
+        let build = |dropped: Option<usize>| -> LinearProgram {
+            let mut lp = LinearProgram::new();
+            let vars: Vec<Option<VarId>> = (0..n)
+                .map(|j| (Some(j) != dropped).then(|| lp.add_var(objective[j])))
+                .collect();
+            for (terms, rhs) in &rows {
+                let kept: Vec<(VarId, f64)> = terms
+                    .iter()
+                    .filter_map(|&(j, a)| vars[j].map(|v| (v, a)))
+                    .collect();
+                if !kept.is_empty() {
+                    lp.add_constraint(&kept, Relation::Le, *rhs);
+                }
+            }
+            lp
+        };
+
+        let full = build(None).solve_sparse().expect("full instance solves");
+        let dropped = n / 2;
+        // Translate the carried basis into the shrunk column space: the
+        // dead column vanishes, later columns shift down one.
+        let ws = full.warm_start().remap(|bv| match bv {
+            BasisVar::Structural(j) if j == dropped => None,
+            BasisVar::Structural(j) if j > dropped => Some(BasisVar::Structural(j - 1)),
+            other => Some(other),
+        });
+
+        let shrunk = build(Some(dropped));
+        let cold = shrunk.solve_sparse().expect("shrunk cold");
+        let warm = shrunk.solve_sparse_warm(&ws).expect("shrunk warm");
+        assert_eq!(
+            warm.objective.to_bits(),
+            cold.objective.to_bits(),
+            "seed {seed}: warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+        total += 1;
+        warm_hits += warm.warm_used as usize;
+    }
+    // Basis repair must actually succeed most of the time, or the remap
+    // path is silently degrading to cold solves.
+    assert!(
+        warm_hits * 2 > total,
+        "warm basis accepted only {warm_hits}/{total} times"
+    );
+}
+
+#[test]
+fn warm_start_from_identical_program_takes_no_pivots() {
+    for seed in 200..220u64 {
+        let lp = sweep_instance(seed, 1.0);
+        let first = lp.solve_sparse().expect("solvable");
+        let again = lp
+            .solve_sparse_warm(first.warm_start())
+            .expect("warm re-solve");
+        assert!(again.warm_used, "seed {seed}: own basis rejected");
+        assert_eq!(again.pivots, 0, "seed {seed}: re-solve pivoted");
+        assert_eq!(first.objective.to_bits(), again.objective.to_bits());
+    }
+}

@@ -49,8 +49,10 @@ mod throughput;
 
 pub use stats::PairStats;
 pub use throughput::{
-    modeled_bottlenecks, modeled_primal, modeled_throughput, modeled_throughput_degraded,
-    modeled_throughput_multi, DegradedThroughput, ModelError, ModelPrimal, ModelVariant,
+    modeled_bottlenecks, modeled_primal, modeled_primal_lp, modeled_throughput,
+    modeled_throughput_degraded, modeled_throughput_degraded_warm, modeled_throughput_multi,
+    modeled_throughput_warm, DegradedThroughput, LpStats, ModelError, ModelPrimal, ModelVariant,
+    ModelWarmCache,
 };
 
 #[cfg(test)]

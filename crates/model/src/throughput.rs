@@ -1,11 +1,111 @@
 //! The throughput LP assembled from [`PairStats`].
+//!
+//! Solves go through the sparse revised simplex of `tugal-lp`
+//! (`LinearProgram::solve_sparse`); the dense tableau solver remains
+//! available as the differential oracle the test layer compares against.
+//! Chained solves — rule sweeps inside [`modeled_throughput_multi`],
+//! `FaultSet` superset chains, zoo lag sweeps — thread a
+//! [`ModelWarmCache`] through consecutive programs: the cache stores the
+//! previous optimal basis in a *model-level key space* (pairs and
+//! channels rather than raw variable indices), remaps it onto the next
+//! program, and accumulates [`LpStats`] counters so harnesses can report
+//! pivot counts and warm-start hit rates.
 
 use crate::stats::PairStats;
 use rayon::prelude::*;
 use std::collections::HashMap;
-use tugal_lp::{LinearProgram, Relation, SolveError};
+use std::time::Instant;
+use tugal_lp::{BasisVar, LinearProgram, Relation, SolveError, WarmStart};
 use tugal_routing::VlbRule;
 use tugal_topology::{ChannelId, Degraded, Dragonfly, SwitchId};
+
+/// Cumulative LP solve counters, accumulated by every solve that threads
+/// a [`ModelWarmCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LpStats {
+    /// LP solves performed.
+    pub solves: usize,
+    /// Simplex pivots across all solves.
+    pub pivots: usize,
+    /// Basis refactorizations across all solves.
+    pub refactorizations: usize,
+    /// Solves that entered with a non-empty warm basis.
+    pub warm_attempts: usize,
+    /// Warm attempts whose basis was accepted (no cold fallback).
+    pub warm_hits: usize,
+    /// Wall-clock spent inside the LP solver, in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl LpStats {
+    /// Folds another counter set into this one.
+    pub fn merge(&mut self, other: &LpStats) {
+        self.solves += other.solves;
+        self.pivots += other.pivots;
+        self.refactorizations += other.refactorizations;
+        self.warm_attempts += other.warm_attempts;
+        self.warm_hits += other.warm_hits;
+        self.wall_ms += other.wall_ms;
+    }
+}
+
+/// Identity of an LP variable across structurally-similar model solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum VarKey {
+    Theta,
+    Pair(u32, u32),
+}
+
+/// Identity of an LP row across structurally-similar model solves.  A
+/// capacity row (which the builder deduplicates across symmetric
+/// channels) is named by the lowest channel id it covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum RowKey {
+    ThetaCap,
+    Demand(u32, u32),
+    Guard(u32, u32),
+    Capacity(u32),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum KeyedBasisVar {
+    Var(VarKey),
+    Row(RowKey),
+}
+
+/// Warm-start carrier for chained draw-proportional model solves.
+///
+/// Thread one cache through a sequence of structurally-similar solves
+/// (a rule sweep, a rate sweep, a `FaultSet` superset chain): each solve
+/// seeds the simplex with the previous optimal basis — translated through
+/// stable pair/channel keys, so renumbered variables and dropped columns
+/// remap or fall away cleanly — and updates [`ModelWarmCache::stats`].
+/// Warm starting never changes the optimum (a rejected basis falls back
+/// to a cold start); it only cuts the pivot count.
+#[derive(Debug, Clone, Default)]
+pub struct ModelWarmCache {
+    entries: Vec<KeyedBasisVar>,
+    /// Cumulative solve counters across the chained solves.
+    pub stats: LpStats,
+}
+
+impl ModelWarmCache {
+    /// Empty cache: the first solve through it is cold.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the cached basis (counters survive); the next solve is cold.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Whether a basis is cached (the next solve will attempt a warm
+    /// start).
+    pub fn has_basis(&self) -> bool {
+        !self.entries.is_empty()
+    }
+}
 
 /// Which reconstruction of the UGAL allocation behaviour to solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,8 +219,32 @@ pub fn modeled_throughput(
     modeled_throughput_multi(topo, pattern_demands, &[rule], variant).map(|v| v[0])
 }
 
+/// [`modeled_throughput`] with warm-start chaining: the solve seeds the
+/// simplex from `cache` (when it holds a basis) and leaves its own optimal
+/// basis behind for the next structurally-similar solve, accumulating
+/// [`LpStats`] either way.  Returns exactly what a cold
+/// [`modeled_throughput`] returns — warm starting only cuts pivots.
+pub fn modeled_throughput_warm(
+    topo: &Dragonfly,
+    pattern_demands: &[(u32, u32, u32)],
+    rule: VlbRule,
+    variant: ModelVariant,
+    cache: &mut ModelWarmCache,
+) -> Result<f64, ModelError> {
+    if pattern_demands.is_empty() {
+        return Err(ModelError::EmptyPattern);
+    }
+    let stats: Vec<PairStats> = pattern_demands
+        .par_iter()
+        .map(|&(s, d, _)| PairStats::compute(topo, SwitchId(s), SwitchId(d)))
+        .collect();
+    solve_one(topo, pattern_demands, &stats, rule, variant, Some(cache))
+}
+
 /// [`modeled_throughput`] for several rules at once, computing the per-pair
-/// statistics (the expensive part) only once.
+/// statistics (the expensive part) only once and warm-starting each rule's
+/// solve from the previous one's basis (the programs share their variables
+/// and most rows, so the chain skips phase 1 and most pivots).
 pub fn modeled_throughput_multi(
     topo: &Dragonfly,
     pattern_demands: &[(u32, u32, u32)],
@@ -134,9 +258,19 @@ pub fn modeled_throughput_multi(
         .par_iter()
         .map(|&(s, d, _)| PairStats::compute(topo, SwitchId(s), SwitchId(d)))
         .collect();
+    let mut cache = ModelWarmCache::new();
     rules
-        .par_iter()
-        .map(|&rule| solve_one(topo, pattern_demands, &stats, rule, variant))
+        .iter()
+        .map(|&rule| {
+            solve_one(
+                topo,
+                pattern_demands,
+                &stats,
+                rule,
+                variant,
+                Some(&mut cache),
+            )
+        })
         .collect()
 }
 
@@ -171,6 +305,34 @@ pub fn modeled_throughput_degraded(
     rule: VlbRule,
     variant: ModelVariant,
 ) -> Result<DegradedThroughput, ModelError> {
+    modeled_throughput_degraded_impl(topo, deg, pattern_demands, rule, variant, None)
+}
+
+/// [`modeled_throughput_degraded`] with warm-start chaining through
+/// `cache` — built for `FaultSet` superset chains, where consecutive
+/// solves differ only in the few pairs/rows the newly-dead channels
+/// touched.  Basis members naming dropped pairs or vanished capacity rows
+/// fall away in the remap and the factorization repairs the holes, so the
+/// result is identical to the cold solve.
+pub fn modeled_throughput_degraded_warm(
+    topo: &Dragonfly,
+    deg: &Degraded,
+    pattern_demands: &[(u32, u32, u32)],
+    rule: VlbRule,
+    variant: ModelVariant,
+    cache: &mut ModelWarmCache,
+) -> Result<DegradedThroughput, ModelError> {
+    modeled_throughput_degraded_impl(topo, deg, pattern_demands, rule, variant, Some(cache))
+}
+
+fn modeled_throughput_degraded_impl(
+    topo: &Dragonfly,
+    deg: &Degraded,
+    pattern_demands: &[(u32, u32, u32)],
+    rule: VlbRule,
+    variant: ModelVariant,
+    warm: Option<&mut ModelWarmCache>,
+) -> Result<DegradedThroughput, ModelError> {
     if pattern_demands.is_empty() {
         return Err(ModelError::EmptyPattern);
     }
@@ -198,7 +360,7 @@ pub fn modeled_throughput_degraded(
             reachable_pairs: 0,
         });
     }
-    let theta = solve_one(topo, &demands, &kept, rule, variant)?;
+    let theta = solve_one(topo, &demands, &kept, rule, variant, warm)?;
     Ok(DegradedThroughput {
         theta,
         unreachable_pairs,
@@ -212,10 +374,13 @@ fn solve_one(
     stats: &[PairStats],
     rule: VlbRule,
     variant: ModelVariant,
+    warm: Option<&mut ModelWarmCache>,
 ) -> Result<f64, ModelError> {
     match variant {
-        ModelVariant::DrawProportional => solve_draw_proportional(topo, demands, stats, rule, None),
-        ModelVariant::MonotoneClasses => solve_monotone(topo, demands, stats, rule),
+        ModelVariant::DrawProportional => {
+            solve_draw_proportional_full(topo, demands, stats, rule, None, None, warm)
+        }
+        ModelVariant::MonotoneClasses => solve_monotone(topo, demands, stats, rule, warm),
     }
 }
 
@@ -257,10 +422,35 @@ pub fn modeled_primal(
         min_rates: Vec::new(),
         channel_load: Vec::new(),
     };
-    let theta =
-        solve_draw_proportional_full(topo, pattern_demands, &stats, rule, None, Some(&mut primal))?;
+    let theta = solve_draw_proportional_full(
+        topo,
+        pattern_demands,
+        &stats,
+        rule,
+        None,
+        Some(&mut primal),
+        None,
+    )?;
     primal.theta = theta;
     Ok(primal)
+}
+
+/// The draw-proportional path-rate [`LinearProgram`] that
+/// [`modeled_primal`] solves, exposed (unsolved) for the dense-vs-sparse
+/// differential test layer in `tugal-lp`.
+pub fn modeled_primal_lp(
+    topo: &Dragonfly,
+    pattern_demands: &[(u32, u32, u32)],
+    rule: VlbRule,
+) -> Result<LinearProgram, ModelError> {
+    if pattern_demands.is_empty() {
+        return Err(ModelError::EmptyPattern);
+    }
+    let stats: Vec<PairStats> = pattern_demands
+        .par_iter()
+        .map(|&(s, d, _)| PairStats::compute(topo, SwitchId(s), SwitchId(d)))
+        .collect();
+    Ok(build_draw_proportional(pattern_demands, &stats, rule, false).lp)
 }
 
 /// Modeled throughput plus the *bottleneck channels*: the capacity rows
@@ -280,7 +470,15 @@ pub fn modeled_bottlenecks(
         .map(|&(s, d, _)| PairStats::compute(topo, SwitchId(s), SwitchId(d)))
         .collect();
     let mut hot = Vec::new();
-    let theta = solve_draw_proportional(topo, pattern_demands, &stats, rule, Some(&mut hot))?;
+    let theta = solve_draw_proportional_full(
+        topo,
+        pattern_demands,
+        &stats,
+        rule,
+        Some(&mut hot),
+        None,
+        None,
+    )?;
     Ok((theta, hot))
 }
 
@@ -302,54 +500,90 @@ fn add_usage(
     }
 }
 
-/// Builds and solves the draw-proportional LP:
+/// Per-channel usage rows and θ loads before capacity-row pruning,
+/// keyed by channel id.
+type FullUsage = (HashMap<u32, Vec<(tugal_lp::VarId, f64)>>, HashMap<u32, f64>);
+
+/// The assembled draw-proportional LP plus the metadata the solve layer
+/// needs: variable handles, the stable pair/channel keys of every
+/// variable and row (for warm-start remapping), the capacity-row ↔
+/// channel map (for duals) and — on request — the full pre-pruning usage
+/// maps (for the primal view).
+struct DrawBuild {
+    lp: LinearProgram,
+    theta: tugal_lp::VarId,
+    m_vars: Vec<tugal_lp::VarId>,
+    var_keys: Vec<VarKey>,
+    row_keys: Vec<RowKey>,
+    row_channels: Vec<(usize, u32)>,
+    full_usage: Option<FullUsage>,
+}
+
+/// Builds the draw-proportional LP:
 ///
 /// * variables: `θ` and per pair the MIN rate `m` (VLB rate is
 ///   `θ·d − m`),
 /// * per pair: `m ≤ θ·d`,
 /// * per channel: `Σ m·(pmin − pvlb) + θ·Σ d·pvlb ≤ 1`,
 /// * `θ ≤ 1`; maximize `θ`.
-fn solve_draw_proportional(
-    topo: &Dragonfly,
+fn build_draw_proportional(
     demands: &[(u32, u32, u32)],
     stats: &[PairStats],
     rule: VlbRule,
-    bottlenecks_out: Option<&mut Vec<(ChannelId, f64)>>,
-) -> Result<f64, ModelError> {
-    solve_draw_proportional_full(topo, demands, stats, rule, bottlenecks_out, None)
-}
-
-fn solve_draw_proportional_full(
-    _topo: &Dragonfly,
-    demands: &[(u32, u32, u32)],
-    stats: &[PairStats],
-    rule: VlbRule,
-    bottlenecks_out: Option<&mut Vec<(ChannelId, f64)>>,
-    primal_out: Option<&mut ModelPrimal>,
-) -> Result<f64, ModelError> {
+    keep_usage: bool,
+) -> DrawBuild {
     let mut lp = LinearProgram::new();
     let theta = lp.add_var(1.0);
+    let mut var_keys = vec![VarKey::Theta];
+    let mut row_keys = vec![RowKey::ThetaCap];
     lp.add_constraint(&[(theta, 1.0)], Relation::Le, 1.0);
 
     let mut chan_rows: HashMap<u32, Vec<(tugal_lp::VarId, f64)>> = HashMap::new();
     let mut theta_load: HashMap<u32, f64> = HashMap::new();
 
     let mut m_vars = Vec::with_capacity(demands.len());
-    for (pair_idx, (&(_, _, flows), st)) in demands.iter().zip(stats).enumerate() {
+    for (&(src, dst, flows), st) in demands.iter().zip(stats) {
         let d = flows as f64;
-        let m = lp.add_var(0.0);
+        // The m objective gets a deterministic negative micro-cost
+        // (about 1e-7, far below any θ trade-off): with `maximize θ`
+        // alone the optimal m-face is massively degenerate, and warm and
+        // cold pivot paths could stop at different vertices of it.  The
+        // perturbation makes the optimal *vertex* unique, which —
+        // combined with the sparse solver's canonical final
+        // refactorization and its sub-tolerance polish pass — is what
+        // makes warm-started θ values bit-identical to cold ones.  The
+        // full 53-bit hash goes into the mantissa so no two pairs ever
+        // collide on the same micro-cost (symmetric patterns produce
+        // interchangeable columns, where an exact cost tie would revive
+        // the alternate optima).
+        // Keyed by the *pair identity*, never a positional index: fault
+        // chains drop unreachable pairs from the list, and an index-keyed
+        // perturbation would reshuffle the micro-costs of every pair
+        // behind the gap, moving the perturbed optimum globally and
+        // destroying the locality that warm starts rely on.
+        let pk = ((src as u64) << 32) | dst as u64;
+        let hc = (pk ^ 0xA5A5_5A5A_1234_5678)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(31)
+            .wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        let u = (hc >> 11) as f64 / (1u64 << 53) as f64;
+        let m = lp.add_var(-1e-7 * (0.5 + 0.5 * u));
         m_vars.push(m);
+        var_keys.push(VarKey::Pair(src, dst));
         // Tiny positive rhs perturbation keeps the origin vertex
-        // non-degenerate (see `add_capacity_rows`).
-        let h = (pair_idx as u64)
+        // non-degenerate (see `add_capacity_rows`); same stable keying,
+        // with the full mantissa so no two demand rows ever tie exactly.
+        let h = pk
             .wrapping_mul(0xD6E8_FEB8_6659_FD93)
             .rotate_left(23)
             .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let hu = (h >> 11) as f64 / (1u64 << 53) as f64;
         lp.add_constraint(
             &[(m, 1.0), (theta, -d)],
             Relation::Le,
-            1e-5 * (0.5 + (h % 1024) as f64 / 2048.0),
+            1e-5 * (0.5 + 0.5 * hu),
         );
+        row_keys.push(RowKey::Demand(src, dst));
 
         let w = combo_weights(rule, st);
         let n_vlb: f64 = (1..=3)
@@ -363,6 +597,7 @@ fn solve_draw_proportional_full(
         // the optimizer subtract VLB load without paying for it anywhere.
         if st.min_count == 0.0 {
             lp.add_constraint(&[(m, 1.0)], Relation::Le, 0.0);
+            row_keys.push(RowKey::Guard(src, dst));
         }
 
         // MIN usage: rate m spread over the MIN candidates.
@@ -406,15 +641,107 @@ fn solve_draw_proportional_full(
     // Keep the full usage map around when the caller wants the primal
     // loads: capacity-row assembly prunes and deduplicates, but the primal
     // view reports every used channel.
-    let full_usage = primal_out
-        .as_ref()
-        .map(|_| (chan_rows.clone(), theta_load.clone()));
+    let full_usage = keep_usage.then(|| (chan_rows.clone(), theta_load.clone()));
     let row_channels = add_capacity_rows(&mut lp, theta, chan_rows, theta_load, demand_bound);
+    for &(_, ch) in &row_channels {
+        row_keys.push(RowKey::Capacity(ch));
+    }
+    debug_assert_eq!(row_keys.len(), lp.num_constraints());
     lp.set_max_iterations(400_000);
-    let sol = lp.solve().map_err(ModelError::Lp)?;
+    DrawBuild {
+        lp,
+        theta,
+        m_vars,
+        var_keys,
+        row_keys,
+        row_channels,
+        full_usage,
+    }
+}
+
+/// Translates a cached model-keyed basis onto this build's numbering;
+/// `None` when nothing survives the remap (solve cold).
+fn warm_start_for(cache: &ModelWarmCache, build: &DrawBuild) -> Option<WarmStart> {
+    if cache.entries.is_empty() {
+        return None;
+    }
+    let var_index: HashMap<VarKey, usize> = build
+        .var_keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i))
+        .collect();
+    let row_index: HashMap<RowKey, usize> = build
+        .row_keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i))
+        .collect();
+    let ws = WarmStart::from_entries(
+        cache
+            .entries
+            .iter()
+            .filter_map(|e| match e {
+                KeyedBasisVar::Var(k) => var_index.get(k).map(|&i| BasisVar::Structural(i)),
+                KeyedBasisVar::Row(k) => row_index.get(k).map(|&i| BasisVar::Row(i)),
+            })
+            .collect(),
+    );
+    (!ws.is_empty()).then_some(ws)
+}
+
+/// Solves a [`DrawBuild`] through the sparse simplex, optionally seeded
+/// from — and recorded back into — a [`ModelWarmCache`].
+fn solve_build(
+    build: &DrawBuild,
+    warm: Option<&mut ModelWarmCache>,
+) -> Result<tugal_lp::SparseSolution, ModelError> {
+    let started = Instant::now();
+    let ws = warm.as_ref().and_then(|cache| warm_start_for(cache, build));
+    let sol = match &ws {
+        Some(w) => build.lp.solve_sparse_warm(w),
+        None => build.lp.solve_sparse(),
+    }
+    .map_err(ModelError::Lp)?;
+    if let Some(cache) = warm {
+        cache.stats.solves += 1;
+        cache.stats.pivots += sol.pivots;
+        cache.stats.refactorizations += sol.refactorizations;
+        if ws.is_some() {
+            cache.stats.warm_attempts += 1;
+            if sol.warm_used {
+                cache.stats.warm_hits += 1;
+            }
+        }
+        cache.stats.wall_ms += started.elapsed().as_secs_f64() * 1e3;
+        cache.entries = sol
+            .warm_start()
+            .entries()
+            .iter()
+            .map(|&b| match b {
+                BasisVar::Structural(i) => KeyedBasisVar::Var(build.var_keys[i]),
+                BasisVar::Row(r) => KeyedBasisVar::Row(build.row_keys[r]),
+            })
+            .collect();
+    }
+    Ok(sol)
+}
+
+fn solve_draw_proportional_full(
+    _topo: &Dragonfly,
+    demands: &[(u32, u32, u32)],
+    stats: &[PairStats],
+    rule: VlbRule,
+    bottlenecks_out: Option<&mut Vec<(ChannelId, f64)>>,
+    primal_out: Option<&mut ModelPrimal>,
+    warm: Option<&mut ModelWarmCache>,
+) -> Result<f64, ModelError> {
+    let build = build_draw_proportional(demands, stats, rule, primal_out.is_some());
+    let sol = solve_build(&build, warm)?;
+    let theta = build.theta;
     if let Some(out) = primal_out {
-        let (rows, tload) = full_usage.unwrap();
-        out.min_rates = m_vars.iter().map(|&m| sol.value(m)).collect();
+        let (rows, tload) = build.full_usage.as_ref().expect("usage kept for primal");
+        out.min_rates = build.m_vars.iter().map(|&m| sol.value(m)).collect();
         let mut channels: Vec<u32> = rows.keys().chain(tload.keys()).copied().collect();
         channels.sort_unstable();
         channels.dedup();
@@ -432,11 +759,16 @@ fn solve_draw_proportional_full(
             .collect();
     }
     if let Some(out) = bottlenecks_out {
-        let mut hot: Vec<(ChannelId, f64)> = row_channels
+        let mut hot: Vec<(ChannelId, f64)> = build
+            .row_channels
             .iter()
             .filter_map(|&(row, ch)| {
                 let y = sol.duals()[row];
-                (y > 1e-9).then_some((ChannelId(ch), y))
+                // Threshold sits above the 1e-7 tie-breaking perturbation on
+                // the m-var costs (see `build_draw_proportional`), which
+                // shows up in the duals of non-binding rows; genuinely
+                // binding capacity rows carry shadow prices of order 1/θ.
+                (y > 1e-6).then_some((ChannelId(ch), y))
             })
             .collect();
         hot.sort_by(|a, b| b.1.total_cmp(&a.1));
@@ -453,6 +785,7 @@ fn solve_monotone(
     demands: &[(u32, u32, u32)],
     stats: &[PairStats],
     rule: VlbRule,
+    warm: Option<&mut ModelWarmCache>,
 ) -> Result<f64, ModelError> {
     let mut lp = LinearProgram::new();
     let theta = lp.add_var(1.0);
@@ -541,7 +874,20 @@ fn solve_monotone(
         .fold(0.0, f64::max);
     let _ = add_capacity_rows(&mut lp, theta, chan_rows, theta_load, demand_bound);
     lp.set_max_iterations(400_000);
-    let sol = lp.solve().map_err(ModelError::Lp)?;
+    // The monotone ablation shares no variable key space with the
+    // draw-proportional programs, so it always solves cold; it still
+    // contributes to the chain's counters, and it invalidates any cached
+    // basis so a following draw-proportional solve does not inherit a
+    // foreign one.
+    let started = Instant::now();
+    let sol = lp.solve_sparse().map_err(ModelError::Lp)?;
+    if let Some(cache) = warm {
+        cache.stats.solves += 1;
+        cache.stats.pivots += sol.pivots;
+        cache.stats.refactorizations += sol.refactorizations;
+        cache.stats.wall_ms += started.elapsed().as_secs_f64() * 1e3;
+        cache.clear();
+    }
     Ok(sol.value(theta))
 }
 
@@ -561,7 +907,6 @@ fn add_capacity_rows(
     channels.dedup();
 
     let mut seen: HashMap<Vec<(usize, u64)>, ()> = HashMap::new();
-    let mut row_index = 0u64;
     for ch in channels {
         let mut merged: Vec<(tugal_lp::VarId, f64)> = Vec::new();
         if let Some(terms) = chan_rows.get(&ch) {
@@ -621,13 +966,20 @@ fn add_capacity_rows(
             // degeneracy of the symmetric topology (many channel rows would
             // otherwise tie in every ratio test, stalling the simplex).
             // The induced throughput error is below 1e-6 — far inside the
-            // model's own accuracy.
-            row_index += 1;
-            let h = row_index
+            // model's own accuracy.  Keyed by the stable channel id, NOT a
+            // row counter: under a fault chain, dead channels drop rows,
+            // and a counter-keyed jitter would hand every surviving row a
+            // fresh rhs, shifting the perturbed optimum on the entire
+            // network and costing warm starts their locality.  The full
+            // mantissa (rather than a coarse lattice) keeps any two rows
+            // from colliding on the same jitter, which would revive the
+            // degenerate ratio-test ties this exists to break.
+            let h = ((ch as u64) ^ 0xCAB1_E0F5_ECAB_1E05)
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .rotate_left(17)
                 .wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
-            let rhs = 1.0 + 1e-4 * (0.5 + (h % 1024) as f64 / 2048.0);
+            let hu = (h >> 11) as f64 / (1u64 << 53) as f64;
+            let rhs = 1.0 + 1e-4 * (0.5 + 0.5 * hu);
             row_channels.push((lp.num_constraints(), ch));
             lp.add_constraint(&merged, Relation::Le, rhs);
         }

@@ -1,0 +1,186 @@
+//! Warm-start equivalence at the model layer: chaining an LP basis across
+//! structurally-adjacent solves must never change a single bit of `θ`.
+//!
+//! Two production chain shapes are pinned:
+//!
+//! * a **rule sweep** — consecutive [`VlbRule`]s over the same topology
+//!   and pattern (the `modeled_throughput_multi` shape);
+//! * a **`FaultSet` superset chain** — growing failure fractions under one
+//!   seed (the `fig_faults` shape; `FaultSet::sample_global_links` takes a
+//!   prefix of one seeded shuffle, so larger fractions are strict
+//!   supersets of smaller ones).
+//!
+//! Every warm solve is compared against a cold solve of the identical
+//! instance: objectives must be bit-identical (`f64::to_bits`), and the
+//! chained warm solves must spend strictly fewer simplex pivots over the
+//! chain's tail.
+
+use tugal_model::{
+    modeled_throughput, modeled_throughput_degraded, modeled_throughput_degraded_warm,
+    modeled_throughput_multi, modeled_throughput_warm, ModelVariant, ModelWarmCache,
+};
+use tugal_routing::VlbRule;
+use tugal_topology::{Dragonfly, DragonflyParams, FaultSet};
+use tugal_traffic::{Shift, TrafficPattern};
+
+fn topo(p: u32, a: u32, h: u32, g: u32) -> Dragonfly {
+    Dragonfly::new(DragonflyParams::new(p, a, h, g)).unwrap()
+}
+
+fn rules() -> [VlbRule; 3] {
+    [
+        VlbRule::ClassLimit {
+            max_hops: 3,
+            frac_next: 0.0,
+        },
+        VlbRule::ClassLimit {
+            max_hops: 4,
+            frac_next: 0.6,
+        },
+        VlbRule::All,
+    ]
+}
+
+#[test]
+fn rule_sweep_warm_chain_is_bit_identical_to_cold_solves() {
+    let t = topo(2, 4, 2, 5);
+    let d = Shift::new(&t, 1, 0).demands().unwrap();
+    let mut chain = ModelWarmCache::new();
+    let mut warm_pivots = Vec::new();
+    let mut cold_pivots = Vec::new();
+    for rule in rules() {
+        let warm =
+            modeled_throughput_warm(&t, &d, rule, ModelVariant::DrawProportional, &mut chain)
+                .unwrap();
+        warm_pivots.push(chain.stats.pivots);
+        // A fresh cache never carries a basis: this is a cold solve with
+        // stats attached.
+        let mut cold_cache = ModelWarmCache::new();
+        let cold = modeled_throughput_warm(
+            &t,
+            &d,
+            rule,
+            ModelVariant::DrawProportional,
+            &mut cold_cache,
+        )
+        .unwrap();
+        cold_pivots.push(cold_cache.stats.pivots);
+        assert_eq!(
+            warm.to_bits(),
+            cold.to_bits(),
+            "{rule:?}: warm θ {warm} vs cold θ {cold}"
+        );
+        // And the plain (cache-free) API is the same solve again.
+        let plain = modeled_throughput(&t, &d, rule, ModelVariant::DrawProportional).unwrap();
+        assert_eq!(cold.to_bits(), plain.to_bits(), "{rule:?}");
+    }
+    // Cumulative warm pivots after the whole chain must undercut the sum
+    // of the independent cold solves: the carried bases did real work.
+    let total_cold: usize = cold_pivots.iter().sum();
+    let total_warm = *warm_pivots.last().unwrap();
+    assert!(
+        total_warm < total_cold,
+        "warm chain spent {total_warm} pivots vs cold total {total_cold}"
+    );
+    assert!(chain.stats.warm_hits > 0, "no warm start ever succeeded");
+}
+
+#[test]
+fn multi_rule_solve_is_bit_identical_to_single_solves() {
+    // `modeled_throughput_multi` chains a warm cache internally; that must
+    // be invisible — not approximately, *bitwise*.
+    let t = topo(2, 4, 2, 5);
+    let d = Shift::new(&t, 1, 0).demands().unwrap();
+    let multi = modeled_throughput_multi(&t, &d, &rules(), ModelVariant::DrawProportional).unwrap();
+    for (i, rule) in rules().into_iter().enumerate() {
+        let single = modeled_throughput(&t, &d, rule, ModelVariant::DrawProportional).unwrap();
+        assert_eq!(multi[i].to_bits(), single.to_bits(), "{rule:?}");
+    }
+}
+
+#[test]
+fn fault_superset_chain_warm_is_bit_identical_with_fewer_tail_pivots() {
+    let t = topo(2, 4, 2, 9);
+    let d = Shift::new(&t, 1, 0).demands().unwrap();
+    let fractions = [0.0, 0.03, 0.06, 0.09, 0.12];
+    let mut chain = ModelWarmCache::new();
+    let mut last_warm_pivots = 0usize;
+    let mut tail_warm = 0usize;
+    let mut tail_cold = 0usize;
+    for (k, &f) in fractions.iter().enumerate() {
+        let faults = FaultSet::sample_global_links(&t, f, 0xFA17);
+        let deg = t.degrade(&faults);
+        let warm = modeled_throughput_degraded_warm(
+            &t,
+            &deg,
+            &d,
+            VlbRule::All,
+            ModelVariant::DrawProportional,
+            &mut chain,
+        )
+        .unwrap();
+        let step_warm = chain.stats.pivots - last_warm_pivots;
+        last_warm_pivots = chain.stats.pivots;
+
+        let mut cold_cache = ModelWarmCache::new();
+        let cold = modeled_throughput_degraded_warm(
+            &t,
+            &deg,
+            &d,
+            VlbRule::All,
+            ModelVariant::DrawProportional,
+            &mut cold_cache,
+        )
+        .unwrap();
+        assert_eq!(
+            warm.theta.to_bits(),
+            cold.theta.to_bits(),
+            "fraction {f}: warm θ {} vs cold θ {}",
+            warm.theta,
+            cold.theta
+        );
+        assert_eq!(warm.unreachable_pairs, cold.unreachable_pairs);
+        // The warm-free public API must match too.
+        let plain =
+            modeled_throughput_degraded(&t, &deg, &d, VlbRule::All, ModelVariant::DrawProportional)
+                .unwrap();
+        assert_eq!(cold.theta.to_bits(), plain.theta.to_bits(), "fraction {f}");
+        if k > 0 {
+            tail_warm += step_warm;
+            tail_cold += cold_cache.stats.pivots;
+        }
+    }
+    assert!(
+        tail_warm < tail_cold,
+        "warm chain tail spent {tail_warm} pivots vs cold {tail_cold}"
+    );
+    assert!(
+        chain.stats.warm_hits > 0,
+        "no warm start succeeded along the fault chain: {:?}",
+        chain.stats
+    );
+}
+
+#[test]
+fn zero_fault_degraded_warm_solve_matches_pristine_model() {
+    // The f = 0 point of a warm-started fault sweep must reproduce the
+    // pristine model bit-for-bit — `fig_faults` asserts the same at run
+    // time; this pins it in-tree.
+    let t = topo(2, 4, 2, 5);
+    let d = Shift::new(&t, 1, 0).demands().unwrap();
+    let deg = t.degrade(&FaultSet::empty());
+    let mut chain = ModelWarmCache::new();
+    let degraded = modeled_throughput_degraded_warm(
+        &t,
+        &deg,
+        &d,
+        VlbRule::All,
+        ModelVariant::DrawProportional,
+        &mut chain,
+    )
+    .unwrap();
+    let pristine =
+        modeled_throughput(&t, &d, VlbRule::All, ModelVariant::DrawProportional).unwrap();
+    assert_eq!(degraded.theta.to_bits(), pristine.to_bits());
+    assert_eq!(degraded.unreachable_pairs, 0);
+}
