@@ -17,6 +17,12 @@
 //!   `dfly(2,4,2,5)`; the CI shard-smoke job uses `2,7,1,8` so its
 //!   8 groups admit a `TUGAL_SHARDS=4` partition, then byte-compares the
 //!   sharded results file against a sequential run's.
+//! * `TUGAL_RESILIENCE_KILL9=<n>` — SIGKILL this process as soon as `n`
+//!   checkpoint files exist under the `TUGAL_CKPT` directory (requires
+//!   `TUGAL_CKPT`; see [`tugal_netsim::CkptConfig`]).  The CI ckpt-smoke
+//!   job uses it to die mid-simulation — no unwinding, no flushes — and
+//!   asserts a resumed re-invocation (same `TUGAL_JOURNAL` and
+//!   `TUGAL_CKPT`) reproduces the uninterrupted results byte-for-byte.
 //!
 //! All floating-point results are written as exact IEEE-754 bits: two runs
 //! produce byte-identical files iff they produced bit-identical results.
@@ -72,7 +78,49 @@ fn resilience_topo() -> std::sync::Arc<tugal_topology::Dragonfly> {
     }
 }
 
+/// Arms the `TUGAL_RESILIENCE_KILL9` watcher: a thread that polls the
+/// `TUGAL_CKPT` directory and SIGKILLs the process once the requested
+/// number of checkpoint files exist — the hardest crash the harness can
+/// inflict on itself (no unwinding, no atexit hooks, no stdio flushes),
+/// exactly what the checkpoint layer's durability discipline must survive.
+fn arm_kill9() {
+    let Some(n) = std::env::var("TUGAL_RESILIENCE_KILL9")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    else {
+        return;
+    };
+    let Ok(dir) = std::env::var("TUGAL_CKPT") else {
+        eprintln!("warning: TUGAL_RESILIENCE_KILL9 set without TUGAL_CKPT; ignoring");
+        return;
+    };
+    std::thread::spawn(move || {
+        let dir = std::path::PathBuf::from(dir);
+        loop {
+            let ckpts = std::fs::read_dir(&dir)
+                .map(|it| {
+                    it.flatten()
+                        .filter(|e| e.path().extension().is_some_and(|x| x == "ckpt"))
+                        .count()
+                })
+                .unwrap_or(0);
+            if ckpts >= n {
+                let pid = std::process::id().to_string();
+                let _ = std::process::Command::new("kill")
+                    .args(["-9", &pid])
+                    .status();
+                // Unreachable unless the `kill` binary is missing; abort is
+                // the closest std-only stand-in (still no cleanup).
+                std::process::abort();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+    });
+}
+
 fn main() {
+    arm_kill9();
     let out_path =
         std::env::var("TUGAL_RESILIENCE_OUT").unwrap_or_else(|_| "results/resilience.json".into());
     let topo = resilience_topo();

@@ -81,17 +81,19 @@ pub fn full_fidelity() -> bool {
 
 /// Simulator configuration for the current fidelity mode (Table 3 network
 /// parameters in both), with the `TUGAL_SHARDS` environment override
-/// applied — so any harness binary can run its engine partitioned.  The
-/// requested count must divide the groups of every topology the harness
-/// sweeps; [`ExperimentRunner::validate`] rejects the batch up front
-/// otherwise.
+/// applied — so any harness binary can run its engine partitioned — and
+/// the `TUGAL_CKPT`/`TUGAL_CKPT_EVERY` override, so any harness can run
+/// with mid-simulation checkpointing (the runner keys each job's
+/// checkpoint files by its journal digest).  The requested shard count
+/// must divide the groups of every topology the harness sweeps;
+/// [`ExperimentRunner::validate`] rejects the batch up front otherwise.
 pub fn sim_config() -> Config {
     let cfg = if full_fidelity() {
         Config::paper_default()
     } else {
         Config::quick()
     };
-    cfg.with_env_shards()
+    cfg.with_env_shards().with_env_ckpt()
 }
 
 /// Session-wide metrics override (set by harnesses like `fig_linkload`

@@ -1,5 +1,6 @@
 //! Simulator configuration (Table 3 of the paper).
 
+use crate::ckpt::CkptConfig;
 use crate::engine::WatchdogConfig;
 use crate::error::ConfigError;
 use serde::{Deserialize, Serialize};
@@ -46,7 +47,7 @@ impl RoutingAlgorithm {
 ///
 /// [`Config::paper_default`] reproduces Table 3; [`Config::quick`] shrinks
 /// the measurement windows for CI-speed runs (same network parameters).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Clone, PartialEq, Serialize)]
 pub struct Config {
     /// Virtual channels per channel.  Use
     /// [`tugal_routing::required_vcs`] for the scheme/routing at hand; more
@@ -106,6 +107,43 @@ pub struct Config {
     /// so arming it cannot change simulation results; a trip only *stops*
     /// the run early with a [`crate::StallReport`].
     pub watchdog: Option<WatchdogConfig>,
+    /// Opt-in mid-simulation checkpointing (`None` = off, the default):
+    /// the engine writes a restartable snapshot of the full deterministic
+    /// state every [`CkptConfig::every`] cycles, and on startup resumes
+    /// from the newest valid checkpoint in [`CkptConfig::dir`].  A
+    /// resumed run is **bit-for-bit identical** to an uninterrupted one,
+    /// at any valid shard count (pinned by `tests/ckpt.rs`); with `None`
+    /// the engine hot path is untouched.
+    pub checkpoint: Option<CkptConfig>,
+}
+
+// Hand-written so a `None` checkpoint field is omitted entirely: the
+// `Debug` rendering of `Config` feeds FNV-1a digests (runner series keys,
+// the perf baseline, checkpoint fingerprints), and appending a field to
+// the derived output would silently invalidate every existing journal.
+impl std::fmt::Debug for Config {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("Config");
+        d.field("num_vcs", &self.num_vcs)
+            .field("buf_size", &self.buf_size)
+            .field("local_latency", &self.local_latency)
+            .field("global_latency", &self.global_latency)
+            .field("terminal_latency", &self.terminal_latency)
+            .field("speedup", &self.speedup)
+            .field("vc_scheme", &self.vc_scheme)
+            .field("warmup_windows", &self.warmup_windows)
+            .field("window", &self.window)
+            .field("sat_latency", &self.sat_latency)
+            .field("ugal_threshold", &self.ugal_threshold)
+            .field("vlb_candidates", &self.vlb_candidates)
+            .field("seed", &self.seed)
+            .field("shards", &self.shards)
+            .field("watchdog", &self.watchdog);
+        if let Some(ck) = &self.checkpoint {
+            d.field("checkpoint", ck);
+        }
+        d.finish()
+    }
 }
 
 impl Config {
@@ -129,6 +167,7 @@ impl Config {
             seed: 0xDF17,
             shards: 1,
             watchdog: None,
+            checkpoint: None,
         }
     }
 
@@ -225,6 +264,17 @@ impl Config {
         }
         self
     }
+
+    /// Applies the `TUGAL_CKPT` / `TUGAL_CKPT_EVERY` environment override,
+    /// if set (see [`CkptConfig::from_env`]); harness binaries route their
+    /// configs through this so a CI job (or a user) can turn mid-run
+    /// checkpointing on without touching code.
+    pub fn with_env_ckpt(mut self) -> Self {
+        if let Some(ck) = CkptConfig::from_env() {
+            self.checkpoint = Some(ck);
+        }
+        self
+    }
 }
 
 // Hand-written so `shards` can default when the field is missing: the
@@ -253,6 +303,10 @@ impl Deserialize for Config {
                 Err(_) => 1,
             },
             watchdog: Deserialize::from_value(serde::obj_field(v, "watchdog")?)?,
+            checkpoint: match serde::obj_field(v, "checkpoint") {
+                Ok(s) => Deserialize::from_value(s)?,
+                Err(_) => None,
+            },
         })
     }
 }
@@ -378,9 +432,36 @@ mod tests {
     fn config_roundtrips_through_json() {
         let mut c = Config::quick();
         c.watchdog = Some(WatchdogConfig::guard_for(&c));
+        c.checkpoint = Some(CkptConfig::new("/tmp/ckpt"));
         let json = serde_json::to_string(&c).unwrap();
         let back: Config = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn checkpoint_field_defaults_to_none_in_old_json() {
+        // Configs serialized before checkpointing existed carry no
+        // `checkpoint` key; they must deserialize with it off.
+        let serde::Value::Object(mut fields) = serde::Serialize::to_value(&Config::quick()) else {
+            panic!("Config serializes to an object");
+        };
+        fields.retain(|(k, _)| k != "checkpoint");
+        let back: Config = serde::Deserialize::from_value(&serde::Value::Object(fields)).unwrap();
+        assert_eq!(back.checkpoint, None);
+        assert_eq!(back, Config::quick());
+    }
+
+    #[test]
+    fn debug_rendering_is_stable_when_checkpoint_is_off() {
+        // The Debug string feeds series-key/perf digests; with
+        // checkpointing off it must not mention the field at all, so
+        // every pre-existing journal digest still matches.
+        let mut c = Config::quick();
+        let off = format!("{c:?}");
+        assert!(!off.contains("checkpoint"), "{off}");
+        assert!(off.contains("watchdog: None"), "{off}");
+        c.checkpoint = Some(CkptConfig::new("d"));
+        assert!(format!("{c:?}").contains("checkpoint"));
     }
 
     #[test]

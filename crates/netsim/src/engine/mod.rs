@@ -61,13 +61,14 @@ pub use watchdog::{
     VcSnapshot, WatchdogConfig,
 };
 
+use crate::ckpt::{self, CkptEvent, CkptEventKind, CkptRun, CkptShape, CkptWarning, ResumeCtx};
 use crate::config::{Config, RoutingAlgorithm};
 use crate::fault::FaultSchedule;
 use crate::stats::SimResult;
-use collect::Stats;
+pub(crate) use collect::Stats;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use state::{Packet, ShardState};
+pub(crate) use state::{Packet, ShardState};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Barrier, Mutex};
@@ -334,6 +335,31 @@ impl Simulator {
         obs: &mut O,
         prof: &mut P,
     ) -> (SimResult, Option<StallReport>) {
+        let (result, stall, _) = self.run_instrumented(rate, ws, obs, prof);
+        (result, stall)
+    }
+
+    /// [`Simulator::run_profiled`] plus the checkpoint events
+    /// (writes/restores) the run performed, for trace-span emission.  With
+    /// `cfg.checkpoint = None` (the default) the event list is empty and
+    /// the run is bit-identical to one on a build without checkpointing.
+    ///
+    /// With `Some`, the run first restores from the newest valid
+    /// checkpoint in the configured directory (cold-starting when there is
+    /// none), then writes a checkpoint every `every` cycles.  Restore is
+    /// bit-for-bit: the resumed run's result equals the uninterrupted
+    /// run's, at any valid shard count — the checkpoint is canonical
+    /// (keyed by group/channel ownership), so the writer's and reader's
+    /// shard counts are independent.  If the observer does not implement
+    /// [`SimObserver::snapshot`], checkpointing is disabled for the job
+    /// with a warning (results unaffected), mirroring the fork fallback.
+    pub(crate) fn run_instrumented<O: SimObserver, P: EngineProfiler>(
+        &self,
+        rate: f64,
+        ws: &mut SimWorkspace,
+        obs: &mut O,
+        prof: &mut P,
+    ) -> (SimResult, Option<StallReport>, Vec<CkptEvent>) {
         assert!(
             rate > 0.0 && rate <= 1.0,
             "injection rate {rate} out of (0,1]"
@@ -370,6 +396,88 @@ impl Simulator {
         let nodes = self.topo.num_nodes();
         let snap = (self.routing == RoutingAlgorithm::UgalG).then(|| Snap::new(n_network));
 
+        // Checkpoint coordinator: built only when configured, the observer
+        // can snapshot, and the directory is usable — otherwise a typed
+        // warning and the run proceeds unchanged (checkpointing is purely
+        // additive, never load-bearing for results).
+        let mut ck_events: Vec<CkptEvent> = Vec::new();
+        let ckrun = match &self.cfg.checkpoint {
+            None => None,
+            Some(_) if obs.snapshot().is_none() => {
+                eprintln!("warning: {}", CkptWarning::ObserverSnapshotUnsupported);
+                None
+            }
+            Some(cc) => {
+                let shape = CkptShape {
+                    groups,
+                    n_chan: self.topo.num_channels() as u64,
+                    n_buf: (self.topo.num_channels() * self.cfg.num_vcs as usize) as u64,
+                    n_switches: self.topo.num_switches() as u64,
+                };
+                let topo_key = format!("{:?}{}", self.topo.params(), self.topo.shape_suffix());
+                let fp = ckpt::fingerprint(
+                    &topo_key,
+                    self.routing,
+                    &self.cfg,
+                    self.faults.as_deref(),
+                    rate,
+                );
+                match CkptRun::new(cc, fp, shape, exec) {
+                    Ok(run) => Some(run),
+                    Err(e) => {
+                        eprintln!("warning: checkpoint directory {} unusable: {e}", cc.dir);
+                        None
+                    }
+                }
+            }
+        };
+        // Restore: newest valid checkpoint (corrupt candidates fall back
+        // to the previous retained file, then to a cold start).  State is
+        // applied per shard by ownership, so the writer's shard count is
+        // irrelevant — except for observer blobs, which are per-fork; a
+        // non-empty blob set must match the shard count to apply.
+        let mut resume: Option<ResumeCtx> = None;
+        if let Some(ck) = &ckrun {
+            let t0 = std::time::Instant::now();
+            if let Some((chk, bytes, checksum)) = ck.load() {
+                let blobs_empty = chk.obs_blobs.iter().all(|b| b.is_empty());
+                if !blobs_empty && chk.obs_blobs.len() != exec {
+                    eprintln!(
+                        "warning: {}",
+                        CkptWarning::ObserverShardMismatch {
+                            blobs: chk.obs_blobs.len(),
+                            shards: exec,
+                        }
+                    );
+                } else {
+                    let ring_mask = SimWorkspace::ring_size_for(&self.cfg) as u64 - 1;
+                    for st in ws.shards.iter_mut() {
+                        ckpt::apply_shard(&chk, st, ring_mask);
+                    }
+                    if !blobs_empty {
+                        if exec == 1 {
+                            obs.restore(&chk.obs_blobs[0]);
+                        } else {
+                            for (f, b) in forks.iter_mut().zip(&chk.obs_blobs) {
+                                f.restore(b);
+                            }
+                        }
+                    }
+                    ck_events.push(CkptEvent {
+                        kind: CkptEventKind::Restore,
+                        cycle: chk.next_cycle,
+                        shards: exec as u32,
+                        bytes,
+                        checksum,
+                        elapsed_ms: t0.elapsed().as_millis() as u64,
+                    });
+                    resume = Some(ResumeCtx::from_checkpoint(&chk));
+                }
+            }
+        }
+        let ckr = ckrun.as_ref();
+        let res = resume.as_ref();
+
         let (mut outs, global_in_flight) = if exec == 1 {
             let eng = Engine::new(
                 self,
@@ -379,6 +487,8 @@ impl Simulator {
                 prof,
                 None,
                 snap.as_ref(),
+                ckr,
+                res,
             );
             let out = eng.run();
             let gif = out.in_flight;
@@ -399,8 +509,17 @@ impl Simulator {
                     handles.push(scope.spawn(move || {
                         let mut fork = fork;
                         let mut pfork = pfork;
-                        let eng =
-                            Engine::new(self, rate, st, &mut fork, &mut pfork, Some(shared), snap);
+                        let eng = Engine::new(
+                            self,
+                            rate,
+                            st,
+                            &mut fork,
+                            &mut pfork,
+                            Some(shared),
+                            snap,
+                            ckr,
+                            res,
+                        );
                         (eng.run(), fork, pfork)
                     }));
                 }
@@ -500,7 +619,10 @@ impl Simulator {
                 partials,
             )
         });
-        (result, stall)
+        if let Some(ck) = &ckrun {
+            ck_events.extend(ck.take_events());
+        }
+        (result, stall, ck_events)
     }
 }
 
@@ -549,6 +671,13 @@ pub(crate) struct Engine<'a, O: SimObserver, P: EngineProfiler> {
     pub(crate) outbox: Vec<Vec<Msg>>,
     /// UGAL-G queue snapshot (`None` for every other routing algorithm).
     snap: Option<&'a Snap>,
+    /// Checkpoint coordinator (`None` keeps the loop's checkpoint test to
+    /// a single `Option` check per cycle).
+    ckpt: Option<&'a CkptRun>,
+    /// Wall-clock milliseconds accumulated before a restored run started;
+    /// added to every published elapsed sample so watchdog wall ceilings
+    /// span restarts instead of resetting at each resume.
+    wall_offset_ms: u64,
     /// Flight-recorder ring (empty unless an armed watchdog sets
     /// `flight_recorder > 0`): the last `fr_cap` cycles' frames, oldest at
     /// `fr_pos` once the ring wraps.
@@ -558,6 +687,7 @@ pub(crate) struct Engine<'a, O: SimObserver, P: EngineProfiler> {
 }
 
 impl<'a, O: SimObserver, P: EngineProfiler> Engine<'a, O, P> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         sim: &'a Simulator,
         rate: f64,
@@ -566,34 +696,61 @@ impl<'a, O: SimObserver, P: EngineProfiler> Engine<'a, O, P> {
         prof: &'a mut P,
         shared: Option<&'a SharedRun>,
         snap: Option<&'a Snap>,
+        ckpt: Option<&'a CkptRun>,
+        resume: Option<&'a ResumeCtx>,
     ) -> Self {
         let cfg = &sim.cfg;
         let groups_owned = ((st.node_hi - st.node_lo) / st.nodes_per_group) as usize;
-        let rngs = (0..groups_owned)
-            .map(|k| group_rng(cfg.seed, st.group_lo + k as u32))
-            .collect();
+        // On resume every group's RNG stream continues exactly where the
+        // checkpoint froze it; states are stored per *group*, so any
+        // reader shard count picks up its owned slice.
+        let rngs = match resume {
+            None => (0..groups_owned)
+                .map(|k| group_rng(cfg.seed, st.group_lo + k as u32))
+                .collect(),
+            Some(r) => (0..groups_owned)
+                .map(|k| SmallRng::from_state(r.rngs[st.group_lo as usize + k]))
+                .collect(),
+        };
+        // Restored stats live whole on shard 0 (the merge in shard order
+        // then reproduces the writer's global counters exactly); the
+        // other shards start fresh, keeping only the `measuring` flag the
+        // merge asserts on.
+        let stats = match resume {
+            None => Stats::new(),
+            Some(r) if st.id == 0 => r.stats.unpack(),
+            Some(r) => {
+                let mut s = Stats::new();
+                s.measuring = r.stats.measuring;
+                s
+            }
+        };
         let outbox = (0..st.n_shards).map(|_| Vec::new()).collect();
         Engine {
             sim,
+            // `apply_shard` pre-populated the pool on resume; every pooled
+            // packet is live (the restore never fills the free list).
+            in_flight: st.packets.len(),
             ws: st,
             obs,
             prof,
             rate,
-            now: 0,
+            now: resume.map_or(0, |r| r.next_cycle),
             rngs,
             v: cfg.num_vcs as usize,
-            in_flight: 0,
             sent: 0,
             recv: 0,
             ring_mask: SimWorkspace::ring_size_for(cfg) as u64 - 1,
             n_network: sim.topo.num_network_channels(),
-            stats: Stats::new(),
+            stats,
             store: sim.provider.path_store(),
             fault_on: sim.faults.as_ref().is_some_and(|f| !f.is_empty()),
-            next_event: 0,
+            next_event: resume.map_or(0, |r| r.next_event as usize),
             shared,
             outbox,
             snap,
+            ckpt,
+            wall_offset_ms: resume.map_or(0, |r| r.elapsed_ms),
             fr_ring: Vec::new(),
             fr_pos: 0,
             fr_cap: 0,
@@ -712,7 +869,7 @@ impl<'a, O: SimObserver, P: EngineProfiler> Engine<'a, O, P> {
 
         while self.now < total {
             if self.shared.is_some() {
-                self.drain_mailboxes();
+                self.drain_mailboxes(self.now);
                 self.prof.mark(profile::Phase::Drain);
             }
             if let Some(sched) = &sched {
@@ -764,6 +921,13 @@ impl<'a, O: SimObserver, P: EngineProfiler> Engine<'a, O, P> {
             }
             self.prof.mark(profile::Phase::Stop);
             self.prof.cycle_done();
+            // Checkpoint cadence: `due` is a pure function of the cycle,
+            // so every shard takes this step (and its barrier) together.
+            if let Some(ck) = self.ckpt {
+                if ck.due(self.now, total) {
+                    self.checkpoint_write(ck, &wd_start);
+                }
+            }
             self.now += 1;
         }
         self.prof.shard_end();
@@ -780,11 +944,15 @@ impl<'a, O: SimObserver, P: EngineProfiler> Engine<'a, O, P> {
     }
 
     /// Ingests boundary messages from every other shard: batches stamped
-    /// before the current cycle, in ascending source-shard order (the
-    /// fixed drain order of the determinism contract).  A neighbour
-    /// running one cycle ahead may already have flushed its next batch;
-    /// the stamp filter leaves it queued for the next cycle.
-    fn drain_mailboxes(&mut self) {
+    /// before `bound`, in ascending source-shard order (the fixed drain
+    /// order of the determinism contract).  A neighbour running one cycle
+    /// ahead may already have flushed its next batch; the stamp filter
+    /// leaves it queued for the next cycle.  The loop top drains with
+    /// `bound = now`; the checkpoint step drains with `bound = now + 1` to
+    /// fold this cycle's flushed batches — exactly what the next cycle's
+    /// drain would take — so the canonical checkpoint sees empty
+    /// mailboxes.
+    fn drain_mailboxes(&mut self, bound: u64) {
         let sh = self.shared.expect("mailboxes exist only on sharded runs");
         let me = self.ws.id as usize;
         for src in 0..sh.n {
@@ -813,7 +981,7 @@ impl<'a, O: SimObserver, P: EngineProfiler> Engine<'a, O, P> {
                         mbox.lock().unwrap()
                     };
                     match q.front() {
-                        Some((stamp, _)) if *stamp < self.now => q.pop_front(),
+                        Some((stamp, _)) if *stamp < bound => q.pop_front(),
                         _ => None,
                     }
                 };
@@ -841,6 +1009,164 @@ impl<'a, O: SimObserver, P: EngineProfiler> Engine<'a, O, P> {
                 }
             }
         }
+    }
+
+    /// End-of-cycle checkpoint step: folds pending boundary messages (so
+    /// the canonical state has empty mailboxes), builds this shard's
+    /// delta, and commits the merged checkpoint — from shard 0 on sharded
+    /// runs, after a barrier guaranteeing every delta is staged.  Every
+    /// shard always executes this step when `CkptRun::due` holds (a pure
+    /// function of the cycle), so barrier generations never diverge, even
+    /// after a write error kills further file output.
+    fn checkpoint_write(&mut self, ck: &CkptRun, wd_start: &std::time::Instant) {
+        let elapsed_ms = wd_start.elapsed().as_millis() as u64 + self.wall_offset_ms;
+        match self.shared {
+            None => {
+                let delta = self.build_delta(elapsed_ms);
+                if !ck.is_dead() {
+                    ck.commit(vec![delta], self.now + 1);
+                }
+            }
+            Some(sh) => {
+                // Fold boundary messages exactly as the next cycle's drain
+                // would: every shard flushed its cycle-`now` batches before
+                // the publish barrier, and none can flush newer ones until
+                // after the staging barrier below.
+                self.drain_mailboxes(self.now + 1);
+                let delta = self.build_delta(elapsed_ms);
+                *ck.stage[self.ws.id as usize].lock().unwrap() = Some(delta);
+                sh.barrier.wait();
+                // Shard 0 writes while the others run ahead; they park at
+                // the next cycle's publish barrier until the write (and
+                // shard 0's next cycle) completes, so staging slots cannot
+                // be overwritten mid-drain.
+                if self.ws.id == 0 {
+                    let deltas: Vec<ckpt::ShardDelta> = ck
+                        .stage
+                        .iter()
+                        .map(|s| s.lock().unwrap().take().expect("all shards staged a delta"))
+                        .collect();
+                    if !ck.is_dead() {
+                        ck.commit(deltas, self.now + 1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Captures everything this shard owns into a [`ckpt::ShardDelta`]:
+    /// sparse against the reset defaults (`credits == buf_size`,
+    /// `wait == u32::MAX`, `rr == 0`, zero send-side scalars), FIFOs
+    /// walked head-to-tail, calendar rings converted to absolute due
+    /// cycles (every pending due lies in `[now + 1, now + ring_size]`, so
+    /// the slot index recovers the cycle exactly).
+    fn build_delta(&self, elapsed_ms: u64) -> ckpt::ShardDelta {
+        let mut d = ckpt::ShardDelta {
+            stats: ckpt::StatsSnap::pack(&self.stats),
+            obs_blob: self.obs.snapshot().unwrap_or_default(),
+            next_event: self.next_event as u64,
+            elapsed_ms,
+            ..Default::default()
+        };
+        for (k, rng) in self.rngs.iter().enumerate() {
+            d.rngs.push((self.ws.group_lo + k as u32, rng.state()));
+        }
+        let buf_size = self.sim.cfg.buf_size;
+        let n_chan = self.ws.stg_head.len();
+        for ch in 0..n_chan {
+            if self.ws.owns_send[ch] {
+                if self.ws.stg_len[ch] > 0 {
+                    let mut recs = Vec::with_capacity(self.ws.stg_len[ch] as usize);
+                    let mut pi = self.ws.stg_head[ch];
+                    while pi != u32::MAX {
+                        recs.push(ckpt::PkRec::capture(
+                            &self.ws.packets[pi as usize],
+                            &self.ws.eph_paths,
+                        ));
+                        pi = self.ws.next_pkt[pi as usize];
+                    }
+                    d.staging.push((ch as u32, recs));
+                }
+                if self.ws.next_free[ch] != 0
+                    || self.ws.cred_used[ch] != 0
+                    || self.ws.chan_flits[ch] != 0
+                {
+                    d.chan_send.push(ckpt::ChanSend {
+                        ch: ch as u32,
+                        next_free: self.ws.next_free[ch],
+                        cred_used: self.ws.cred_used[ch],
+                        chan_flits: self.ws.chan_flits[ch],
+                    });
+                }
+                for vc in 0..self.v {
+                    let idx = ch * self.v + vc;
+                    if self.ws.credits[idx] != buf_size {
+                        d.credits.push((idx as u32, self.ws.credits[idx]));
+                    }
+                }
+            }
+            if self.ws.owns_recv[ch] {
+                for vc in 0..self.v {
+                    let idx = ch * self.v + vc;
+                    let mut pi = self.ws.inb_head[idx];
+                    if pi != u32::MAX {
+                        let mut recs = Vec::new();
+                        while pi != u32::MAX {
+                            recs.push(ckpt::PkRec::capture(
+                                &self.ws.packets[pi as usize],
+                                &self.ws.eph_paths,
+                            ));
+                            pi = self.ws.next_pkt[pi as usize];
+                        }
+                        d.inbufs.push((idx as u32, recs));
+                    }
+                    if self.ws.wait[idx] != u32::MAX {
+                        d.wait.push((idx as u32, self.ws.wait[idx]));
+                    }
+                }
+            }
+        }
+        let base = self.now + 1;
+        for (slot, pis) in self.ws.arrivals.iter().enumerate() {
+            if pis.is_empty() {
+                continue;
+            }
+            let due = base + ((slot as u64).wrapping_sub(base) & self.ring_mask);
+            for &pi in pis {
+                let p = &self.ws.packets[pi as usize];
+                debug_assert!(self.ws.owns_recv[p.cur_chan as usize]);
+                d.arrivals
+                    .push((due, ckpt::PkRec::capture(p, &self.ws.eph_paths)));
+            }
+        }
+        for (slot, idxs) in self.ws.credit_ring.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let due = base + ((slot as u64).wrapping_sub(base) & self.ring_mask);
+            for &idx in idxs {
+                d.credit_events.push((due, idx));
+            }
+        }
+        for sw in self.ws.switch_lo..self.ws.switch_hi {
+            if self.ws.rr[sw as usize] != 0 {
+                d.rr.push((sw, self.ws.rr[sw as usize] as u64));
+            }
+            if !self.ws.ready[sw as usize].is_empty() {
+                d.ready.push((sw, self.ws.ready[sw as usize].clone()));
+            }
+        }
+        // The dead masks are replicated on every shard; the merge takes
+        // them from shard 0's delta, so only it captures them.
+        if self.fault_on && self.ws.id == 0 {
+            d.chan_dead = (0..n_chan as u32)
+                .filter(|&ch| self.ws.chan_dead[ch as usize])
+                .collect();
+            d.switch_dead = (0..self.ws.switch_dead.len() as u32)
+                .filter(|&sw| self.ws.switch_dead[sw as usize])
+                .collect();
+        }
+        d
     }
 
     /// Flushes this cycle's outgoing batches, stamped with the current
@@ -886,7 +1212,7 @@ impl<'a, O: SimObserver, P: EngineProfiler> Engine<'a, O, P> {
         // so the wall-limit trip decision is global and deterministic
         // within the run.
         let elapsed = if self.ws.id == 0 && wall_armed && self.now & 1023 == 0 {
-            start.elapsed().as_millis() as u64
+            start.elapsed().as_millis() as u64 + self.wall_offset_ms
         } else {
             0
         };
@@ -904,7 +1230,7 @@ impl<'a, O: SimObserver, P: EngineProfiler> Engine<'a, O, P> {
                 delivered: self.stats.total_delivered,
                 dropped: self.stats.total_dropped,
                 elapsed_ms: if wall_armed && self.now & 1023 == 0 {
-                    start.elapsed().as_millis() as u64
+                    start.elapsed().as_millis() as u64 + self.wall_offset_ms
                 } else {
                     0
                 },

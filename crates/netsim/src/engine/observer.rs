@@ -138,6 +138,26 @@ pub trait SimObserver: Send {
     /// network (non-zero for saturated or truncated runs).
     #[inline(always)]
     fn on_run_end(&mut self, now: u64, in_flight: u64) {}
+
+    /// Serializes the observer's accumulated state for a mid-run
+    /// checkpoint, or `None` (the default) if the observer does not
+    /// support checkpointing — in which case the engine disables
+    /// checkpointing for the job with a typed warning, mirroring the
+    /// [`fork`](Self::fork) fallback; results are unaffected.
+    ///
+    /// In sharded runs each *fork* is snapshotted, so a stateless
+    /// observer should return `Some(Vec::new())` and accept the empty
+    /// blob in [`restore`](Self::restore).
+    #[inline]
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state captured by [`snapshot`](Self::snapshot) on this
+    /// observer (or on the matching fork in a sharded run) before the
+    /// resumed run starts.
+    #[inline]
+    fn restore(&mut self, bytes: &[u8]) {}
 }
 
 /// The zero-cost default observer.
@@ -148,5 +168,10 @@ impl SimObserver for NoopObserver {
     // Stateless, so it forks trivially — unobserved runs parallelize.
     fn fork(&self) -> Option<Self> {
         Some(NoopObserver)
+    }
+
+    // ... and checkpoints trivially: no state, empty blob.
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        Some(Vec::new())
     }
 }

@@ -178,6 +178,9 @@ impl Journal {
     /// Opens (or creates) the journal at `path`, loading every intact
     /// entry.  Torn or malformed lines — the tail a crash can leave — are
     /// skipped, not errors.  Parent directories are created as needed.
+    /// Creating the file fsyncs its parent directory, so the (possibly
+    /// still empty) journal survives a crash landing right after open —
+    /// a resumed invocation then appends to it instead of finding nothing.
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
         let path = path.as_ref().to_path_buf();
         if let Some(dir) = path.parent() {
@@ -185,8 +188,9 @@ impl Journal {
                 std::fs::create_dir_all(dir)?;
             }
         }
+        let existed = path.exists();
         let mut seen = HashMap::new();
-        if path.exists() {
+        if existed {
             let reader = BufReader::new(File::open(&path)?);
             for line in reader.lines() {
                 let line = line?;
@@ -199,6 +203,11 @@ impl Journal {
             }
         }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        if !existed {
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                crate::ckpt::fsync_dir(dir)?;
+            }
+        }
         Ok(Journal {
             path,
             seen: Mutex::new(seen),

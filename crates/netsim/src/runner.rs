@@ -24,7 +24,7 @@ use crate::engine::{
 use crate::error::ConfigError;
 use crate::journal::{job_digest, Journal};
 use crate::stats::SimResult;
-use crate::sweep::{aggregate_runs, run_job_profiled, CurvePoint};
+use crate::sweep::{aggregate_runs, run_job_ckpt, CurvePoint};
 use crate::trace::{phase_totals, TraceSink, TraceSpan};
 use rayon::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -395,11 +395,15 @@ impl ExperimentRunner {
     /// changes every digest of the series, so stale journal entries are
     /// never replayed.  (The path provider has no stable identity of its
     /// own; the series label carries it, as every harness labels series by
-    /// provider × routing.)
+    /// provider × routing.)  The checkpoint config is stripped like the
+    /// seed: checkpointing never changes results (pinned by
+    /// `tests/ckpt.rs`), so a journal written with checkpointing off
+    /// replays under a checkpointing run and vice versa.
     fn series_key(&self, si: usize) -> String {
         let s = &self.series[si];
         let mut cfg = s.cfg.clone();
         cfg.seed = 0;
+        cfg.checkpoint = None;
         format!(
             "{}|{:?}{}|{:?}|{:?}|{:?}|{:?}",
             s.label,
@@ -579,29 +583,41 @@ impl ExperimentRunner {
                     span.t_ms = trace.now_ms();
                     trace.emit(&span);
                 }
+                // Jobs of one batch share the checkpoint directory; keying
+                // each job's files by its digest (the journal key) keeps
+                // concurrent jobs from clobbering each other's checkpoints
+                // and lets a resumed invocation find exactly its own.
+                let cfg_job = cfgs[si].checkpoint.is_some().then(|| {
+                    let mut c = cfgs[si].clone();
+                    if let Some(ck) = c.checkpoint.as_mut() {
+                        ck.stem = format!("{digest:016x}");
+                    }
+                    c
+                });
+                let cfg = cfg_job.as_ref().unwrap_or(&cfgs[si]);
                 let start = Instant::now();
                 let mut prof = self.profiling.then(EngineProf::new);
                 let run = catch_unwind(AssertUnwindSafe(|| match prof.as_mut() {
-                    Some(p) => run_job_profiled(
+                    Some(p) => run_job_ckpt(
                         &pool,
                         &self.topo,
                         &s.provider,
                         &s.pattern,
                         s.routing,
-                        &cfgs[si],
+                        cfg,
                         rate,
                         seed,
                         s.faults.as_ref(),
                         &mut obs,
                         p,
                     ),
-                    None => run_job_profiled(
+                    None => run_job_ckpt(
                         &pool,
                         &self.topo,
                         &s.provider,
                         &s.pattern,
                         s.routing,
-                        &cfgs[si],
+                        cfg,
                         rate,
                         seed,
                         s.faults.as_ref(),
@@ -610,24 +626,40 @@ impl ExperimentRunner {
                     ),
                 }));
                 let profile = prof.map(|p| p.report());
-                let outcome = match run {
-                    Ok((result, None, _)) => {
+                let (outcome, ck_events) = match run {
+                    Ok((result, None, events, _)) => {
                         if let Some(journal) = &self.journal {
                             journal.record(digest, &s.label, rate, seed, &result);
                         }
-                        JobOutcome::Ok(result)
+                        (JobOutcome::Ok(result), events)
                     }
-                    Ok((_, Some(stall), _)) => {
+                    Ok((_, Some(stall), events, _)) => (
                         if stall.kind == StallKind::WallClockExceeded {
                             JobOutcome::TimedOut(stall)
                         } else {
                             JobOutcome::WatchdogTripped(stall)
-                        }
-                    }
-                    Err(payload) => JobOutcome::Panicked(panic_message(payload.as_ref())),
+                        },
+                        events,
+                    ),
+                    Err(payload) => (
+                        JobOutcome::Panicked(panic_message(payload.as_ref())),
+                        Vec::new(),
+                    ),
                 };
                 let ms = start.elapsed().as_secs_f64() * 1e3;
                 if let Some(trace) = &self.trace {
+                    for e in &ck_events {
+                        let mut span = job_span(e.kind.name());
+                        span.t_ms = trace.now_ms();
+                        span.cycle = e.cycle;
+                        // The event's own shard count: a restore may have
+                        // read a checkpoint written at a different one.
+                        span.shards = e.shards as u64;
+                        span.ckpt_bytes = e.bytes;
+                        span.checksum = e.checksum;
+                        span.elapsed_ms_bits = (e.elapsed_ms as f64).to_bits();
+                        trace.emit(&span);
+                    }
                     let mut span = job_span("job_end");
                     span.t_ms = trace.now_ms();
                     span.outcome = outcome.name().to_string();

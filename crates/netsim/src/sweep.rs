@@ -202,6 +202,34 @@ pub fn run_job_profiled<O: crate::engine::SimObserver, P: crate::engine::EngineP
     obs: &mut O,
     prof: &mut P,
 ) -> (SimResult, Option<crate::engine::StallReport>, f64) {
+    let (result, stall, _, ms) = run_job_ckpt(
+        pool, topo, provider, pattern, routing, cfg, rate, seed, faults, obs, prof,
+    );
+    (result, stall, ms)
+}
+
+/// [`run_job_profiled`] plus the checkpoint write/restore events the run
+/// performed (empty with `cfg.checkpoint = None`) — the job primitive of
+/// the runner's recorded path, which turns the events into trace spans.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_job_ckpt<O: crate::engine::SimObserver, P: crate::engine::EngineProfiler>(
+    pool: &WorkspacePool,
+    topo: &Arc<Dragonfly>,
+    provider: &Arc<dyn PathProvider>,
+    pattern: &Arc<dyn TrafficPattern>,
+    routing: RoutingAlgorithm,
+    cfg: &Config,
+    rate: f64,
+    seed: u64,
+    faults: Option<&Arc<crate::fault::FaultSchedule>>,
+    obs: &mut O,
+    prof: &mut P,
+) -> (
+    SimResult,
+    Option<crate::engine::StallReport>,
+    Vec<crate::ckpt::CkptEvent>,
+    f64,
+) {
     let mut c = cfg.clone();
     c.seed = seed;
     let mut sim = Simulator::new(topo.clone(), provider.clone(), pattern.clone(), routing, c);
@@ -209,8 +237,9 @@ pub fn run_job_profiled<O: crate::engine::SimObserver, P: crate::engine::EngineP
         sim = sim.with_fault_schedule(f.clone());
     }
     let start = Instant::now();
-    let (result, stall) = pool.with(|ws: &mut SimWorkspace| sim.run_profiled(rate, ws, obs, prof));
-    (result, stall, start.elapsed().as_secs_f64() * 1e3)
+    let (result, stall, events) =
+        pool.with(|ws: &mut SimWorkspace| sim.run_instrumented(rate, ws, obs, prof));
+    (result, stall, events, start.elapsed().as_secs_f64() * 1e3)
 }
 
 #[allow(clippy::too_many_arguments)]

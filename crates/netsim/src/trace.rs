@@ -23,7 +23,14 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// Event type of a span line.
-pub const EVENTS: [&str; 4] = ["batch_start", "job_start", "job_end", "batch_end"];
+pub const EVENTS: [&str; 6] = [
+    "batch_start",
+    "job_start",
+    "job_end",
+    "batch_end",
+    "ckpt_write",
+    "ckpt_restore",
+];
 
 /// Nanoseconds attributed to one named phase (a flattened
 /// [`crate::ProfileReport`] entry, summed over shards).
@@ -73,6 +80,14 @@ pub struct TraceSpan {
     /// Per-phase totals (`job_end` with profiling on, `batch_end` with
     /// the batch's aggregate); empty otherwise.
     pub phase_ns: Vec<PhaseTotal>,
+    /// Simulated cycle the checkpoint resumes at (`ckpt_write`/
+    /// `ckpt_restore`; zero otherwise).
+    pub cycle: u64,
+    /// Checkpoint file size in bytes (`ckpt_write`/`ckpt_restore`).
+    pub ckpt_bytes: u64,
+    /// FNV-1a checksum of the checkpoint payload (`ckpt_write`/
+    /// `ckpt_restore`).
+    pub checksum: u64,
 }
 
 impl TraceSpan {
@@ -94,6 +109,9 @@ impl TraceSpan {
             failed: 0,
             host_threads: 0,
             phase_ns: Vec::new(),
+            cycle: 0,
+            ckpt_bytes: 0,
+            checksum: 0,
         }
     }
 }
@@ -140,6 +158,26 @@ pub fn validate_line(line: &str) -> Result<(), String> {
                 return Err(format!("{} without host_threads", span.ev));
             }
         }
+        "ckpt_write" | "ckpt_restore" => {
+            if span.label.is_empty() {
+                return Err(format!("{} without a series label", span.ev));
+            }
+            if span.digest == 0 {
+                return Err(format!("{} without a job digest", span.ev));
+            }
+            if span.shards == 0 {
+                return Err(format!("{} without a shard count", span.ev));
+            }
+            if span.cycle == 0 {
+                return Err(format!("{} without a resume cycle", span.ev));
+            }
+            if span.ckpt_bytes == 0 {
+                return Err(format!("{} without a byte count", span.ev));
+            }
+            if span.checksum == 0 {
+                return Err(format!("{} without a checksum", span.ev));
+            }
+        }
         _ => unreachable!(),
     }
     if span.ev == "job_end" && span.outcome.is_empty() {
@@ -165,7 +203,10 @@ pub struct TraceSink {
 impl TraceSink {
     /// Opens (or creates) the sink at `path`, appending to an existing
     /// file — a resumed sweep continues the same trace.  Parent
-    /// directories are created as needed.
+    /// directories are created as needed.  Creating the file fsyncs its
+    /// parent directory, so the (possibly still empty) trace survives a
+    /// crash landing right after open — a resumed invocation then appends
+    /// to it instead of finding nothing.
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
         let path = path.as_ref().to_path_buf();
         if let Some(dir) = path.parent() {
@@ -173,7 +214,13 @@ impl TraceSink {
                 std::fs::create_dir_all(dir)?;
             }
         }
+        let created = !path.exists();
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        if created {
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                crate::ckpt::fsync_dir(dir)?;
+            }
+        }
         Ok(TraceSink {
             path,
             file: Mutex::new(file),
@@ -265,6 +312,50 @@ mod tests {
         }];
         let json = serde_json::to_string(&span).unwrap();
         assert!(validate_line(&json).unwrap_err().contains("warp"));
+    }
+
+    #[test]
+    fn ckpt_spans_validate_and_reject_missing_fields() {
+        let mut span = TraceSpan::new("ckpt_write");
+        span.label = "ref/UR".into();
+        span.digest = 42;
+        span.shards = 4;
+        span.cycle = 1000;
+        span.ckpt_bytes = 4096;
+        span.checksum = 0xdead_beef;
+        let json = serde_json::to_string(&span).unwrap();
+        validate_line(&json).unwrap();
+
+        span.ev = "ckpt_restore".into();
+        let json = serde_json::to_string(&span).unwrap();
+        validate_line(&json).unwrap();
+
+        // Each ckpt-specific field is mandatory.
+        for (field, zeroed) in [
+            ("resume cycle", {
+                let mut s = span.clone();
+                s.cycle = 0;
+                s
+            }),
+            ("byte count", {
+                let mut s = span.clone();
+                s.ckpt_bytes = 0;
+                s
+            }),
+            ("checksum", {
+                let mut s = span.clone();
+                s.checksum = 0;
+                s
+            }),
+            ("job digest", {
+                let mut s = span.clone();
+                s.digest = 0;
+                s
+            }),
+        ] {
+            let json = serde_json::to_string(&zeroed).unwrap();
+            assert!(validate_line(&json).unwrap_err().contains(field));
+        }
     }
 
     #[test]

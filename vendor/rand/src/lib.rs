@@ -153,6 +153,33 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl SmallRng {
+        /// The raw xoshiro256++ state, for checkpointing a stream
+        /// mid-sequence. Feeding the returned words back through
+        /// [`SmallRng::from_state`] resumes the stream bit-for-bit.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`SmallRng::state`] snapshot.
+        /// The all-zero state (unreachable from any seeded stream) is
+        /// remapped the same way `from_seed` remaps it, so this never
+        /// constructs the degenerate generator.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return SmallRng {
+                    s: [
+                        0x9E37_79B9_7F4A_7C15,
+                        0x6A09_E667_F3BC_C909,
+                        0xBB67_AE85_84CA_A73B,
+                        0x3C6E_F372_FE94_F82B,
+                    ],
+                };
+            }
+            SmallRng { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {
